@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! the simulator event loop, the TRIM algorithm, queue operations, RTT
+//! estimation, and workload sampling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use netsim::prelude::*;
+use netsim::queue::{DropTailQueue, QueueConfig};
+use netsim::time::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trim_core::{Trim, TrimConfig};
+use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
+use trim_workload::distributions::pt_size_bytes;
+
+/// End-to-end events/second: a 5-sender incast pushing 100 KB each.
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("sim/incast_5x100KB", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<Segment> = Simulator::new();
+            let sw = sim.add_switch();
+            let mut fe_host = TcpHost::new();
+            for i in 0..5 {
+                fe_host.add_receiver(FlowId(i), TcpConfig::default());
+            }
+            let fe = sim.add_host(Box::new(fe_host));
+            sim.connect(
+                fe,
+                sw,
+                Bandwidth::gbps(1),
+                Dur::from_micros(50),
+                QueueConfig::drop_tail(100),
+            );
+            for i in 0..5 {
+                let mut h = TcpHost::new();
+                let idx = h.add_sender(FlowId(i), fe, TcpConfig::default(), &CcKind::Reno);
+                h.schedule_train(idx, SimTime::ZERO, 100_000);
+                let n = sim.add_host(Box::new(h));
+                sim.connect(
+                    n,
+                    sw,
+                    Bandwidth::gbps(1),
+                    Dur::from_micros(50),
+                    QueueConfig::drop_tail(100),
+                );
+            }
+            sim.run_until(SimTime::from_secs(1));
+            black_box(sim.delivered_packets())
+        })
+    });
+}
+
+/// The TRIM ACK hot path (Algorithm 2).
+fn bench_trim_on_ack(c: &mut Criterion) {
+    c.bench_function("trim/on_ack", |b| {
+        let cfg = TrimConfig::default().with_capacity(1_000_000_000, 1460);
+        b.iter_batched(
+            || {
+                let mut t = Trim::new(cfg).expect("valid config");
+                t.on_ack(0, 100_000, false);
+                t
+            },
+            |mut t| {
+                for i in 0..1000u64 {
+                    black_box(t.on_ack(i * 1000, 100_000 + (i % 7) * 10_000, false));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Drop-tail enqueue/dequeue throughput.
+fn bench_queue(c: &mut Criterion) {
+    // Fabricate two node ids through a throwaway simulator (the queue
+    // only needs them as labels).
+    let mut sim: Simulator<TagPayload> = Simulator::new();
+    let a = sim.add_host(Box::new(SinkAgent::default()));
+    let z = sim.add_host(Box::new(SinkAgent::default()));
+    c.bench_function("queue/enqueue_dequeue", |b| {
+        b.iter_batched(
+            || DropTailQueue::<TagPayload>::new(QueueConfig::drop_tail(1000)),
+            |mut q| {
+                for i in 0..1000u64 {
+                    let t = SimTime::from_nanos(i * 100);
+                    q.enqueue(t, Packet::new(a, z, FlowId(0), 1460, TagPayload(i)));
+                    if i % 2 == 1 {
+                        black_box(q.dequeue(t));
+                    }
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Empirical-CDF sampling (workload generation hot path).
+fn bench_sampling(c: &mut Criterion) {
+    c.bench_function("workload/pt_size_sample", |b| {
+        let cdf = pt_size_bytes();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(cdf.sample(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_trim_on_ack,
+    bench_queue,
+    bench_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates the paper artifact covered by `experiments::ablation`.
+//! Pass `--full` for paper-scale parameters.
+
+fn main() {
+    let effort = trim_experiments::Effort::from_args();
+    for t in trim_experiments::experiments::ablation::run(effort) {
+        t.print();
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper artifact covered by `experiments::impairment`.
+//! Pass `--full` for paper-scale parameters.
+
+fn main() {
+    let effort = trim_experiments::Effort::from_args();
+    for t in trim_experiments::experiments::impairment::run(effort) {
+        t.print();
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper artifact covered by `experiments::properties`.
+//! Pass `--full` for paper-scale parameters.
+
+fn main() {
+    let effort = trim_experiments::Effort::from_args();
+    for t in trim_experiments::experiments::properties::run(effort) {
+        t.print();
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the extension experiment in `experiments::rto_sensitivity`.
+//! Pass `--full` for the wider sweep.
+
+fn main() {
+    let effort = trim_experiments::Effort::from_args();
+    for t in trim_experiments::experiments::rto_sensitivity::run(effort) {
+        t.print();
+    }
+}

@@ -1,0 +1,239 @@
+//! Ablations of TCP-TRIM's design choices (DESIGN.md's list): probe-pair
+//! size, RTT-smoothing weight alpha, the K guideline versus naive
+//! choices, per-RTT versus per-ACK back-off, and Eq. 1 window tuning
+//! versus a GIP-style fixed restart. Each variant runs the Fig. 4/6
+//! impairment scenario and the Fig. 7 concurrency cell.
+
+use netsim::prelude::*;
+use netsim::topology::LinkSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trim_core::TrimConfig;
+use trim_tcp::CcKind;
+use trim_workload::http::impairment_workload;
+use trim_workload::scenario::ScenarioBuilder;
+
+use crate::experiments::concurrency;
+use crate::table::fmt_secs;
+use crate::{parallel_map, results_dir, Effort, Table};
+
+/// A named TRIM variant (or baseline) for the ablation grid.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    /// Display name.
+    pub name: &'static str,
+    /// Congestion control to run.
+    pub cc: CcKind,
+}
+
+/// The ablation grid.
+pub fn variants() -> Vec<Variant> {
+    let base = TrimConfig::default().with_capacity(1_000_000_000, 1460);
+    let mk = |name: &'static str, cfg: TrimConfig| Variant {
+        name,
+        cc: CcKind::Trim(cfg),
+    };
+    vec![
+        mk("trim (paper)", base),
+        mk("probe=1", TrimConfig { probe_packets: 1, ..base }),
+        mk("probe=4", TrimConfig { probe_packets: 4, ..base }),
+        mk("alpha=0.1", TrimConfig { alpha: 0.1, ..base }),
+        mk("alpha=0.5", TrimConfig { alpha: 0.5, ..base }),
+        mk(
+            "K=minRTT",
+            TrimConfig {
+                capacity_pps: None,
+                k_fallback_factor: 1.0,
+                ..base
+            },
+        ),
+        mk(
+            "K=2*minRTT",
+            TrimConfig {
+                capacity_pps: None,
+                k_fallback_factor: 2.0,
+                ..base
+            },
+        ),
+        mk(
+            "per-ack backoff",
+            TrimConfig {
+                backoff_per_rtt: false,
+                ..base
+            },
+        ),
+        Variant {
+            name: "gip restart",
+            cc: CcKind::Gip,
+        },
+        Variant {
+            name: "reno",
+            cc: CcKind::Reno,
+        },
+    ]
+}
+
+/// Impairment-scenario outcome for one variant.
+#[derive(Clone, Copy, Debug)]
+pub struct AblationCell {
+    /// Total timeouts.
+    pub timeouts: u64,
+    /// Bottleneck drops.
+    pub drops: u64,
+    /// Peak bottleneck queue (packets).
+    pub max_queue: usize,
+    /// Mean completion time across all trains (s).
+    pub act: f64,
+}
+
+/// Runs the impairment scenario for a variant.
+pub fn impairment_cell(cc: &CcKind) -> AblationCell {
+    impairment_cell_with_queue(cc, QueueConfig::drop_tail(100))
+}
+
+/// Like [`impairment_cell`] but with a custom switch-queue discipline
+/// (used for the AQM-versus-end-host comparison).
+pub fn impairment_cell_with_queue(cc: &CcKind, queue: QueueConfig) -> AblationCell {
+    let link = LinkSpec::new(Bandwidth::gbps(1), Dur::from_micros(50), queue);
+    let mut sc = ScenarioBuilder::many_to_one(5)
+        .congestion_control(cc.clone())
+        .links(link)
+        .build();
+    let mut rng = StdRng::seed_from_u64(42);
+    for s in 0..5 {
+        sc.send_trains(s, impairment_workload(&mut rng));
+    }
+    let report = sc.run_for_secs(3.0);
+    AblationCell {
+        timeouts: report.total_timeouts(),
+        drops: report.bottleneck.dropped,
+        max_queue: report.bottleneck.max_len,
+        act: report.act().mean,
+    }
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(_effort: Effort) -> Vec<Table> {
+    let vs = variants();
+    let imp = parallel_map(vs.clone(), |v| impairment_cell(&v.cc));
+    let mut t1 = Table::new(
+        "Ablation — impairment scenario (5 servers, Fig. 4/6 workload)",
+        &["variant", "timeouts", "drops", "max_queue", "act"],
+    );
+    for (v, c) in vs.iter().zip(&imp) {
+        t1.row(&[
+            v.name.to_string(),
+            format!("{}", c.timeouts),
+            format!("{}", c.drops),
+            format!("{}", c.max_queue),
+            fmt_secs(c.act),
+        ]);
+    }
+
+    let conc = parallel_map(vs.clone(), |v| concurrency::run_cell(&v.cc, 8, 2));
+    let mut t2 = Table::new(
+        "Ablation — concurrency cell (8 SPTs + 2 LPTs, Fig. 7 point)",
+        &["variant", "spt_act", "spt_max", "timeouts"],
+    );
+    for (v, c) in vs.iter().zip(&conc) {
+        t2.row(&[
+            v.name.to_string(),
+            fmt_secs(c.spt.mean),
+            fmt_secs(c.spt.max),
+            format!("{}", c.timeouts),
+        ]);
+    }
+
+    // Can a switch-side AQM substitute for TRIM's end-host control?
+    let red = RedConfig::default();
+    let aqm_rows: Vec<(&str, CcKind, QueueConfig)> = vec![
+        ("reno + drop-tail", CcKind::Reno, QueueConfig::drop_tail(100)),
+        (
+            "reno + RED",
+            CcKind::Reno,
+            QueueConfig::drop_tail(100).with_red(red),
+        ),
+        (
+            "dctcp + RED-ECN",
+            CcKind::Dctcp,
+            QueueConfig::drop_tail(100).with_red(RedConfig { ecn: true, ..red }),
+        ),
+        (
+            "trim + drop-tail",
+            CcKind::trim_with_capacity(1_000_000_000, 1460),
+            QueueConfig::drop_tail(100),
+        ),
+    ];
+    let aqm_cells = parallel_map(aqm_rows.clone(), |(_, cc, q)| {
+        impairment_cell_with_queue(&cc, q)
+    });
+    let mut t3 = Table::new(
+        "Ablation — switch AQM vs end-host control (impairment workload)",
+        &["setup", "timeouts", "drops", "max_queue", "act"],
+    );
+    for ((name, _, _), c) in aqm_rows.iter().zip(&aqm_cells) {
+        t3.row(&[
+            name.to_string(),
+            format!("{}", c.timeouts),
+            format!("{}", c.drops),
+            format!("{}", c.max_queue),
+            fmt_secs(c.act),
+        ]);
+    }
+
+    let dir = results_dir();
+    let _ = t1.write_csv(&dir, "ablation_impairment");
+    let _ = t2.write_csv(&dir, "ablation_concurrency");
+    let _ = t3.write_csv(&dir, "ablation_aqm");
+    vec![t1, t2, t3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_variant_dominates_reno() {
+        let vs = variants();
+        let trim = impairment_cell(&vs[0].cc);
+        let reno = impairment_cell(&vs.last().expect("reno last").cc);
+        assert_eq!(trim.timeouts, 0);
+        assert!(reno.timeouts > 0);
+        assert!(trim.act < reno.act);
+    }
+
+    #[test]
+    fn single_probe_still_avoids_timeouts() {
+        let vs = variants();
+        let probe1 = impairment_cell(&vs[1].cc);
+        assert_eq!(probe1.timeouts, 0, "{probe1:?}");
+    }
+
+    #[test]
+    fn per_ack_backoff_trades_queue_for_nothing() {
+        // Ablation finding: applying Eq. 3 literally on every ACK is
+        // self-regulating (ep -> 0 as RTT -> K), so goodput is unchanged
+        // while the average queue sits lower. The per-RTT rate limit is
+        // what the paper's "no more aggressive than legacy TCP"
+        // stipulation and Eq. 10's one-decrement-per-round model assume,
+        // but it is not load-bearing for throughput.
+        use crate::experiments::properties;
+        use netsim::time::Dur;
+        let vs = variants();
+        let (per_rtt, _) = properties::run_once(&vs[0].cc, 5, Dur::from_millis(1), false);
+        let (per_ack, _) = properties::run_once(&vs[7].cc, 5, Dur::from_millis(1), false);
+        assert!(
+            per_ack.goodput_mbps > 0.95 * per_rtt.goodput_mbps,
+            "goodput comparable: {} vs {} Mbps",
+            per_ack.goodput_mbps,
+            per_rtt.goodput_mbps
+        );
+        assert!(
+            per_ack.avg_queue < per_rtt.avg_queue,
+            "per-ACK holds a shorter queue: {} vs {}",
+            per_ack.avg_queue,
+            per_rtt.avg_queue
+        );
+        assert_eq!(per_ack.drops, 0);
+    }
+}

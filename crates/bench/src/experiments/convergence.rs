@@ -1,0 +1,162 @@
+//! Fig. 10 — fairness and convergence.
+//!
+//! Six hosts share one switch: the receiver hangs off a 1 Gbps / 50 µs
+//! link, the five senders off 1.1 Gbps links. LPTs start at 0.1 s with
+//! 2 s spacing, then stop one by one from 12.1 s with the same spacing.
+//! The paper shows TRIM's flows converging quickly to their fair share
+//! while TCP's shares swing widely.
+
+use netsim::prelude::*;
+use netsim::time::{Dur, SimTime};
+use netsim::topology::LinkSpec;
+use trim_tcp::{CcKind, TcpHost};
+use trim_workload::scenario::ScenarioBuilder;
+
+use crate::{results_dir, Effort, Table};
+
+const N: usize = 5;
+
+/// Per-flow throughput series from one convergence run, in 500 ms bins.
+pub fn run_once(cc: &CcKind) -> Vec<Vec<(SimTime, f64)>> {
+    let sender_link = LinkSpec::new(
+        Bandwidth::bps(1_100_000_000),
+        Dur::from_micros(50),
+        QueueConfig::drop_tail(100),
+    );
+    let mut sc = ScenarioBuilder::many_to_one(N)
+        .congestion_control(cc.clone())
+        .sender_links(sender_link)
+        .throughput_bin(Dur::from_millis(500))
+        .build();
+    for i in 0..N {
+        let start = 0.1 + 2.0 * i as f64;
+        let stop = 12.1 + 2.0 * i as f64;
+        // The paper sets all 5 connections up before any data flows; a
+        // one-packet exchange on the idle network gives each connection
+        // its true base RTT (otherwise late arrivals measure min_RTT
+        // against the standing queue and delay-based control turns
+        // unfair).
+        sc.send_train(i, trim_workload::TrainSpec::at_secs(0.001 + 0.0002 * i as f64, 1));
+        sc.send_train(i, trim_workload::TrainSpec::at_secs(start, 4_000_000_000));
+        let node = sc.net().senders[i];
+        sc.sim_mut()
+            .host_mut::<TcpHost>(node)
+            .schedule_stop(0, SimTime::from_secs_f64(stop));
+    }
+    let report = sc.run_for_secs(22.0);
+    report
+        .senders
+        .iter()
+        .map(|s| s.throughput.as_ref().expect("metered").mbps_series())
+        .collect()
+}
+
+/// Jain's fairness index over the active flows' throughputs.
+pub fn jain_index(shares: &[f64]) -> f64 {
+    let n = shares.len() as f64;
+    let sum: f64 = shares.iter().sum();
+    let sum_sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n * sum_sq)
+}
+
+fn value_at(series: &[(SimTime, f64)], t: f64) -> f64 {
+    let target = SimTime::from_secs_f64(t);
+    let i = series.partition_point(|&(at, _)| at <= target);
+    if i == 0 {
+        return 0.0;
+    }
+    // A flow that stopped has no later bins: beyond its last bin the
+    // throughput is zero, not the stale final value.
+    let (bin_start, v) = series[i - 1];
+    if target.saturating_since(bin_start) > Dur::from_millis(500) {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(_effort: Effort) -> Vec<Table> {
+    let mut tables = Vec::new();
+    let mut fairness = Table::new(
+        "Fig. 10 — Jain fairness of active flows (sampled mid-phase)",
+        &["t", "active", "tcp_jain", "trim_jain"],
+    );
+    let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
+    let tcp_series = run_once(&CcKind::Reno);
+    let trim_series = run_once(&trim);
+
+    for (name, series) in [("tcp", &tcp_series), ("trim", &trim_series)] {
+        let mut t = Table::new(
+            format!("Fig. 10 ({name}) — per-connection throughput (Mbps)"),
+            &["t", "c1", "c2", "c3", "c4", "c5"],
+        );
+        let mut ts = 1.0;
+        while ts < 22.0 {
+            let mut row = vec![format!("{ts:.1}")];
+            for s in series {
+                row.push(format!("{:.0}", value_at(s, ts)));
+            }
+            t.row(&row);
+            ts += 1.0;
+        }
+        let _ = t.write_csv(&results_dir(), &format!("fig10_{name}"));
+        tables.push(t);
+    }
+
+    // Fairness index at the midpoint of each arrival/departure phase.
+    for phase in 0..9 {
+        let t = 1.1 + 2.0 * phase as f64; // midpoints: 1.1, 3.1, ..., 17.1
+        let (lo, hi) = if t < 12.1 {
+            (0usize, (phase + 1).min(N))
+        } else {
+            (phase + 1 - 5, N)
+        };
+        let active = hi - lo;
+        if active == 0 {
+            continue;
+        }
+        let tcp_shares: Vec<f64> = (lo..hi).map(|i| value_at(&tcp_series[i], t)).collect();
+        let trim_shares: Vec<f64> = (lo..hi).map(|i| value_at(&trim_series[i], t)).collect();
+        fairness.row(&[
+            format!("{t:.1}"),
+            format!("{active}"),
+            format!("{:.3}", jain_index(&tcp_shares)),
+            format!("{:.3}", jain_index(&trim_shares)),
+        ]);
+    }
+    let _ = fairness.write_csv(&results_dir(), "fig10_fairness");
+    tables.push(fairness);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_basics() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn trim_converges_to_fair_share() {
+        let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
+        let series = run_once(&trim);
+        // At t = 11 s all five flows are active; fair share is ~200 Mbps.
+        let shares: Vec<f64> = series.iter().map(|s| value_at(s, 11.0)).collect();
+        let j = jain_index(&shares);
+        assert!(j > 0.95, "TRIM fairness {j}, shares {shares:?}");
+        let total: f64 = shares.iter().sum();
+        assert!(total > 850.0, "link utilized: {total} Mbps");
+        // Between the fourth and fifth departures (18.1 s - 20.1 s) flow 5
+        // is alone and should ramp to the full link.
+        let last = value_at(&series[4], 19.5);
+        assert!(last > 700.0, "last flow ramps to the full link: {last}");
+    }
+}

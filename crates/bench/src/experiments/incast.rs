@@ -1,0 +1,88 @@
+//! Extension experiment (beyond the paper's figures): partition/aggregate
+//! query completion time versus fan-out.
+//!
+//! The paper's Section II.B.2 motivates TCP-TRIM with the
+//! partition/aggregate pattern but never reports query-level numbers.
+//! This experiment quantifies them: a query completes when its *slowest*
+//! shard arrives, so one RTO on any worker stalls the whole query.
+
+use trim_tcp::CcKind;
+use trim_workload::incast::{incast_qct, QueryConfig};
+
+use crate::table::fmt_secs;
+use crate::{parallel_map, results_dir, Effort, Table};
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    let fanouts: Vec<usize> = effort.pick(vec![4, 8, 16, 32], vec![4, 8, 16, 32, 48, 64]);
+    let protos = [
+        ("tcp", CcKind::Reno),
+        ("dctcp", CcKind::Dctcp),
+        ("trim", CcKind::trim_with_capacity(1_000_000_000, 1460)),
+    ];
+
+    let jobs: Vec<(usize, usize)> = fanouts
+        .iter()
+        .flat_map(|&n| (0..protos.len()).map(move |p| (n, p)))
+        .collect();
+    let results = parallel_map(jobs, |(n, p)| {
+        let cfg = QueryConfig {
+            workers: n,
+            queries: 5,
+            ..QueryConfig::default()
+        };
+        incast_qct(&protos[p].1, &cfg)
+    });
+
+    let mut qct = Table::new(
+        "Extension — mean query completion time vs fan-out (s)",
+        &["workers", "tcp", "dctcp", "trim"],
+    );
+    let mut tail = Table::new(
+        "Extension — worst query completion time vs fan-out (s)",
+        &["workers", "tcp", "dctcp", "trim"],
+    );
+    let mut timeouts = Table::new(
+        "Extension — timeouts during the query sweep",
+        &["workers", "tcp", "dctcp", "trim"],
+    );
+    for (i, &n) in fanouts.iter().enumerate() {
+        let row = &results[i * protos.len()..(i + 1) * protos.len()];
+        qct.row(&[
+            format!("{n}"),
+            fmt_secs(row[0].queries().mean),
+            fmt_secs(row[1].queries().mean),
+            fmt_secs(row[2].queries().mean),
+        ]);
+        tail.row(&[
+            format!("{n}"),
+            fmt_secs(row[0].queries().max),
+            fmt_secs(row[1].queries().max),
+            fmt_secs(row[2].queries().max),
+        ]);
+        timeouts.row(&[
+            format!("{n}"),
+            format!("{}", row[0].timeouts),
+            format!("{}", row[1].timeouts),
+            format!("{}", row[2].timeouts),
+        ]);
+    }
+    let dir = results_dir();
+    let _ = qct.write_csv(&dir, "ext_incast_qct");
+    let _ = tail.write_csv(&dir, "ext_incast_tail");
+    let _ = timeouts.write_csv(&dir, "ext_incast_timeouts");
+    vec![qct, tail, timeouts]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_three_tables_with_matching_rows() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].len(), tables[1].len());
+        assert_eq!(tables[0].len(), tables[2].len());
+    }
+}

@@ -1,0 +1,200 @@
+//! Fig. 8 — large-scale HTTP concurrency on the two-tier topology.
+//!
+//! 5–25 edge switches with 42 servers each (210–1050 servers total) feed
+//! one front-end through a fabric switch. Per switch, 2 servers run LPTs
+//! throughout; the rest each transfer an SPT within a 0.5 s window, sized
+//! from the Fig. 2(a) CDF, with uniform or exponential start times. The
+//! metric is the ACT of the SPTs; the paper reports TCP-TRIM cutting
+//! TCP's ACT by up to 80% (still ~50% above 840 servers).
+
+use netsim::prelude::*;
+use netsim::time::SimTime;
+use netsim::topology::{self, LinkSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
+use trim_workload::distributions::{exponential, pt_size_bytes};
+use trim_workload::http::{large_scale_workload, SptSpread};
+use trim_workload::scenario::{schedule_train, wire_flow};
+use trim_workload::Summary;
+
+use crate::table::{fmt_pct, fmt_secs};
+use crate::{parallel_map, results_dir, Effort, Table};
+
+const SERVERS_PER_SWITCH: usize = 42;
+const LPTS_PER_SWITCH: usize = 2;
+
+/// Warm-up responses per SPT server: the paper's servers hold persistent
+/// HTTP connections, so the measured SPT arrives with a window inherited
+/// from earlier response traffic. The warm-up is light and staggered so
+/// it does not itself overload the fabric at 1050 servers.
+const WARMUP_RESPONSES: u64 = 5;
+
+/// One run: returns the SPT completion-time summary.
+pub fn run_once(cc: &CcKind, n_switches: usize, spread: SptSpread, seed: u64) -> Summary {
+    let mut sim: Simulator<Segment> = Simulator::new();
+    let server_link = LinkSpec::new(
+        Bandwidth::gbps(1),
+        Dur::from_micros(20),
+        QueueConfig::drop_tail(100),
+    );
+    // The 10 Gbps front-end port gets a buffer consistent with the
+    // fat-tree experiment's 350 KB (the paper leaves it unspecified
+    // here); 100 packets at 10 Gbps would drain in 120 us, far below
+    // commodity 10 GbE switch buffering.
+    let front_end_link = LinkSpec::new(
+        Bandwidth::gbps(10),
+        Dur::from_micros(10),
+        QueueConfig::drop_tail(250),
+    );
+    let net = topology::two_tier(
+        &mut sim,
+        n_switches,
+        SERVERS_PER_SWITCH,
+        server_link,
+        server_link,
+        front_end_link,
+        |_| Box::new(TcpHost::new()),
+    );
+    // The paper alleviates LPT throughput collapse with a 20 ms RTO.
+    let tcp = TcpConfig::default().with_min_rto(Dur::from_millis(20));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size_dist = pt_size_bytes();
+    let mut flow = 0u64;
+    let mut spt_nodes = Vec::new();
+    for group in &net.servers {
+        for (i, &server) in group.iter().enumerate() {
+            let idx = wire_flow(&mut sim, FlowId(flow), server, net.front_end, tcp, cc);
+            flow += 1;
+            if i < LPTS_PER_SWITCH {
+                // LPTs run throughout the test.
+                schedule_train(
+                    &mut sim,
+                    server,
+                    idx,
+                    trim_workload::TrainSpec::at_secs(0.0, 200_000_000),
+                );
+            } else {
+                // Warm-up phase: grow the persistent connection's window.
+                let mut t = 0.002 + rng.random_range(0.0..0.1);
+                for _ in 0..WARMUP_RESPONSES {
+                    schedule_train(
+                        &mut sim,
+                        server,
+                        idx,
+                        trim_workload::TrainSpec::at_secs(t, rng.random_range(2_000..=10_000)),
+                    );
+                    t += exponential(&mut rng, 0.003);
+                }
+                for spec in large_scale_workload(&mut rng, &size_dist, 1, 0.15, 0.5, spread) {
+                    schedule_train(&mut sim, server, idx, spec);
+                }
+                spt_nodes.push(server);
+            }
+        }
+    }
+    sim.run_until(SimTime::from_secs_f64(2.5));
+    let times: Vec<Dur> = spt_nodes
+        .iter()
+        .flat_map(|&n| {
+            sim.host::<TcpHost>(n)
+                .connection(0)
+                .completed_trains()
+                .iter()
+                .filter(|t| t.id == WARMUP_RESPONSES)
+                .map(|t| t.completion_time())
+        })
+        .collect();
+    Summary::of(&times)
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    let switch_counts: Vec<usize> = effort.pick(vec![5, 15, 25], vec![5, 10, 15, 20, 25]);
+    let reps = effort.pick(2, 10);
+    let trim = CcKind::trim_with_capacity(10_000_000_000, 1460);
+
+    let mut tables = Vec::new();
+    for spread in [SptSpread::Uniform, SptSpread::Exponential] {
+        let label = match spread {
+            SptSpread::Uniform => "uniform",
+            SptSpread::Exponential => "exponential",
+        };
+        let jobs: Vec<(usize, bool, u64)> = switch_counts
+            .iter()
+            .flat_map(|&s| {
+                (0..reps).flat_map(move |r| [(s, false, r as u64), (s, true, r as u64)])
+            })
+            .collect();
+        let results = parallel_map(jobs, |(s, is_trim, r)| {
+            let cc = if is_trim {
+                CcKind::trim_with_capacity(10_000_000_000, 1460)
+            } else {
+                CcKind::Reno
+            };
+            run_once(&cc, s, spread, 0xF18 ^ ((s as u64) << 32) ^ r)
+        });
+        let mut t = Table::new(
+            format!("Fig. 8(b) — ACT of SPTs, {label} SPT start times"),
+            &["servers", "tcp_act", "trim_act", "reduction"],
+        );
+        for (i, &s) in switch_counts.iter().enumerate() {
+            let mut tcp_sum = 0.0;
+            let mut trim_sum = 0.0;
+            for r in 0..reps {
+                let base = i * reps * 2 + r * 2;
+                tcp_sum += results[base].mean;
+                trim_sum += results[base + 1].mean;
+            }
+            let tcp_act = tcp_sum / reps as f64;
+            let trim_act = trim_sum / reps as f64;
+            t.row(&[
+                format!("{}", s * SERVERS_PER_SWITCH),
+                fmt_secs(tcp_act),
+                fmt_secs(trim_act),
+                fmt_pct(1.0 - trim_act / tcp_act),
+            ]);
+        }
+        let _ = t.write_csv(&results_dir(), &format!("fig8_{label}"));
+        tables.push(t);
+    }
+    let _ = trim;
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trim_cuts_act_at_smallest_scale() {
+        let trim = CcKind::trim_with_capacity(10_000_000_000, 1460);
+        let tcp = run_once(&CcKind::Reno, 5, SptSpread::Uniform, 7);
+        let trm = run_once(&trim, 5, SptSpread::Uniform, 7);
+        assert_eq!(tcp.count, 5 * (SERVERS_PER_SWITCH - LPTS_PER_SWITCH));
+        assert_eq!(trm.count, tcp.count, "every SPT completes");
+        // Paper: up to 80% reduction at small scale.
+        assert!(
+            trm.mean < 0.5 * tcp.mean,
+            "TRIM {} vs TCP {}",
+            trm.mean,
+            tcp.mean
+        );
+    }
+
+    #[test]
+    fn trim_still_wins_at_full_scale() {
+        let trim = CcKind::trim_with_capacity(10_000_000_000, 1460);
+        let tcp = run_once(&CcKind::Reno, 25, SptSpread::Exponential, 11);
+        let trm = run_once(&trim, 25, SptSpread::Exponential, 11);
+        assert_eq!(tcp.count, 25 * (SERVERS_PER_SWITCH - LPTS_PER_SWITCH));
+        assert_eq!(trm.count, tcp.count, "every SPT completes");
+        // Paper: still ~50% reduction above 840 servers.
+        assert!(
+            trm.mean < 0.7 * tcp.mean,
+            "TRIM {} vs TCP {}",
+            trm.mean,
+            tcp.mean
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Fig. 11 — multi-hop, multi-bottleneck throughput.
+//!
+//! Groups A and B (10 senders each) stream LPTs to the front-end; group C
+//! streams to group D receivers. The 10 Gbps links sw1->sw2 and
+//! sw2->front-end are both oversubscribed; group A crosses both. The
+//! paper reports per-sender throughputs of 342.7 / 638 / 318 Mbps for
+//! TRIM versus 259 / 471 / 233 Mbps for TCP.
+
+use netsim::prelude::*;
+use netsim::time::SimTime;
+use netsim::topology::{self, LinkSpec};
+use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
+use trim_workload::scenario::{schedule_train, wire_flow};
+
+use crate::{results_dir, Effort, Table};
+
+const GROUP: usize = 10;
+const DURATION: f64 = 3.0;
+
+/// Average per-sender goodput (Mbps) for groups A, B, and C.
+pub fn run_once(cc: &CcKind) -> (f64, f64, f64) {
+    let mut sim: Simulator<Segment> = Simulator::new();
+    let edge = LinkSpec::new(
+        Bandwidth::gbps(1),
+        Dur::from_micros(20),
+        QueueConfig::drop_tail(100),
+    );
+    let bottleneck = LinkSpec::new(
+        Bandwidth::gbps(10),
+        Dur::from_micros(20),
+        QueueConfig::drop_tail(300),
+    );
+    let net = topology::multi_hop(&mut sim, GROUP, edge, bottleneck, |_| {
+        Box::new(TcpHost::new())
+    });
+    let tcp = TcpConfig::default().with_min_rto(Dur::from_millis(200));
+    let mut flow = 0u64;
+    let mut wire_lpt = |sim: &mut Simulator<Segment>, src: NodeId, dst: NodeId| {
+        let idx = wire_flow(sim, FlowId(flow), src, dst, tcp, cc);
+        flow += 1;
+        schedule_train(
+            sim,
+            src,
+            idx,
+            trim_workload::TrainSpec::at_secs(0.0, 2_000_000_000),
+        );
+    };
+    for &a in &net.group_a {
+        wire_lpt(&mut sim, a, net.front_end);
+    }
+    for &b in &net.group_b {
+        wire_lpt(&mut sim, b, net.front_end);
+    }
+    for (i, &c) in net.group_c.iter().enumerate() {
+        wire_lpt(&mut sim, c, net.group_d[i]);
+    }
+    sim.run_until(SimTime::from_secs_f64(DURATION));
+
+    // Goodput measured at each group's receivers.
+    let fe: &TcpHost = sim.host(net.front_end);
+    let mbps = |bytes: u64| bytes as f64 * 8.0 / DURATION / 1e6;
+    let a: f64 = (0..GROUP)
+        .map(|i| mbps(fe.receiver(i).goodput_bytes()))
+        .sum::<f64>()
+        / GROUP as f64;
+    let b: f64 = (GROUP..2 * GROUP)
+        .map(|i| mbps(fe.receiver(i).goodput_bytes()))
+        .sum::<f64>()
+        / GROUP as f64;
+    let c: f64 = net
+        .group_d
+        .iter()
+        .map(|&d| {
+            let host: &TcpHost = sim.host(d);
+            mbps(host.receiver(0).goodput_bytes())
+        })
+        .sum::<f64>()
+        / GROUP as f64;
+    (a, b, c)
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(_effort: Effort) -> Vec<Table> {
+    let trim = CcKind::trim_with_capacity(10_000_000_000, 1460);
+    let mut t = Table::new(
+        "Fig. 11(b) — average per-sender throughput (Mbps)",
+        &["protocol", "group_a", "group_b", "group_c", "a+b_total_gbps"],
+    );
+    for cc in [CcKind::Reno, trim] {
+        let (a, b, c) = run_once(&cc);
+        t.row(&[
+            cc.name().to_string(),
+            format!("{a:.0}"),
+            format!("{b:.0}"),
+            format!("{c:.0}"),
+            format!("{:.2}", (a + b) * GROUP as f64 / 1000.0),
+        ]);
+    }
+    let _ = t.write_csv(&results_dir(), "fig11_multihop");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trim_improves_single_bottleneck_groups_and_utilization() {
+        let trim = CcKind::trim_with_capacity(10_000_000_000, 1460);
+        let (ta, tb, tc) = run_once(&CcKind::Reno);
+        let (ra, rb, rc) = run_once(&trim);
+        // The paper's per-group wins hold for the single-bottleneck
+        // groups; the doubly-bottlenecked group A instead shows the
+        // well-known delay-based multi-bottleneck penalty (documented in
+        // EXPERIMENTS.md), so it is only required not to starve entirely.
+        assert!(rb > tb, "group B: trim {rb} vs tcp {tb}");
+        assert!(rc > tc, "group C: trim {rc} vs tcp {tc}");
+        assert!(ra > 50.0, "group A must not starve: {ra}");
+        // Group B crosses one bottleneck, group A two: B outruns A.
+        assert!(rb > ra, "B ({rb}) should exceed A ({ra})");
+        // TRIM saturates the front-end link (A+B ~ 10 Gbps) and wins on
+        // aggregate goodput.
+        let total = (ra + rb) * GROUP as f64;
+        assert!(total > 9_500.0, "front-end link utilization: {total} Mbps");
+        assert!(
+            ra + rb + rc > ta + tb + tc,
+            "aggregate: trim {} vs tcp {}",
+            ra + rb + rc,
+            ta + tb + tc
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Fig. 9 — basic properties of TCP-TRIM: switch queue length, average
+//! queue length, packet drops, and bottleneck goodput.
+//!
+//! Persistent LPT connections share the 1 Gbps / 50 µs / 100-packet
+//! bottleneck from 0.1 s to 0.9 s. TCP saw-tooths against the buffer
+//! ceiling; TRIM pins the queue near its target `C(K - D)`.
+
+use netsim::time::{Dur, SimTime};
+use trim_tcp::{CcKind, TcpConfig, TcpHost};
+use trim_workload::http::lpt;
+use trim_workload::scenario::ScenarioBuilder;
+
+use crate::{parallel_map, results_dir, Effort, Table};
+
+const END: f64 = 0.9;
+const START: f64 = 0.1;
+
+/// Measurements from one run with `n` persistent LPT connections.
+#[derive(Clone, Copy, Debug)]
+pub struct PropertyRun {
+    /// Average queue length over the active window, in packets.
+    pub avg_queue: f64,
+    /// Maximum queue length, in packets.
+    pub max_queue: usize,
+    /// Packets dropped at the bottleneck.
+    pub drops: u64,
+    /// Goodput delivered at the front-end over the active window, Mbps.
+    pub goodput_mbps: f64,
+    /// Timeouts across all connections.
+    pub timeouts: u64,
+}
+
+/// Runs `n` persistent LPTs under `cc`, with the queue-length series
+/// optionally returned for Fig. 9(a).
+pub fn run_once(cc: &CcKind, n: usize, rto: Dur, record: bool) -> (PropertyRun, Option<Vec<(f64, usize)>>) {
+    let mut builder = ScenarioBuilder::many_to_one(n)
+        .congestion_control(cc.clone())
+        .tcp_config(TcpConfig::default().with_min_rto(rto));
+    if record {
+        builder = builder.record_queue();
+    }
+    let mut sc = builder.build();
+    for s in 0..n {
+        // Big enough to stay busy for the whole window; stopped at 0.9 s.
+        sc.send_train(s, lpt(START, 400_000_000));
+    }
+    for (i, &node) in sc.net().senders.clone().iter().enumerate() {
+        let _ = i;
+        sc.sim_mut()
+            .host_mut::<TcpHost>(node)
+            .schedule_stop(0, SimTime::from_secs_f64(END));
+    }
+    let report = sc.run_for_secs(END + 0.3);
+    let span = Dur::from_secs_f64(END + 0.3);
+    let goodput_bytes: u64 = report.senders.iter().map(|s| s.goodput_bytes).sum();
+    let run = PropertyRun {
+        avg_queue: report.bottleneck.average_len(span),
+        max_queue: report.bottleneck.max_len,
+        drops: report.bottleneck.dropped,
+        goodput_mbps: goodput_bytes as f64 * 8.0 / (END - START) / 1e6,
+        timeouts: report.total_timeouts(),
+    };
+    let series = report.queue_series.map(|samples| {
+        samples
+            .iter()
+            .map(|s| (s.at.as_secs_f64(), s.len))
+            .collect()
+    });
+    (run, series)
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
+    let mut tables = Vec::new();
+
+    // Fig. 9(a): queue-length evolution with 5 LPTs (sampled at 20 ms).
+    let mut fig9a = Table::new(
+        "Fig. 9(a) — switch queue with 5 LPTs (packets, sampled)",
+        &["t", "tcp", "trim"],
+    );
+    let (_, tcp_series) = run_once(&CcKind::Reno, 5, Dur::from_millis(200), true);
+    let (_, trim_series) = run_once(&trim, 5, Dur::from_millis(200), true);
+    let sample = |series: &[(f64, usize)], t: f64| -> usize {
+        match series.partition_point(|&(at, _)| at <= t) {
+            0 => 0,
+            i => series[i - 1].1,
+        }
+    };
+    let (tcp_series, trim_series) = (
+        tcp_series.expect("recorded"),
+        trim_series.expect("recorded"),
+    );
+    let mut t = START;
+    while t < END {
+        fig9a.row(&[
+            format!("{t:.2}"),
+            format!("{}", sample(&tcp_series, t)),
+            format!("{}", sample(&trim_series, t)),
+        ]);
+        t += 0.02;
+    }
+
+    // Fig. 9(b)-(d): sweep the number of concurrent PTs with a 1 ms RTO.
+    let counts: Vec<usize> = effort.pick(vec![2, 4, 6, 8, 10], vec![2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    let jobs: Vec<(usize, bool)> = counts
+        .iter()
+        .flat_map(|&n| [(n, false), (n, true)])
+        .collect();
+    let results = parallel_map(jobs, |(n, is_trim)| {
+        let cc = if is_trim {
+            CcKind::trim_with_capacity(1_000_000_000, 1460)
+        } else {
+            CcKind::Reno
+        };
+        run_once(&cc, n, Dur::from_millis(1), false).0
+    });
+    let mut fig9b = Table::new(
+        "Fig. 9(b) — average queue length (packets)",
+        &["n_pts", "tcp", "trim"],
+    );
+    let mut fig9c = Table::new(
+        "Fig. 9(c) — dropped packets",
+        &["n_pts", "tcp", "trim"],
+    );
+    let mut fig9d = Table::new(
+        "Fig. 9(d) — bottleneck goodput (Mbps)",
+        &["n_pts", "tcp", "trim", "trim_utilization"],
+    );
+    for (i, &n) in counts.iter().enumerate() {
+        let tcp = results[i * 2];
+        let trm = results[i * 2 + 1];
+        fig9b.row(&[
+            format!("{n}"),
+            format!("{:.1}", tcp.avg_queue),
+            format!("{:.1}", trm.avg_queue),
+        ]);
+        fig9c.row(&[
+            format!("{n}"),
+            format!("{}", tcp.drops),
+            format!("{}", trm.drops),
+        ]);
+        fig9d.row(&[
+            format!("{n}"),
+            format!("{:.0}", tcp.goodput_mbps),
+            format!("{:.0}", trm.goodput_mbps),
+            format!("{:.1}%", trm.goodput_mbps / 10.0),
+        ]);
+    }
+
+    let dir = results_dir();
+    let _ = fig9a.write_csv(&dir, "fig9a_queue_series");
+    let _ = fig9b.write_csv(&dir, "fig9b_aql");
+    let _ = fig9c.write_csv(&dir, "fig9c_drops");
+    let _ = fig9d.write_csv(&dir, "fig9d_goodput");
+    tables.push(fig9a);
+    tables.push(fig9b);
+    tables.push(fig9c);
+    tables.push(fig9d);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trim_holds_queue_low_without_drops() {
+        let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
+        let (tcp, _) = run_once(&CcKind::Reno, 5, Dur::from_millis(1), false);
+        let (trm, _) = run_once(&trim, 5, Dur::from_millis(1), false);
+        // Fig. 9: TCP saw-tooths into the ceiling and drops; TRIM's AQL
+        // is far lower and it never drops.
+        assert!(tcp.drops > 0, "TCP must overflow: {tcp:?}");
+        assert_eq!(trm.drops, 0, "TRIM must not drop: {trm:?}");
+        assert!(
+            trm.avg_queue < tcp.avg_queue / 2.0,
+            "TRIM AQL {} vs TCP {}",
+            trm.avg_queue,
+            tcp.avg_queue
+        );
+        // Fig. 9(d): TRIM's goodput stays near line rate (~98%).
+        assert!(
+            trm.goodput_mbps > 900.0,
+            "TRIM goodput {} Mbps",
+            trm.goodput_mbps
+        );
+    }
+}

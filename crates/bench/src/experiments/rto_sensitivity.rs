@@ -1,0 +1,83 @@
+//! Extension experiment: sensitivity to the minimum RTO.
+//!
+//! The paper varies RTO_min across its experiments (200 ms default, 20 ms
+//! in Fig. 8, 1 ms in Fig. 9) without studying it directly; datacenter
+//! incast work (Vasudevan et al.) showed RTO_min dominates TCP's incast
+//! behaviour. This sweep quantifies how much of TCP-TRIM's advantage
+//! survives when TCP gets an aggressively tuned timer — the answer being:
+//! a small RTO_min shrinks TCP's penalty but cannot remove the drops and
+//! retransmissions that TRIM avoids entirely.
+
+use netsim::time::Dur;
+use trim_tcp::CcKind;
+
+use crate::experiments::concurrency;
+use crate::table::fmt_secs;
+use crate::{parallel_map, results_dir, Effort, Table};
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    let rtos_ms: Vec<u64> = effort.pick(vec![1, 20, 200], vec![1, 5, 10, 20, 50, 200]);
+    let n_spt = 8;
+
+    let jobs: Vec<(u64, bool)> = rtos_ms
+        .iter()
+        .flat_map(|&ms| [(ms, false), (ms, true)])
+        .collect();
+    let results = parallel_map(jobs, |(ms, is_trim)| {
+        let cc = if is_trim {
+            CcKind::trim_with_capacity(1_000_000_000, 1460)
+        } else {
+            CcKind::Reno
+        };
+        concurrency::run_cell_with_rto(&cc, n_spt, 2, Dur::from_millis(ms))
+    });
+
+    let mut t = Table::new(
+        "Extension — SPT ACT vs RTO_min (8 SPTs + 2 LPTs)",
+        &["rto_min_ms", "tcp_act", "trim_act", "tcp_timeouts", "trim_timeouts"],
+    );
+    for (i, &ms) in rtos_ms.iter().enumerate() {
+        let tcp = &results[i * 2];
+        let trim = &results[i * 2 + 1];
+        t.row(&[
+            format!("{ms}"),
+            fmt_secs(tcp.spt.mean),
+            fmt_secs(trim.spt.mean),
+            format!("{}", tcp.timeouts),
+            format!("{}", trim.timeouts),
+        ]);
+    }
+    let _ = t.write_csv(&results_dir(), "ext_rto_sensitivity");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_rto_helps_tcp_but_trim_still_wins() {
+        let tcp_1ms =
+            concurrency::run_cell_with_rto(&CcKind::Reno, 8, 2, Dur::from_millis(1));
+        let tcp_200ms =
+            concurrency::run_cell_with_rto(&CcKind::Reno, 8, 2, Dur::from_millis(200));
+        let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
+        let trim_1ms = concurrency::run_cell_with_rto(&trim, 8, 2, Dur::from_millis(1));
+        // An aggressive timer slashes TCP's penalty...
+        assert!(
+            tcp_1ms.spt.mean < 0.3 * tcp_200ms.spt.mean,
+            "1ms {} vs 200ms {}",
+            tcp_1ms.spt.mean,
+            tcp_200ms.spt.mean
+        );
+        // ...but TRIM needs no retransmissions at all.
+        assert!(
+            trim_1ms.spt.mean <= tcp_1ms.spt.mean * 1.5,
+            "trim {} vs tcp-1ms {}",
+            trim_1ms.spt.mean,
+            tcp_1ms.spt.mean
+        );
+        assert_eq!(trim_1ms.timeouts, 0);
+    }
+}

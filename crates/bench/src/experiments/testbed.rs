@@ -1,0 +1,223 @@
+//! Fig. 13 — the "real testbed" experiments, reproduced in simulation
+//! with the testbed's parameters (DESIGN.md documents the substitution).
+//!
+//! (a) 100 Mbps links: two machines stream large files persistently while
+//! a third serves 100 responses of mean size 32 KB–1 MB (±10%); the
+//! metric is the average response completion time (ARCT), CUBIC vs TRIM.
+//!
+//! (b)–(e) 1 Gbps links: four machines serve 1000 responses each with
+//! sizes and intervals from the Fig. 2 distributions; the paper reports
+//! TRIM keeping ~99% of completions under 25 ms while CUBIC and Reno
+//! show a heavy tail up to 250 ms.
+
+use netsim::time::{Dur, SimTime};
+use trim_tcp::{CcKind, TcpConfig, TcpHost};
+use trim_workload::distributions::{pt_interval, pt_size_bytes};
+use trim_workload::http::{lpt, testbed_responses};
+use trim_workload::metrics::{cdf_points, fraction_below};
+use trim_workload::scenario::{ScenarioBuilder, TrainSpec};
+use trim_workload::Summary;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::fmt_secs;
+use crate::{parallel_map, results_dir, Effort, Table};
+
+/// Fig. 13(a): ARCT of 100 responses of mean size `mean_bytes` while two
+/// large files stream on 100 Mbps links.
+pub fn arct_100mbps(cc: &CcKind, mean_bytes: u64, seed: u64) -> Summary {
+    let link = netsim::topology::LinkSpec::new(
+        netsim::Bandwidth::mbps(100),
+        Dur::from_micros(100),
+        netsim::QueueConfig::drop_tail(100),
+    );
+    let mut sc = ScenarioBuilder::many_to_one(3)
+        .congestion_control(cc.clone())
+        .links(link)
+        .tcp_config(TcpConfig::default().with_min_rto(Dur::from_millis(200)))
+        .build();
+    // Two persistent large-file transfers.
+    sc.send_train(0, lpt(0.0, 2_000_000_000));
+    sc.send_train(1, lpt(0.0, 2_000_000_000));
+    // The third machine serves 100 responses sequentially (request/
+    // response on a persistent connection, 2 ms think time).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes: Vec<u64> = testbed_responses(&mut rng, 100, mean_bytes, 0.0, 1.0)
+        .into_iter()
+        .map(|s| s.bytes)
+        .collect();
+    let node = sc.net().senders[2];
+    sc.sim_mut()
+        .host_mut::<TcpHost>(node)
+        .schedule_response_sequence(0, SimTime::from_secs_f64(0.1), sizes, Dur::from_millis(2));
+    let report = sc.run_for_secs(120.0);
+    let times: Vec<Dur> = report.senders[2]
+        .trains
+        .iter()
+        .map(|t| t.completion_time())
+        .collect();
+    Summary::of(&times)
+}
+
+/// Result of the Fig. 13(b)-(e) web-service run for one protocol.
+#[derive(Clone, Debug)]
+pub struct WebServiceRun {
+    /// Completion times of responses between 64 KB and 256 KB (the
+    /// scatter plots 13(b)-(d)), in seconds.
+    pub mid_sizes: Vec<f64>,
+    /// CDF of all response completion times.
+    pub cdf: Vec<(f64, f64)>,
+    /// Fraction of responses completing within 25 ms.
+    pub under_25ms: f64,
+    /// ARCT over all responses.
+    pub arct: f64,
+}
+
+/// Fig. 13(b)-(e): 4 servers, `n_per_server` responses each on 1 Gbps.
+pub fn web_service(cc: &CcKind, n_per_server: usize, seed: u64) -> WebServiceRun {
+    let mut sc = ScenarioBuilder::many_to_one(4)
+        .congestion_control(cc.clone())
+        .tcp_config(TcpConfig::default().with_min_rto(Dur::from_millis(200)))
+        .build();
+    let size_dist = pt_size_bytes();
+    let gap_dist = pt_interval();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for s in 0..4 {
+        let mut t = 0.1;
+        for _ in 0..n_per_server {
+            let bytes = size_dist.sample(&mut rng).round() as u64;
+            sc.send_train(s, TrainSpec::at_secs(t, bytes.max(1)));
+            t += gap_dist.sample(&mut rng) / 1e9;
+        }
+    }
+    let report = sc.run_for_secs(60.0);
+    let mut all = Vec::new();
+    let mut mid = Vec::new();
+    for s in &report.senders {
+        for tr in &s.trains {
+            let ct = tr.completion_time();
+            all.push(ct);
+            if (64 * 1024..=256 * 1024).contains(&tr.bytes) {
+                mid.push(ct.as_secs_f64());
+            }
+        }
+    }
+    WebServiceRun {
+        mid_sizes: mid,
+        cdf: cdf_points(&all),
+        under_25ms: fraction_below(&all, Dur::from_millis(25)),
+        arct: Summary::of(&all).mean,
+    }
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    let mut tables = Vec::new();
+
+    // Fig. 13(a).
+    let sizes: Vec<u64> = effort.pick(
+        vec![32_768, 131_072, 524_288, 1_048_576],
+        vec![32_768, 65_536, 131_072, 262_144, 524_288, 1_048_576],
+    );
+    let trim100 = CcKind::trim_with_capacity(100_000_000, 1460);
+    let jobs: Vec<(u64, u8)> = sizes.iter().flat_map(|&s| [(s, 0u8), (s, 1)]).collect();
+    let results = parallel_map(jobs, |(s, p)| {
+        let cc = if p == 0 {
+            CcKind::Cubic
+        } else {
+            CcKind::trim_with_capacity(100_000_000, 1460)
+        };
+        arct_100mbps(&cc, s, 0xBED ^ s)
+    });
+    let mut fig13a = Table::new(
+        "Fig. 13(a) — ARCT on 100 Mbps testbed (s)",
+        &["mean_size_kb", "cubic", "trim"],
+    );
+    for (i, &s) in sizes.iter().enumerate() {
+        fig13a.row(&[
+            format!("{}", s / 1024),
+            fmt_secs(results[i * 2].mean),
+            fmt_secs(results[i * 2 + 1].mean),
+        ]);
+    }
+    let _ = fig13a.write_csv(&results_dir(), "fig13a_arct");
+    tables.push(fig13a);
+    let _ = trim100;
+
+    // Fig. 13(b)-(e).
+    let n_per_server = effort.pick(400, 1000);
+    let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
+    let protos = [CcKind::Cubic, CcKind::Reno, trim];
+    let runs = parallel_map(protos.to_vec(), |cc| web_service(&cc, n_per_server, 0xCAFE));
+    let mut fig13e = Table::new(
+        "Fig. 13(b)-(e) — web-service completion times (4 servers)",
+        &["protocol", "arct", "p_under_25ms", "max_mid_ct", "responses"],
+    );
+    for (cc, r) in protos.iter().zip(&runs) {
+        let max_mid = r.mid_sizes.iter().copied().fold(0.0f64, f64::max);
+        fig13e.row(&[
+            cc.name().to_string(),
+            fmt_secs(r.arct),
+            format!("{:.3}", r.under_25ms),
+            fmt_secs(max_mid),
+            format!("{}", r.cdf.len()),
+        ]);
+    }
+    let _ = fig13e.write_csv(&results_dir(), "fig13e_web_service");
+
+    // CDF checkpoints for Fig. 13(e).
+    let mut cdf_table = Table::new(
+        "Fig. 13(e) — CDF of response completion time",
+        &["ct_ms", "cubic", "reno", "trim"],
+    );
+    for ms in [5.0, 10.0, 25.0, 50.0, 100.0, 250.0] {
+        let frac = |r: &WebServiceRun| {
+            let t = ms / 1e3;
+            r.cdf.partition_point(|&(v, _)| v <= t) as f64 / r.cdf.len().max(1) as f64
+        };
+        cdf_table.row(&[
+            format!("{ms}"),
+            format!("{:.3}", frac(&runs[0])),
+            format!("{:.3}", frac(&runs[1])),
+            format!("{:.3}", frac(&runs[2])),
+        ]);
+    }
+    let _ = cdf_table.write_csv(&results_dir(), "fig13e_cdf");
+    tables.push(fig13e);
+    tables.push(cdf_table);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trim_beats_cubic_on_large_responses() {
+        let cubic = arct_100mbps(&CcKind::Cubic, 262_144, 3);
+        let trim = arct_100mbps(&CcKind::trim_with_capacity(100_000_000, 1460), 262_144, 3);
+        assert_eq!(cubic.count, 100);
+        assert_eq!(trim.count, 100);
+        assert!(
+            trim.mean < cubic.mean,
+            "trim {} vs cubic {}",
+            trim.mean,
+            cubic.mean
+        );
+    }
+
+    #[test]
+    fn trim_cuts_the_web_service_tail() {
+        let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
+        let t = web_service(&trim, 150, 5);
+        let c = web_service(&CcKind::Cubic, 150, 5);
+        assert!(
+            t.under_25ms > c.under_25ms,
+            "trim {} vs cubic {} under 25ms",
+            t.under_25ms,
+            c.under_25ms
+        );
+        assert!(t.under_25ms > 0.9, "paper: ~99% under 25 ms, got {}", t.under_25ms);
+    }
+}

@@ -1,0 +1,129 @@
+//! # trim-experiments — the evaluation harness
+//!
+//! One module per table/figure of the paper's evaluation (Section IV),
+//! each regenerating the corresponding result on the `netsim` + `trim-tcp`
+//! stack. Run them individually (`cargo run -p trim-experiments --bin
+//! exp_impairment --release`) or all together (`--bin run_all`). Every
+//! experiment prints paper-style tables and writes CSVs under `results/`.
+//!
+//! Pass `--full` for paper-scale parameters; the default "quick" effort
+//! uses smaller sweeps and fewer repetitions so the whole suite finishes
+//! in minutes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::path::PathBuf;
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// How much work an experiment should do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effort {
+    /// Reduced sweeps/repetitions: minutes for the whole suite.
+    Quick,
+    /// Paper-scale parameters.
+    Full,
+}
+
+impl Effort {
+    /// Parses the process arguments: `--full` selects [`Effort::Full`].
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Effort::Full
+        } else {
+            Effort::Quick
+        }
+    }
+
+    /// Whether this is the full effort.
+    pub fn is_full(self) -> bool {
+        self == Effort::Full
+    }
+
+    /// Picks `quick` or `full` by effort.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Effort::Quick => quick,
+            Effort::Full => full,
+        }
+    }
+}
+
+/// Directory where experiment CSVs are written.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+/// Runs `f` over `items` on worker threads, preserving input order.
+///
+/// Simulations are single-threaded and independent, so sweeps and
+/// repetitions parallelize across cores.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let n = items.len();
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(work);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.min(n.max(1)) {
+            handles.push(scope.spawn(|_| {
+                let mut done = Vec::new();
+                loop {
+                    let item = queue.lock().expect("queue poisoned").pop();
+                    match item {
+                        Some((i, t)) => done.push((i, f(t))),
+                        None => break,
+                    }
+                }
+                done
+            }));
+        }
+        for h in handles {
+            for (i, u) in h.join().expect("worker panicked") {
+                slots[i] = Some(u);
+            }
+        }
+    })
+    .expect("scope panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_pick() {
+        assert_eq!(Effort::Quick.pick(1, 2), 1);
+        assert_eq!(Effort::Full.pick(1, 2), 2);
+        assert!(Effort::Full.is_full());
+        assert!(!Effort::Quick.is_full());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

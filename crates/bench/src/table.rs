@@ -1,0 +1,154 @@
+//! Aligned-text tables and CSV output for experiment reports.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table, printed in the style of the paper's
+/// result tables.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in table '{}'",
+            self.title
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the table as CSV under `dir/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        fs::write(dir.join(format!("{name}.csv")), out)
+    }
+}
+
+/// Formats a duration in seconds adaptively (ms below 1 s).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else {
+        format!("{:.3}ms", s * 1e3)
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("name    value"));
+        assert!(r.contains("longer  22"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("trim_table_test");
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(&["1".into(), "2".into()]);
+        t.write_csv(&dir, "demo").unwrap();
+        let s = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(s, "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(1.5), "1.500s");
+        assert_eq!(fmt_secs(0.0123), "12.300ms");
+        assert_eq!(fmt_pct(0.805), "80.5%");
+    }
+}

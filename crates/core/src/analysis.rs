@@ -1,0 +1,158 @@
+//! Analytic completion-time models for packet trains.
+//!
+//! These closed-form estimates complement the steady-state model of
+//! [`crate::kmodel`]: they predict how long a train of `n` packets takes
+//! to deliver on an uncongested path under the different window regimes a
+//! TCP-TRIM connection moves through — a slow-start restart (the GIP
+//! baseline), congestion-avoidance growth from a tuned window, or a
+//! single inherited-window burst. The experiment suite uses them to
+//! sanity-check simulator output and they quantify the paper's
+//! related-work argument: why a fixed `cwnd = 2` restart underutilizes a
+//! big pipe (Section V, discussion of GIP).
+
+/// How the window evolves while the train transmits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WindowRegime {
+    /// Slow start from the given initial window (doubling per RTT).
+    SlowStart {
+        /// Initial window in packets.
+        initial: f64,
+    },
+    /// Congestion avoidance from the given window (+1 per RTT).
+    CongestionAvoidance {
+        /// Initial window in packets.
+        initial: f64,
+    },
+    /// The whole window is available immediately (inherited/tuned window
+    /// at least as large as the train).
+    Burst,
+}
+
+/// Estimates the completion time, in seconds, of an `n_pkts` train over a
+/// path with base round-trip `rtt_s` seconds and bottleneck capacity
+/// `c_pps` packets/second, under the given window regime.
+///
+/// The model counts transfer rounds until the cumulative window covers
+/// the train, charges one `rtt_s` per round, and adds the serialization
+/// tail `n/C` for the final round's packets; it ignores queueing from
+/// competing traffic (an *uncongested-path* estimate, a lower bound under
+/// load).
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+pub fn train_completion_secs(n_pkts: u64, rtt_s: f64, c_pps: f64, regime: WindowRegime) -> f64 {
+    assert!(n_pkts > 0, "empty train");
+    assert!(rtt_s > 0.0 && c_pps > 0.0, "invalid path parameters");
+    let n = n_pkts as f64;
+    let ser_tail = n / c_pps;
+    match regime {
+        WindowRegime::Burst => rtt_s + ser_tail,
+        WindowRegime::SlowStart { initial } => {
+            assert!(initial >= 1.0, "window below one packet");
+            // Rounds r such that initial*(2^r - 1) >= n.
+            let mut sent = 0.0;
+            let mut w = initial;
+            let mut rounds = 0u32;
+            while sent < n {
+                sent += w;
+                // The per-round window is itself capped by the pipe.
+                w = (w * 2.0).min(c_pps * rtt_s + n);
+                rounds += 1;
+            }
+            rounds as f64 * rtt_s + ser_tail
+        }
+        WindowRegime::CongestionAvoidance { initial } => {
+            assert!(initial >= 1.0, "window below one packet");
+            let mut sent = 0.0;
+            let mut w = initial;
+            let mut rounds = 0u32;
+            while sent < n {
+                sent += w;
+                w += 1.0;
+                rounds += 1;
+            }
+            rounds as f64 * rtt_s + ser_tail
+        }
+    }
+}
+
+/// The extra latency TCP-TRIM's probe phase adds at a train start: one
+/// round trip for the probe pair (the probes themselves carry the first
+/// [`TrimConfig::probe_packets`](crate::TrimConfig) data packets, so only the *waiting* is overhead).
+pub fn probe_overhead_secs(rtt_s: f64) -> f64 {
+    assert!(rtt_s > 0.0, "invalid RTT");
+    rtt_s
+}
+
+/// The related-work comparison quantified: time for a restart strategy to
+/// move an `n_pkts` train on an idle path, for TRIM's tuned inheritance
+/// (probe round + burst) versus a GIP-style `cwnd = 2` slow-start restart.
+///
+/// Returns `(trim_secs, gip_secs)`.
+pub fn restart_comparison_secs(n_pkts: u64, rtt_s: f64, c_pps: f64) -> (f64, f64) {
+    let trim = probe_overhead_secs(rtt_s)
+        + train_completion_secs(n_pkts, rtt_s, c_pps, WindowRegime::Burst);
+    let gip = train_completion_secs(n_pkts, rtt_s, c_pps, WindowRegime::SlowStart { initial: 2.0 });
+    (trim, gip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 1e9 / (1460.0 * 8.0); // 1 Gbps in packets/s
+
+    #[test]
+    fn burst_is_one_rtt_plus_serialization() {
+        let t = train_completion_secs(100, 200e-6, C, WindowRegime::Burst);
+        assert!((t - (200e-6 + 100.0 / C)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_start_round_count() {
+        // 14 packets from w=2: rounds 2+4+8 -> 3 rounds.
+        let t = train_completion_secs(14, 1e-3, C, WindowRegime::SlowStart { initial: 2.0 });
+        let expected = 3.0 * 1e-3 + 14.0 / C;
+        assert!((t - expected).abs() < 1e-9, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn congestion_avoidance_is_slower_than_slow_start() {
+        let ss = train_completion_secs(100, 1e-3, C, WindowRegime::SlowStart { initial: 2.0 });
+        let ca =
+            train_completion_secs(100, 1e-3, C, WindowRegime::CongestionAvoidance { initial: 2.0 });
+        assert!(ca > ss);
+    }
+
+    #[test]
+    fn regimes_converge_for_single_packet() {
+        for regime in [
+            WindowRegime::Burst,
+            WindowRegime::SlowStart { initial: 2.0 },
+            WindowRegime::CongestionAvoidance { initial: 2.0 },
+        ] {
+            let t = train_completion_secs(1, 500e-6, C, regime);
+            assert!((t - (500e-6 + 1.0 / C)).abs() < 1e-9, "{regime:?}");
+        }
+    }
+
+    #[test]
+    fn trim_beats_gip_on_long_fat_paths() {
+        // 69 packets (100 KB), 2 ms RTT: slow start pays ~6 rounds.
+        let (trim, gip) = restart_comparison_secs(69, 2e-3, C);
+        assert!(
+            trim < 0.6 * gip,
+            "trim {trim}s vs gip {gip}s on a BDP-dominated path"
+        );
+        // On a tiny-RTT path the difference nearly vanishes.
+        let (trim2, gip2) = restart_comparison_secs(69, 50e-6, C);
+        assert!(trim2 < gip2 * 1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty train")]
+    fn zero_packets_rejected() {
+        let _ = train_completion_secs(0, 1e-3, C, WindowRegime::Burst);
+    }
+}

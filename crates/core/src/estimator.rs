@@ -1,0 +1,125 @@
+//! RTT tracking for TCP-TRIM: the smoothed RTT used as the inter-train gap
+//! and probe deadline, and the minimum RTT used as the queue-free baseline.
+
+/// Exponentially-weighted RTT statistics (Algorithm 2, lines 2–6).
+///
+/// ```
+/// use trim_core::estimator::RttTracker;
+///
+/// let mut rtt = RttTracker::new(0.25);
+/// rtt.observe(100_000);
+/// rtt.observe(200_000);
+/// // smooth = 0.75*100us + 0.25*200us = 125us; min = 100us.
+/// assert_eq!(rtt.smooth_ns(), Some(125_000));
+/// assert_eq!(rtt.min_ns(), Some(100_000));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RttTracker {
+    alpha: f64,
+    smooth_ns: Option<f64>,
+    min_ns: Option<u64>,
+}
+
+impl RttTracker {
+    /// Creates a tracker with EWMA weight `alpha` for new samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        RttTracker {
+            alpha,
+            smooth_ns: None,
+            min_ns: None,
+        }
+    }
+
+    /// Feeds one RTT sample in nanoseconds. Returns `true` when the sample
+    /// lowered the minimum RTT (the trigger for re-deriving `K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rtt_ns` is zero.
+    pub fn observe(&mut self, rtt_ns: u64) -> bool {
+        assert!(rtt_ns > 0, "RTT sample must be positive");
+        self.smooth_ns = Some(match self.smooth_ns {
+            None => rtt_ns as f64,
+            Some(s) => (1.0 - self.alpha) * s + self.alpha * rtt_ns as f64,
+        });
+        match self.min_ns {
+            Some(m) if rtt_ns >= m => false,
+            _ => {
+                self.min_ns = Some(rtt_ns);
+                true
+            }
+        }
+    }
+
+    /// The smoothed RTT in nanoseconds, once at least one sample arrived.
+    pub fn smooth_ns(&self) -> Option<u64> {
+        self.smooth_ns.map(|s| s.round() as u64)
+    }
+
+    /// The minimum RTT in nanoseconds, once at least one sample arrived.
+    pub fn min_ns(&self) -> Option<u64> {
+        self.min_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes_both() {
+        let mut t = RttTracker::new(0.25);
+        assert_eq!(t.smooth_ns(), None);
+        assert_eq!(t.min_ns(), None);
+        assert!(t.observe(500));
+        assert_eq!(t.smooth_ns(), Some(500));
+        assert_eq!(t.min_ns(), Some(500));
+    }
+
+    #[test]
+    fn min_only_decreases() {
+        let mut t = RttTracker::new(0.25);
+        t.observe(500);
+        assert!(!t.observe(600));
+        assert_eq!(t.min_ns(), Some(500));
+        assert!(t.observe(400));
+        assert_eq!(t.min_ns(), Some(400));
+    }
+
+    #[test]
+    fn smooth_converges_to_constant_input() {
+        let mut t = RttTracker::new(0.25);
+        t.observe(1_000_000);
+        for _ in 0..100 {
+            t.observe(100_000);
+        }
+        let s = t.smooth_ns().unwrap();
+        assert!((s as i64 - 100_000).abs() < 10, "smooth={s}");
+    }
+
+    #[test]
+    fn alpha_one_tracks_latest() {
+        let mut t = RttTracker::new(1.0);
+        t.observe(100);
+        t.observe(900);
+        assert_eq!(t.smooth_ns(), Some(900));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_alpha_rejected() {
+        let _ = RttTracker::new(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sample_rejected() {
+        let mut t = RttTracker::new(0.5);
+        t.observe(0);
+    }
+}

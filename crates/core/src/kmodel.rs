@@ -1,0 +1,277 @@
+//! The steady-state model of Section III.B and the guideline for choosing
+//! the RTT threshold `K` (Equations 4–22).
+//!
+//! The model considers `N` synchronized persistent connections sharing a
+//! bottleneck of capacity `C` packets/second with base round-trip time `D`
+//! seconds, and derives the smallest `K` that keeps the switch queue from
+//! underflowing (100% utilization) while bounding its length.
+//!
+//! All functions take `C` in packets per second and times in nanoseconds,
+//! matching [`crate::Trim`]'s units; internal math is in seconds.
+
+const NS_PER_SEC: f64 = 1e9;
+
+fn assert_pos(v: f64, name: &str) {
+    assert!(v.is_finite() && v > 0.0, "{name} must be positive, got {v}");
+}
+
+/// `F(N) = 2ND/(N+1) - N/C` (Eq. 17): the lower bound on `K` required by
+/// `N` synchronized connections. Returns seconds... nanoseconds.
+///
+/// `n` may be fractional to allow calculus-style analysis.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+pub fn f_of_n(n: f64, capacity_pps: f64, base_rtt_ns: u64) -> f64 {
+    assert_pos(n, "n");
+    assert_pos(capacity_pps, "capacity_pps");
+    let d = base_rtt_ns as f64 / NS_PER_SEC;
+    (2.0 * n * d / (n + 1.0) - n / capacity_pps) * NS_PER_SEC
+}
+
+/// The stationary point `N* = sqrt(2CD) - 1` of `F(N)` (positive root of
+/// Eq. 19), at which `F` attains its maximum (Eq. 20 shows `F'' < 0`).
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+pub fn n_star(capacity_pps: f64, base_rtt_ns: u64) -> f64 {
+    assert_pos(capacity_pps, "capacity_pps");
+    let d = base_rtt_ns as f64 / NS_PER_SEC;
+    (2.0 * capacity_pps * d).sqrt() - 1.0
+}
+
+/// The guideline of Eq. 22:
+/// `K >= max(((sqrt(2CD) - 1)^2) / C, D)`, returned in nanoseconds.
+///
+/// Setting `K` to this value guarantees the bottleneck never idles in the
+/// synchronized steady state, for *any* number of connections `N`.
+///
+/// # Panics
+///
+/// Panics if `capacity_pps` is non-positive or `base_rtt_ns` is zero.
+pub fn k_lower_bound_ns(capacity_pps: f64, base_rtt_ns: u64) -> u64 {
+    assert_pos(capacity_pps, "capacity_pps");
+    assert!(base_rtt_ns > 0, "base_rtt_ns must be positive");
+    let d = base_rtt_ns as f64 / NS_PER_SEC;
+    let s = (2.0 * capacity_pps * d).sqrt();
+    let f_max = if s > 1.0 {
+        (s - 1.0) * (s - 1.0) / capacity_pps
+    } else {
+        // Fewer than one packet in flight at N*: the F-bound is vacuous.
+        0.0
+    };
+    let k = f_max.max(d);
+    (k * NS_PER_SEC).round() as u64
+}
+
+/// One round of the synchronized steady state for a concrete `(C, D, K, N)`
+/// (Equations 4–11).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SteadyState {
+    /// Desired queue length `Q = C(K - D)` in packets (Eq. 4).
+    pub target_queue: f64,
+    /// Per-connection window `W = CK/N` in packets at the target (Eq. 5).
+    pub window: f64,
+    /// Peak queue length `Qmax = C(K - D) + N` (Eq. 7).
+    pub max_queue: f64,
+    /// Exact total window decrement across all `N` connections in the
+    /// back-off round (the discrete sum of Eq. 10).
+    pub total_decrement: f64,
+    /// The integral approximation of the same sum (Eq. 13 substituted into
+    /// Eq. 10).
+    pub total_decrement_approx: f64,
+    /// Whether `Qmax - total_decrement > 0`, i.e. the queue cannot
+    /// underflow and the bottleneck stays 100% utilized (Eq. 11).
+    pub full_utilization: bool,
+}
+
+/// Evaluates the steady-state round for `n` synchronized connections.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive, or if `k_ns < base_rtt_ns`
+/// (a threshold below the base RTT is meaningless).
+pub fn steady_state(capacity_pps: f64, base_rtt_ns: u64, k_ns: u64, n: u32) -> SteadyState {
+    assert_pos(capacity_pps, "capacity_pps");
+    assert!(n > 0, "n must be positive");
+    assert!(
+        k_ns >= base_rtt_ns,
+        "K ({k_ns}ns) must be at least the base RTT ({base_rtt_ns}ns)"
+    );
+    let d = base_rtt_ns as f64 / NS_PER_SEC;
+    let k = k_ns as f64 / NS_PER_SEC;
+    let c = capacity_pps;
+    let nf = n as f64;
+    let ck = c * k;
+
+    let target_queue = c * (k - d);
+    let window = ck / nf;
+    let max_queue = target_queue + nf;
+
+    // Eq. 8-10: connection j sees RTT K + j/C, hence congestion level
+    // ep_j = j / (CK + j); its window (CK+N)/N shrinks by ep_j/2.
+    let per_window = (ck + nf) / nf;
+    let exact_sum: f64 = (1..=n).map(|j| j as f64 / (ck + j as f64)).sum();
+    let total_decrement = per_window / 2.0 * exact_sum;
+
+    // Eq. 13: sum ~ integral_1^N j/(CK+j) dj = N - 1 + CK ln((CK+1)/(CK+N)).
+    let approx_sum = nf - 1.0 + ck * ((ck + 1.0) / (ck + nf)).ln();
+    let total_decrement_approx = per_window / 2.0 * approx_sum;
+
+    SteadyState {
+        target_queue,
+        window,
+        max_queue,
+        total_decrement,
+        total_decrement_approx,
+        full_utilization: max_queue - total_decrement > 0.0,
+    }
+}
+
+/// The RTT seen by the `j`-th connection when the queue peaks:
+/// `RTT_j = K + j/C` (Eq. 8), in nanoseconds.
+///
+/// # Panics
+///
+/// Panics if `capacity_pps` is non-positive.
+pub fn rtt_of_jth_ns(capacity_pps: f64, k_ns: u64, j: u32) -> u64 {
+    assert_pos(capacity_pps, "capacity_pps");
+    k_ns + (j as f64 / capacity_pps * NS_PER_SEC).round() as u64
+}
+
+/// The congestion level perceived by the `j`-th connection:
+/// `ep_j = j/(CK + j)` (Eq. 9).
+///
+/// # Panics
+///
+/// Panics if `capacity_pps` or `k_ns` is non-positive.
+pub fn congestion_level_of_jth(capacity_pps: f64, k_ns: u64, j: u32) -> f64 {
+    assert_pos(capacity_pps, "capacity_pps");
+    assert!(k_ns > 0, "k_ns must be positive");
+    let ck = capacity_pps * (k_ns as f64 / NS_PER_SEC);
+    j as f64 / (ck + j as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's canonical 1 Gbps / 1460 B setting.
+    const C: f64 = 1e9 / (1460.0 * 8.0);
+
+    #[test]
+    fn n_star_is_stationary_point_of_f() {
+        let d = 200_000; // 200us
+        let ns = n_star(C, d);
+        assert!(ns > 0.0);
+        let eps = 1e-3;
+        let f0 = f_of_n(ns, C, d);
+        assert!(f_of_n(ns - eps, C, d) <= f0 + 1e-6);
+        assert!(f_of_n(ns + eps, C, d) <= f0 + 1e-6);
+    }
+
+    #[test]
+    fn k_bound_dominates_f_for_all_n() {
+        for &d in &[100_000u64, 200_000, 1_000_000] {
+            let k = k_lower_bound_ns(C, d) as f64;
+            for n in 1..500 {
+                assert!(
+                    k >= f_of_n(n as f64, C, d) - 1.0,
+                    "K={k}ns < F({n}) for D={d}ns"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_bound_at_least_base_rtt() {
+        for &d in &[1_000u64, 50_000, 200_000, 10_000_000] {
+            assert!(k_lower_bound_ns(C, d) >= d);
+        }
+    }
+
+    #[test]
+    fn k_bound_closed_form() {
+        // D = 200us: 2CD = 2 * 85616.44 * 200e-6 = 34.25, sqrt = 5.852,
+        // (4.852)^2 / C = 23.54/85616.44 = 274.98us.
+        let k = k_lower_bound_ns(C, 200_000);
+        let expected = {
+            let s = (2.0 * C * 200e-6f64).sqrt();
+            ((s - 1.0).powi(2) / C * 1e9).round() as u64
+        };
+        assert_eq!(k, expected);
+        assert!(k > 200_000, "bound exceeds D here");
+    }
+
+    #[test]
+    fn tiny_bandwidth_delay_product_falls_back_to_d() {
+        // 2CD < 1: the F-term is vacuous; K = D.
+        let k = k_lower_bound_ns(10.0, 1_000); // 10 pkt/s, 1us RTT
+        assert_eq!(k, 1_000);
+    }
+
+    #[test]
+    fn steady_state_matches_equations() {
+        let d = 200_000;
+        let k = 400_000; // 400us
+        let st = steady_state(C, d, k, 10);
+        // Q = C(K - D) = 85616.44 * 200e-6 = 17.12 pkts.
+        assert!((st.target_queue - C * 200e-6).abs() < 1e-9);
+        // W = CK/N = 85616.44 * 400e-6 / 10 = 3.42 pkts.
+        assert!((st.window - C * 400e-6 / 10.0).abs() < 1e-9);
+        assert!((st.max_queue - (st.target_queue + 10.0)).abs() < 1e-9);
+        assert!(st.total_decrement > 0.0);
+        assert!(st.full_utilization);
+    }
+
+    #[test]
+    fn guideline_k_guarantees_utilization_across_n() {
+        for &d in &[100_000u64, 200_000, 500_000] {
+            let k = k_lower_bound_ns(C, d);
+            for n in [1u32, 2, 5, 10, 50, 100, 400] {
+                let st = steady_state(C, d, k, n);
+                assert!(
+                    st.full_utilization,
+                    "underflow at N={n}, D={d}ns: Qmax={} dec={}",
+                    st.max_queue, st.total_decrement
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approximation_close_to_exact_sum() {
+        let st = steady_state(C, 200_000, 400_000, 50);
+        let rel = (st.total_decrement - st.total_decrement_approx).abs()
+            / st.total_decrement.max(1e-12);
+        assert!(rel < 0.1, "Eq. 13 approximation off by {rel}");
+    }
+
+    #[test]
+    fn rtt_and_ep_of_jth() {
+        let k = 400_000;
+        // RTT_j grows linearly with j.
+        let r1 = rtt_of_jth_ns(C, k, 1);
+        let r2 = rtt_of_jth_ns(C, k, 2);
+        assert!(r2 > r1 && r1 > k);
+        assert_eq!(r2 - k, 2 * (r1 - k));
+        // ep_j in (0, 1), increasing in j.
+        let e1 = congestion_level_of_jth(C, k, 1);
+        let e9 = congestion_level_of_jth(C, k, 9);
+        assert!(e1 > 0.0 && e9 < 1.0 && e9 > e1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least the base RTT")]
+    fn steady_state_rejects_k_below_d() {
+        let _ = steady_state(C, 200_000, 100_000, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity_pps")]
+    fn negative_capacity_rejected() {
+        let _ = f_of_n(1.0, -5.0, 100);
+    }
+}

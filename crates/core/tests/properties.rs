@@ -1,0 +1,147 @@
+//! Property-based tests for the TCP-TRIM algorithm and its steady-state
+//! model.
+
+use proptest::prelude::*;
+use trim_core::estimator::RttTracker;
+use trim_core::{kmodel, SendDecision, Trim, TrimConfig, WindowAction};
+
+proptest! {
+    /// The smoothed RTT always stays within the range of samples seen.
+    #[test]
+    fn smooth_rtt_within_sample_range(
+        alpha in 0.01f64..=1.0,
+        samples in proptest::collection::vec(1u64..10_000_000, 1..100),
+    ) {
+        let mut t = RttTracker::new(alpha);
+        for &s in &samples {
+            t.observe(s);
+        }
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        let smooth = t.smooth_ns().unwrap();
+        prop_assert!(smooth >= lo && smooth <= hi,
+            "smooth {smooth} outside [{lo}, {hi}]");
+        prop_assert_eq!(t.min_ns().unwrap(), lo);
+    }
+
+    /// Eq. 1's tuned window is always within [min_cwnd, saved window].
+    #[test]
+    fn probe_window_bounded(
+        saved in 2.0f64..2000.0,
+        min_rtt in 10_000u64..1_000_000,
+        extra0 in 0u64..3_000_000,
+        extra1 in 0u64..3_000_000,
+    ) {
+        let mut t = Trim::new(TrimConfig::default()).unwrap();
+        t.on_ack(0, min_rtt, false);
+        t.note_sent(0);
+        let now = 100 * min_rtt;
+        prop_assume!(matches!(
+            t.on_send_attempt(now, saved),
+            SendDecision::StartProbe { .. }
+        ));
+        t.begin_probe(saved, 2);
+        t.on_ack(now, min_rtt + extra0, true);
+        match t.on_ack(now, min_rtt + extra1, true) {
+            WindowAction::SetAndResume(w) => {
+                prop_assert!(w >= 2.0, "window {w} below floor");
+                prop_assert!(w <= saved + 1e-9, "window {w} above saved {saved}");
+            }
+            other => prop_assert!(false, "expected SetAndResume, got {other:?}"),
+        }
+        prop_assert!(!t.is_probing());
+    }
+
+    /// Queue-control back-off (Eq. 3) is gentler than TCP's halving and
+    /// never increases the window.
+    #[test]
+    fn queue_backoff_factor_in_half_open_interval(
+        k in 1_000u64..1_000_000,
+        rtt in 1_000u64..100_000_000,
+    ) {
+        let mut t = Trim::new(TrimConfig {
+            k_override_ns: Some(k),
+            ..TrimConfig::default()
+        }).unwrap();
+        match t.on_ack(0, rtt, false) {
+            WindowAction::Scale(f) => {
+                prop_assert!(rtt >= k);
+                prop_assert!(f > 0.5 && f <= 1.0, "factor {f}");
+            }
+            WindowAction::None => prop_assert!(rtt < k),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// The K guideline (Eq. 22) dominates F(N) for every N and never falls
+    /// below the base RTT.
+    #[test]
+    fn k_guideline_dominates_f(
+        c in 1_000.0f64..10_000_000.0,
+        d in 1_000u64..10_000_000,
+        n in 1u32..1000,
+    ) {
+        let k = kmodel::k_lower_bound_ns(c, d);
+        prop_assert!(k >= d);
+        let f = kmodel::f_of_n(n as f64, c, d);
+        prop_assert!(k as f64 >= f - 2.0, "K={k} < F({n})={f}");
+    }
+
+    /// With K at the guideline, the steady state never underflows the
+    /// queue: the utilization guarantee of Eq. 11 holds for any N.
+    #[test]
+    fn guideline_k_keeps_link_busy(
+        c in 10_000.0f64..1_000_000.0,
+        d in 10_000u64..2_000_000,
+        n in 1u32..500,
+    ) {
+        let k = kmodel::k_lower_bound_ns(c, d);
+        let st = kmodel::steady_state(c, d, k, n);
+        prop_assert!(st.full_utilization,
+            "Qmax={} decrement={}", st.max_queue, st.total_decrement);
+        prop_assert!(st.max_queue >= st.target_queue);
+        prop_assert!(st.window > 0.0);
+    }
+
+    /// ep_j (Eq. 9) is monotonically increasing in j and stays in (0, 1).
+    #[test]
+    fn congestion_level_monotone(
+        c in 1_000.0f64..1_000_000.0,
+        k in 10_000u64..1_000_000,
+        j in 1u32..500,
+    ) {
+        let a = kmodel::congestion_level_of_jth(c, k, j);
+        let b = kmodel::congestion_level_of_jth(c, k, j + 1);
+        prop_assert!(a > 0.0 && b < 1.0 && b > a);
+    }
+
+    /// A full probe cycle always terminates: either by ACKs or by the
+    /// deadline, never both, and the machine returns to Normal.
+    #[test]
+    fn probe_cycle_terminates(
+        saved in 2.0f64..1000.0,
+        acks_before_deadline in 0u32..=2,
+    ) {
+        let mut t = Trim::new(TrimConfig::default()).unwrap();
+        t.on_ack(0, 100_000, false);
+        t.note_sent(0);
+        prop_assume!(matches!(
+            t.on_send_attempt(10_000_000, saved),
+            SendDecision::StartProbe { .. }
+        ));
+        t.begin_probe(saved, 2);
+        let mut completed = false;
+        for _ in 0..acks_before_deadline {
+            if let WindowAction::SetAndResume(_) = t.on_ack(0, 150_000, true) {
+                completed = true;
+            }
+        }
+        let deadline_action = t.on_probe_deadline();
+        if completed {
+            prop_assert_eq!(deadline_action, WindowAction::None);
+        } else {
+            prop_assert_eq!(deadline_action, WindowAction::FallbackAndResume(2.0));
+        }
+        prop_assert!(!t.is_probing());
+    }
+}

@@ -1,0 +1,527 @@
+//! Drop-tail FIFO queues with optional ECN marking and occupancy statistics.
+
+use std::collections::VecDeque;
+
+use crate::packet::{Packet, Payload};
+use crate::time::{Dur, SimTime};
+use crate::units::QueueCapacity;
+
+/// Random Early Detection parameters (Floyd & Jacobson 1993).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RedConfig {
+    /// Average queue length below which every packet is accepted.
+    pub min_th: f64,
+    /// Average queue length above which every packet is dropped/marked.
+    pub max_th: f64,
+    /// Drop/mark probability at `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue estimate.
+    pub wq: f64,
+    /// Mark ECN-capable packets instead of dropping them.
+    pub ecn: bool,
+    /// Seed for the queue's deterministic PRNG.
+    pub seed: u64,
+}
+
+impl Default for RedConfig {
+    /// Classic gentle-ish defaults: min 15, max 45, max_p 0.1, wq 0.002.
+    fn default() -> Self {
+        RedConfig {
+            min_th: 15.0,
+            max_th: 45.0,
+            max_p: 0.1,
+            wq: 0.002,
+            ecn: false,
+            seed: 0x9e37_79b9,
+        }
+    }
+}
+
+/// Active queue management discipline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Aqm {
+    /// Plain drop-tail (the paper's switches).
+    DropTail,
+    /// Random Early Detection, with a deterministic seeded PRNG so runs
+    /// stay reproducible.
+    Red(RedConfig),
+}
+
+/// Configuration of a switch output queue.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueConfig {
+    /// Maximum occupancy; arrivals beyond it are dropped (drop-tail).
+    pub capacity: QueueCapacity,
+    /// Instantaneous-queue ECN marking threshold in packets, as used by
+    /// DCTCP: an arriving ECN-capable packet is marked CE when the queue
+    /// length (including itself) exceeds this threshold. `None` disables
+    /// marking.
+    pub ecn_threshold: Option<usize>,
+    /// Queue management discipline applied before the capacity check.
+    pub aqm: Aqm,
+}
+
+impl QueueConfig {
+    /// A drop-tail queue holding at most `pkts` packets, no ECN.
+    pub fn drop_tail(pkts: usize) -> Self {
+        QueueConfig {
+            capacity: QueueCapacity::Packets(pkts),
+            ecn_threshold: None,
+            aqm: Aqm::DropTail,
+        }
+    }
+
+    /// Enables ECN marking above `pkts` queued packets.
+    pub fn with_ecn_threshold(mut self, pkts: usize) -> Self {
+        self.ecn_threshold = Some(pkts);
+        self
+    }
+
+    /// Applies RED instead of pure drop-tail (the capacity limit still
+    /// backstops the queue).
+    pub fn with_red(mut self, red: RedConfig) -> Self {
+        self.aqm = Aqm::Red(red);
+        self
+    }
+}
+
+impl Default for QueueConfig {
+    /// 100 packets, the buffer size used throughout the paper's 1 Gbps
+    /// scenarios.
+    fn default() -> Self {
+        QueueConfig::drop_tail(100)
+    }
+}
+
+/// Running statistics for one queue.
+///
+/// The occupancy integral enables the paper's *average queue length* metric
+/// (Fig. 9(b)): `AQL = integral / observed span`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueStats {
+    /// Packets accepted into the queue (or straight into the transmitter).
+    pub enqueued: u64,
+    /// Packets dropped because the queue was full.
+    pub dropped: u64,
+    /// Packets handed to the transmitter.
+    pub dequeued: u64,
+    /// Bytes handed to the transmitter.
+    pub dequeued_bytes: u64,
+    /// Packets marked CE on arrival.
+    pub ecn_marked: u64,
+    /// Packets dropped or marked early by RED (subset of `dropped` /
+    /// `ecn_marked`).
+    pub red_events: u64,
+    /// Highest queue length seen, in packets.
+    pub max_len: usize,
+    /// Sum of (queue length x time) in packet-nanoseconds.
+    pub occupancy_integral: u128,
+}
+
+impl QueueStats {
+    /// Average queue length in packets over `span`.
+    ///
+    /// Returns 0 for an empty span.
+    pub fn average_len(&self, span: Dur) -> f64 {
+        if span == Dur::ZERO {
+            return 0.0;
+        }
+        self.occupancy_integral as f64 / span.as_nanos() as f64
+    }
+}
+
+/// A point in a recorded queue-length time series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueueSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Queue length in packets at that instant.
+    pub len: usize,
+}
+
+/// A drop-tail FIFO with statistics and an optional length recorder.
+#[derive(Debug)]
+pub struct DropTailQueue<P> {
+    config: QueueConfig,
+    items: VecDeque<Packet<P>>,
+    bytes: u64,
+    stats: QueueStats,
+    last_change: SimTime,
+    recorder: Option<Vec<QueueSample>>,
+    /// Fault injection: 0-based indices (in arrival order) of packets to
+    /// drop deterministically, regardless of occupancy.
+    forced_drops: std::collections::HashSet<u64>,
+    arrivals: u64,
+    /// RED state: EWMA of the queue length and the PRNG stream position.
+    red_avg: f64,
+    red_rng: u64,
+}
+
+/// Outcome of offering a packet to a queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Packet accepted.
+    Accepted,
+    /// Packet dropped (queue full).
+    Dropped,
+}
+
+impl<P: Payload> DropTailQueue<P> {
+    /// Creates an empty queue.
+    pub fn new(config: QueueConfig) -> Self {
+        DropTailQueue {
+            config,
+            items: VecDeque::new(),
+            bytes: 0,
+            stats: QueueStats::default(),
+            last_change: SimTime::ZERO,
+            recorder: None,
+            forced_drops: std::collections::HashSet::new(),
+            arrivals: 0,
+            red_avg: 0.0,
+            red_rng: match config.aqm {
+                Aqm::Red(r) => r.seed,
+                Aqm::DropTail => 0,
+            },
+        }
+    }
+
+    /// Fault injection: deterministically drop the packets whose 0-based
+    /// arrival index (counting every packet offered to this queue) is in
+    /// `indices`, regardless of occupancy. Used to construct exact loss
+    /// patterns in tests — e.g. "lose the whole tail of a window" to
+    /// force an RTO rather than a fast retransmit.
+    pub fn inject_drops(&mut self, indices: impl IntoIterator<Item = u64>) {
+        self.forced_drops.extend(indices);
+    }
+
+    /// Starts recording a (time, length) sample on every length change.
+    pub fn enable_recording(&mut self) {
+        if self.recorder.is_none() {
+            self.recorder = Some(vec![QueueSample {
+                at: SimTime::ZERO,
+                len: self.items.len(),
+            }]);
+        }
+    }
+
+    /// The recorded length series, if recording was enabled.
+    pub fn samples(&self) -> Option<&[QueueSample]> {
+        self.recorder.as_deref()
+    }
+
+    /// Current length in packets.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Current occupancy in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Statistics accumulated so far. The occupancy integral includes time
+    /// up to the last enqueue/dequeue only; call [`Self::settle`] first to
+    /// extend it to a chosen end time.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Extends the occupancy integral to `now` without changing contents.
+    pub fn settle(&mut self, now: SimTime) {
+        self.advance_clock(now);
+    }
+
+    /// Offers a packet. On acceptance the packet may be CE-marked per the
+    /// ECN threshold. Statistics are updated either way.
+    pub fn enqueue(&mut self, now: SimTime, mut pkt: Packet<P>) -> EnqueueOutcome {
+        self.advance_clock(now);
+        let arrival = self.arrivals;
+        self.arrivals += 1;
+        if self.forced_drops.remove(&arrival) {
+            self.stats.dropped += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        if !self
+            .config
+            .capacity
+            .admits(self.items.len(), self.bytes, pkt.size)
+        {
+            self.stats.dropped += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        if let Aqm::Red(red) = self.config.aqm {
+            self.red_avg = (1.0 - red.wq) * self.red_avg + red.wq * self.items.len() as f64;
+            let p = if self.red_avg <= red.min_th {
+                0.0
+            } else if self.red_avg >= red.max_th {
+                1.0
+            } else {
+                red.max_p * (self.red_avg - red.min_th) / (red.max_th - red.min_th)
+            };
+            if p > 0.0 {
+                // Deterministic PRNG: splitmix64 stream.
+                self.red_rng = self.red_rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = self.red_rng;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                let u = (z ^ (z >> 31)) as f64 / u64::MAX as f64;
+                if u < p {
+                    self.stats.red_events += 1;
+                    if red.ecn && pkt.payload.ecn_capable() {
+                        pkt.payload.mark_ce();
+                        self.stats.ecn_marked += 1;
+                        // Marked packets are still enqueued below.
+                    } else {
+                        self.stats.dropped += 1;
+                        return EnqueueOutcome::Dropped;
+                    }
+                }
+            }
+        }
+        if let Some(thresh) = self.config.ecn_threshold {
+            if pkt.payload.ecn_capable() && self.items.len() + 1 > thresh {
+                pkt.payload.mark_ce();
+                self.stats.ecn_marked += 1;
+            }
+        }
+        self.bytes += pkt.size as u64;
+        self.items.push_back(pkt);
+        self.stats.enqueued += 1;
+        self.stats.max_len = self.stats.max_len.max(self.items.len());
+        self.record(now);
+        EnqueueOutcome::Accepted
+    }
+
+    /// Removes the packet at the head, if any.
+    pub fn dequeue(&mut self, now: SimTime) -> Option<Packet<P>> {
+        self.advance_clock(now);
+        let pkt = self.items.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        self.stats.dequeued += 1;
+        self.stats.dequeued_bytes += pkt.size as u64;
+        self.record(now);
+        Some(pkt)
+    }
+
+    fn advance_clock(&mut self, now: SimTime) {
+        let span = now.saturating_since(self.last_change);
+        self.stats.occupancy_integral += self.items.len() as u128 * span.as_nanos() as u128;
+        if now > self.last_change {
+            self.last_change = now;
+        }
+    }
+
+    fn record(&mut self, now: SimTime) {
+        if let Some(rec) = &mut self.recorder {
+            rec.push(QueueSample {
+                at: now,
+                len: self.items.len(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId, TagPayload};
+
+    fn pkt(size: u32) -> Packet<TagPayload> {
+        Packet::new(NodeId(0), NodeId(1), FlowId(0), size, TagPayload(0))
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTailQueue::new(QueueConfig::drop_tail(10));
+        for i in 0..3 {
+            let mut p = pkt(100);
+            p.payload = TagPayload(i);
+            assert_eq!(q.enqueue(t(0), p), EnqueueOutcome::Accepted);
+        }
+        for i in 0..3 {
+            assert_eq!(q.dequeue(t(1)).unwrap().payload, TagPayload(i));
+        }
+        assert!(q.dequeue(t(2)).is_none());
+    }
+
+    #[test]
+    fn drop_tail_on_packet_capacity() {
+        let mut q = DropTailQueue::new(QueueConfig::drop_tail(2));
+        assert_eq!(q.enqueue(t(0), pkt(100)), EnqueueOutcome::Accepted);
+        assert_eq!(q.enqueue(t(0), pkt(100)), EnqueueOutcome::Accepted);
+        assert_eq!(q.enqueue(t(0), pkt(100)), EnqueueOutcome::Dropped);
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.stats().enqueued, 2);
+        assert_eq!(q.stats().max_len, 2);
+    }
+
+    #[test]
+    fn drop_tail_on_byte_capacity() {
+        let mut q = DropTailQueue::new(QueueConfig {
+            capacity: QueueCapacity::Bytes(250),
+            ecn_threshold: None,
+            aqm: Aqm::DropTail,
+        });
+        assert_eq!(q.enqueue(t(0), pkt(100)), EnqueueOutcome::Accepted);
+        assert_eq!(q.enqueue(t(0), pkt(100)), EnqueueOutcome::Accepted);
+        assert_eq!(q.enqueue(t(0), pkt(100)), EnqueueOutcome::Dropped);
+        assert_eq!(q.bytes(), 200);
+    }
+
+    #[test]
+    fn occupancy_integral_accumulates() {
+        let mut q = DropTailQueue::new(QueueConfig::drop_tail(10));
+        q.enqueue(t(0), pkt(100));
+        q.enqueue(t(10), pkt(100)); // 1 pkt for 10us
+        q.dequeue(t(30)); // 2 pkts for 20us
+        q.settle(t(40)); // 1 pkt for 10us
+        let integral = q.stats().occupancy_integral;
+        assert_eq!(integral, (10_000 + 2 * 20_000 + 10_000) as u128);
+        let avg = q.stats().average_len(Dur::from_micros(40));
+        assert!((avg - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_len_zero_span() {
+        let q: DropTailQueue<TagPayload> = DropTailQueue::new(QueueConfig::default());
+        assert_eq!(q.stats().average_len(Dur::ZERO), 0.0);
+    }
+
+    #[test]
+    fn recording_captures_changes() {
+        let mut q = DropTailQueue::new(QueueConfig::drop_tail(10));
+        q.enable_recording();
+        q.enqueue(t(1), pkt(100));
+        q.enqueue(t(2), pkt(100));
+        q.dequeue(t(3));
+        let s = q.samples().unwrap();
+        assert_eq!(
+            s,
+            &[
+                QueueSample { at: t(0), len: 0 },
+                QueueSample { at: t(1), len: 1 },
+                QueueSample { at: t(2), len: 2 },
+                QueueSample { at: t(3), len: 1 },
+            ]
+        );
+    }
+
+    #[derive(Clone, Copy, Debug, Default)]
+    struct EcnPayload {
+        ce: bool,
+    }
+    impl Payload for EcnPayload {
+        fn ecn_capable(&self) -> bool {
+            true
+        }
+        fn mark_ce(&mut self) {
+            self.ce = true;
+        }
+        fn is_ce(&self) -> bool {
+            self.ce
+        }
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold() {
+        let mut q = DropTailQueue::new(QueueConfig::drop_tail(10).with_ecn_threshold(1));
+        let mk = || Packet::new(NodeId(0), NodeId(1), FlowId(0), 100, EcnPayload::default());
+        q.enqueue(t(0), mk()); // len 1, not > 1: unmarked
+        q.enqueue(t(0), mk()); // len 2 > 1: marked
+        assert!(!q.dequeue(t(1)).unwrap().payload.is_ce());
+        assert!(q.dequeue(t(1)).unwrap().payload.is_ce());
+        assert_eq!(q.stats().ecn_marked, 1);
+    }
+
+    #[test]
+    fn red_drops_early_and_deterministically() {
+        let red = RedConfig {
+            min_th: 2.0,
+            max_th: 6.0,
+            max_p: 1.0,
+            wq: 0.5, // fast-moving average for the test
+            ecn: false,
+            seed: 7,
+        };
+        let run = || {
+            let mut q = DropTailQueue::new(QueueConfig::drop_tail(100).with_red(red));
+            for _ in 0..50 {
+                q.enqueue(t(0), pkt(100));
+            }
+            (q.stats().dropped, q.stats().red_events, q.len())
+        };
+        let (dropped, red_events, len) = run();
+        assert!(dropped > 0, "RED must drop before the 100-packet limit");
+        assert_eq!(dropped, red_events);
+        assert!(len < 50);
+        assert_eq!(run(), (dropped, red_events, len), "deterministic");
+    }
+
+    #[test]
+    fn red_ecn_marks_instead_of_dropping() {
+        let red = RedConfig {
+            min_th: 1.0,
+            max_th: 3.0,
+            max_p: 1.0,
+            wq: 0.9,
+            ecn: true,
+            seed: 3,
+        };
+        let mut q = DropTailQueue::new(QueueConfig::drop_tail(100).with_red(red));
+        let mk = || Packet::new(NodeId(0), NodeId(1), FlowId(0), 100, EcnPayload::default());
+        for _ in 0..30 {
+            q.enqueue(t(0), mk());
+        }
+        assert_eq!(q.stats().dropped, 0, "ECN-capable traffic is marked");
+        assert!(q.stats().ecn_marked > 0);
+        assert_eq!(q.len(), 30);
+    }
+
+    #[test]
+    fn red_below_min_th_never_drops() {
+        let red = RedConfig::default();
+        let mut q = DropTailQueue::new(QueueConfig::drop_tail(100).with_red(red));
+        for _ in 0..10 {
+            q.enqueue(t(0), pkt(100));
+            q.dequeue(t(1));
+        }
+        assert_eq!(q.stats().dropped, 0);
+        assert_eq!(q.stats().red_events, 0);
+    }
+
+    #[test]
+    fn forced_drops_hit_exact_arrivals() {
+        let mut q = DropTailQueue::new(QueueConfig::drop_tail(10));
+        q.inject_drops([1, 3]);
+        let mut kept = Vec::new();
+        for i in 0..5 {
+            let mut p = pkt(100);
+            p.payload = TagPayload(i);
+            if q.enqueue(t(0), p) == EnqueueOutcome::Accepted {
+                kept.push(i);
+            }
+        }
+        assert_eq!(kept, vec![0, 2, 4]);
+        assert_eq!(q.stats().dropped, 2);
+        // Injected indices are consumed: re-offering does not drop again.
+        assert_eq!(q.enqueue(t(1), pkt(100)), EnqueueOutcome::Accepted);
+    }
+
+    #[test]
+    fn non_ect_packets_never_marked() {
+        let mut q = DropTailQueue::new(QueueConfig::drop_tail(10).with_ecn_threshold(0));
+        q.enqueue(t(0), pkt(100));
+        assert_eq!(q.stats().ecn_marked, 0);
+        assert!(!q.dequeue(t(1)).unwrap().payload.is_ce());
+    }
+}

@@ -1,0 +1,862 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulator`] owns the network (nodes, channels, routes), the event
+//! queue, and the host agents. Build a network with [`Simulator::add_host`],
+//! [`Simulator::add_switch`] and [`Simulator::connect`], then drive it with
+//! [`Simulator::run_until`] or [`Simulator::run`].
+//!
+//! Determinism: events are ordered by `(time, insertion sequence)`, so two
+//! runs of the same program produce identical schedules.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::agent::Agent;
+use crate::channel::Channel;
+use crate::packet::{ChannelId, NodeId, Packet, Payload};
+use crate::queue::{QueueConfig, QueueSample, QueueStats};
+use crate::time::{Dur, SimTime};
+use crate::trace::{PacketEvent, PacketEventKind, PacketTrace};
+use crate::units::Bandwidth;
+
+/// Handle to a pending timer, used for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+#[derive(Debug)]
+enum Ev<P> {
+    /// Packet finishes propagation and arrives at a node.
+    Arrival { node: NodeId, pkt: Packet<P> },
+    /// A channel's transmitter finishes serializing a packet.
+    TxDone { ch: ChannelId },
+    /// A timer set by an agent fires.
+    Timer { node: NodeId, token: u64, id: u64 },
+}
+
+struct EvEntry<P> {
+    at: SimTime,
+    seq: u64,
+    ev: Ev<P>,
+}
+
+impl<P> PartialEq for EvEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for EvEntry<P> {}
+impl<P> PartialOrd for EvEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for EvEntry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodeKind {
+    Host,
+    Switch,
+}
+
+/// Everything the engine owns except the agents. Splitting this out lets an
+/// agent hold `&mut self` while the engine hands it a [`Ctx`] borrowing the
+/// rest of the simulator.
+struct Core<P: Payload> {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<EvEntry<P>>,
+    kinds: Vec<NodeKind>,
+    channels: Vec<Channel<P>>,
+    /// Outgoing edges per node, for route computation.
+    adjacency: Vec<Vec<(NodeId, ChannelId)>>,
+    /// Per switch-node: for each destination node index, the set of
+    /// equal-cost next-hop channels. Hosts use their single uplink instead.
+    routes: Vec<Vec<Vec<ChannelId>>>,
+    routes_built: bool,
+    cancelled: HashSet<u64>,
+    next_timer: u64,
+    delivered_pkts: u64,
+    delivered_bytes: u64,
+    ptrace: Option<PacketTrace>,
+}
+
+impl<P: Payload> Core<P> {
+    fn schedule(&mut self, at: SimTime, ev: Ev<P>) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.seq += 1;
+        self.events.push(EvEntry {
+            at,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    fn set_timer(&mut self, node: NodeId, delay: Dur, token: u64) -> TimerId {
+        self.next_timer += 1;
+        let id = self.next_timer;
+        self.schedule(self.now + delay, Ev::Timer { node, token, id });
+        TimerId(id)
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Hands a packet to a channel: straight to the transmitter when idle,
+    /// into the queue otherwise (dropped when full).
+    fn channel_send(&mut self, ch: ChannelId, now: SimTime, pkt: Packet<P>) {
+        let c = &mut self.channels[ch.index()];
+        if c.busy {
+            let (src, dst, flow, size) = (pkt.src, pkt.dst, pkt.flow, pkt.size);
+            if c.queue.enqueue(now, pkt) == crate::queue::EnqueueOutcome::Dropped {
+                if let Some(t) = &mut self.ptrace {
+                    t.record(PacketEvent {
+                        at: now,
+                        kind: PacketEventKind::Dropped { channel: ch },
+                        src,
+                        dst,
+                        flow,
+                        size,
+                    });
+                }
+            }
+            return;
+        }
+        // Count packets that bypass the queue in the queue stats so that
+        // enqueue/dequeued reflect every packet offered to the channel.
+        // The enqueue can still fail (zero capacity, injected fault).
+        let (src, dst, flow, size) = (pkt.src, pkt.dst, pkt.flow, pkt.size);
+        if c.queue.enqueue(now, pkt) == crate::queue::EnqueueOutcome::Dropped {
+            if let Some(t) = &mut self.ptrace {
+                t.record(PacketEvent {
+                    at: now,
+                    kind: PacketEventKind::Dropped { channel: ch },
+                    src,
+                    dst,
+                    flow,
+                    size,
+                });
+            }
+            return;
+        }
+        c.busy = true;
+        let head = c.queue.dequeue(now).expect("just enqueued");
+        let ser = c.bandwidth.serialization_time(head.size);
+        let delay = c.delay;
+        let to = c.to;
+        self.schedule(now + ser, Ev::TxDone { ch });
+        self.schedule(now + ser + delay, Ev::Arrival { node: to, pkt: head });
+    }
+
+    fn on_tx_done(&mut self, ch: ChannelId) {
+        let now = self.now;
+        let c = &mut self.channels[ch.index()];
+        match c.queue.dequeue(now) {
+            Some(pkt) => {
+                let ser = c.bandwidth.serialization_time(pkt.size);
+                let delay = c.delay;
+                let to = c.to;
+                self.schedule(now + ser, Ev::TxDone { ch });
+                self.schedule(now + ser + delay, Ev::Arrival { node: to, pkt });
+            }
+            None => c.busy = false,
+        }
+    }
+
+    /// Routes a packet out of `node` toward `pkt.dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination is unreachable from `node`.
+    fn forward(&mut self, node: NodeId, pkt: Packet<P>) {
+        let set = &self.routes[node.index()][pkt.dst.index()];
+        let ch = match set.len() {
+            0 => panic!("no route from {node} to {}", pkt.dst),
+            1 => set[0],
+            n => {
+                // Deterministic per-flow ECMP: hash the flow label.
+                let h = splitmix64(pkt.flow.0 ^ 0x9e37_79b9_7f4a_7c15);
+                set[(h % n as u64) as usize]
+            }
+        };
+        self.channel_send(ch, self.now, pkt);
+    }
+
+    fn build_routes(&mut self) {
+        let n = self.kinds.len();
+        self.routes = vec![vec![Vec::new(); n]; n];
+        // BFS from every destination over reversed edges gives, for each
+        // node, the distance to the destination; next hops are the outgoing
+        // edges whose head is one step closer.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, edges) in self.adjacency.iter().enumerate() {
+            for (v, _) in edges {
+                rev[v.index()].push(u);
+            }
+        }
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for dst in 0..n {
+            if self.kinds[dst] != NodeKind::Host {
+                continue;
+            }
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[dst] = 0;
+            queue.clear();
+            queue.push_back(dst);
+            while let Some(u) = queue.pop_front() {
+                for &p in &rev[u] {
+                    if dist[p] == u32::MAX {
+                        dist[p] = dist[u] + 1;
+                        queue.push_back(p);
+                    }
+                }
+            }
+            for u in 0..n {
+                if u == dst || dist[u] == u32::MAX {
+                    continue;
+                }
+                let mut set = Vec::new();
+                for &(v, ch) in &self.adjacency[u] {
+                    if dist[v.index()] != u32::MAX && dist[v.index()] + 1 == dist[u] {
+                        set.push(ch);
+                    }
+                }
+                self.routes[u][dst] = set;
+            }
+        }
+        self.routes_built = true;
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The agent's view of the simulator during a callback: clock, packet
+/// output, and timers.
+pub struct Ctx<'a, P: Payload> {
+    core: &'a mut Core<P>,
+    node: NodeId,
+}
+
+impl<P: Payload> std::fmt::Debug for Ctx<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("node", &self.node)
+            .field("now", &self.core.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Payload> Ctx<'_, P> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The node this agent is attached to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends a packet out of this host's uplink. Stamps `pkt.sent_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination is unreachable.
+    pub fn send(&mut self, mut pkt: Packet<P>) {
+        pkt.sent_at = self.core.now;
+        if let Some(t) = &mut self.core.ptrace {
+            t.record(PacketEvent {
+                at: self.core.now,
+                kind: PacketEventKind::Sent { node: self.node },
+                src: pkt.src,
+                dst: pkt.dst,
+                flow: pkt.flow,
+                size: pkt.size,
+            });
+        }
+        self.core.forward(self.node, pkt);
+    }
+
+    /// Schedules `on_timer(token)` after `delay`. Returns a handle for
+    /// [`Ctx::cancel_timer`].
+    pub fn set_timer(&mut self, delay: Dur, token: u64) -> TimerId {
+        self.core.set_timer(self.node, delay, token)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a
+    /// harmless no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancel_timer(id);
+    }
+}
+
+/// A packet-level discrete-event network simulator.
+///
+/// ```
+/// use netsim::prelude::*;
+///
+/// // Two hosts joined by a switch; the sink counts what arrives.
+/// let mut sim: Simulator<TagPayload> = Simulator::new();
+/// let a = sim.add_host(Box::new(SinkAgent::default()));
+/// let b = sim.add_host(Box::new(SinkAgent::default()));
+/// let sw = sim.add_switch();
+/// sim.connect(a, sw, Bandwidth::gbps(1), Dur::from_micros(50), QueueConfig::default());
+/// sim.connect(b, sw, Bandwidth::gbps(1), Dur::from_micros(50), QueueConfig::default());
+/// sim.inject(a, Packet::new(a, b, FlowId(1), 1460, TagPayload(0)));
+/// sim.run();
+/// let sink: &SinkAgent = sim.host(b);
+/// assert_eq!(sink.received, 1);
+/// ```
+pub struct Simulator<P: Payload> {
+    core: Core<P>,
+    agents: Vec<Option<Box<dyn Agent<P>>>>,
+    started: bool,
+}
+
+impl<P: Payload> std::fmt::Debug for Simulator<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.core.now)
+            .field("nodes", &self.core.kinds.len())
+            .field("channels", &self.core.channels.len())
+            .field("pending_events", &self.core.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Payload> Default for Simulator<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Payload> Simulator<P> {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Simulator {
+            core: Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                events: BinaryHeap::new(),
+                kinds: Vec::new(),
+                channels: Vec::new(),
+                adjacency: Vec::new(),
+                routes: Vec::new(),
+                routes_built: false,
+                cancelled: HashSet::new(),
+                next_timer: 0,
+                delivered_pkts: 0,
+                delivered_bytes: 0,
+                ptrace: None,
+            },
+            agents: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Adds a host running `agent`. Hosts terminate packets; they are the
+    /// only valid packet sources and destinations.
+    pub fn add_host(&mut self, agent: Box<dyn Agent<P>>) -> NodeId {
+        let id = NodeId(self.core.kinds.len() as u32);
+        self.core.kinds.push(NodeKind::Host);
+        self.core.adjacency.push(Vec::new());
+        self.agents.push(Some(agent));
+        id
+    }
+
+    /// Adds a store-and-forward switch. Forwarding uses shortest paths with
+    /// deterministic per-flow ECMP over equal-cost next hops.
+    pub fn add_switch(&mut self) -> NodeId {
+        let id = NodeId(self.core.kinds.len() as u32);
+        self.core.kinds.push(NodeKind::Switch);
+        self.core.adjacency.push(Vec::new());
+        self.agents.push(None);
+        id
+    }
+
+    /// Connects `a` and `b` with a duplex link: two channels sharing the
+    /// same rate, delay, and queue configuration. Returns `(a->b, b->a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth: Bandwidth,
+        delay: Dur,
+        queue: QueueConfig,
+    ) -> (ChannelId, ChannelId) {
+        assert!(!self.started, "cannot modify topology after start");
+        let ab = ChannelId(self.core.channels.len() as u32);
+        self.core.channels.push(Channel::new(b, bandwidth, delay, queue));
+        self.core.adjacency[a.index()].push((b, ab));
+        let ba = ChannelId(self.core.channels.len() as u32);
+        self.core.channels.push(Channel::new(a, bandwidth, delay, queue));
+        self.core.adjacency[b.index()].push((a, ba));
+        self.core.routes_built = false;
+        (ab, ba)
+    }
+
+    /// Injects a packet from `src`'s network layer at the current time, as
+    /// if its agent had sent it. Useful for tests and simple examples.
+    pub fn inject(&mut self, src: NodeId, pkt: Packet<P>) {
+        self.ensure_ready();
+        let mut pkt = pkt;
+        pkt.sent_at = self.core.now;
+        if let Some(t) = &mut self.core.ptrace {
+            t.record(PacketEvent {
+                at: self.core.now,
+                kind: PacketEventKind::Sent { node: src },
+                src: pkt.src,
+                dst: pkt.dst,
+                flow: pkt.flow,
+                size: pkt.size,
+            });
+        }
+        self.core.forward(src, pkt);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Total packets delivered to host agents so far.
+    pub fn delivered_packets(&self) -> u64 {
+        self.core.delivered_pkts
+    }
+
+    /// Total bytes delivered to host agents so far.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.core.delivered_bytes
+    }
+
+    /// Statistics of a channel's queue, with the occupancy integral settled
+    /// up to the current time.
+    pub fn queue_stats(&mut self, ch: ChannelId) -> QueueStats {
+        let now = self.core.now;
+        let q = &mut self.core.channels[ch.index()].queue;
+        q.settle(now);
+        q.stats()
+    }
+
+    /// Starts recording (time, length) samples on a channel's queue.
+    pub fn enable_queue_recording(&mut self, ch: ChannelId) {
+        self.core.channels[ch.index()].queue.enable_recording();
+    }
+
+    /// Fault injection: deterministically drop the packets whose 0-based
+    /// arrival index at channel `ch` is in `indices`. See
+    /// [`crate::queue::DropTailQueue::inject_drops`].
+    pub fn inject_channel_drops(&mut self, ch: ChannelId, indices: impl IntoIterator<Item = u64>) {
+        self.core.channels[ch.index()].queue.inject_drops(indices);
+    }
+
+    /// Starts recording a packet-event trace (sends, deliveries, drops),
+    /// keeping at most `cap` events.
+    pub fn enable_packet_trace(&mut self, cap: usize) {
+        if self.core.ptrace.is_none() {
+            self.core.ptrace = Some(PacketTrace::new(cap));
+        }
+    }
+
+    /// The packet-event trace, if enabled.
+    pub fn packet_trace(&self) -> Option<&PacketTrace> {
+        self.core.ptrace.as_ref()
+    }
+
+    /// The recorded queue-length series of a channel, if enabled.
+    pub fn queue_samples(&self, ch: ChannelId) -> Option<&[QueueSample]> {
+        self.core.channels[ch.index()].queue.samples()
+    }
+
+    /// Borrows the agent at `node`, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is a switch or the agent is not a `T`.
+    pub fn host<T: Agent<P>>(&self, node: NodeId) -> &T {
+        let agent = self.agents[node.index()]
+            .as_ref()
+            .expect("node is a switch, not a host");
+        (agent.as_ref() as &dyn Any)
+            .downcast_ref::<T>()
+            .expect("agent has a different concrete type")
+    }
+
+    /// Mutably borrows the agent at `node`, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is a switch or the agent is not a `T`.
+    pub fn host_mut<T: Agent<P>>(&mut self, node: NodeId) -> &mut T {
+        let agent = self.agents[node.index()]
+            .as_mut()
+            .expect("node is a switch, not a host");
+        (agent.as_mut() as &mut dyn Any)
+            .downcast_mut::<T>()
+            .expect("agent has a different concrete type")
+    }
+
+    fn ensure_ready(&mut self) {
+        if !self.core.routes_built {
+            self.core.build_routes();
+        }
+        if !self.started {
+            self.started = true;
+            for i in 0..self.agents.len() {
+                if let Some(mut agent) = self.agents[i].take() {
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node: NodeId(i as u32),
+                    };
+                    agent.on_start(&mut ctx);
+                    self.agents[i] = Some(agent);
+                }
+            }
+        }
+    }
+
+    /// Runs until the event queue is exhausted.
+    pub fn run(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// Processes every event with timestamp `<= horizon`, then advances the
+    /// clock to `horizon` (when finite) so statistics settle consistently.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.ensure_ready();
+        while let Some(entry) = self.core.events.peek() {
+            if entry.at > horizon {
+                break;
+            }
+            let entry = self.core.events.pop().expect("peeked");
+            self.core.now = entry.at;
+            match entry.ev {
+                Ev::TxDone { ch } => self.core.on_tx_done(ch),
+                Ev::Arrival { node, pkt } => match self.core.kinds[node.index()] {
+                    NodeKind::Switch => self.core.forward(node, pkt),
+                    NodeKind::Host => {
+                        self.core.delivered_pkts += 1;
+                        self.core.delivered_bytes += pkt.size as u64;
+                        if let Some(t) = &mut self.core.ptrace {
+                            t.record(PacketEvent {
+                                at: self.core.now,
+                                kind: PacketEventKind::Delivered { node },
+                                src: pkt.src,
+                                dst: pkt.dst,
+                                flow: pkt.flow,
+                                size: pkt.size,
+                            });
+                        }
+                        self.dispatch(node, |agent, ctx| agent.on_packet(ctx, pkt));
+                    }
+                },
+                Ev::Timer { node, token, id } => {
+                    if self.core.cancelled.remove(&id) {
+                        continue;
+                    }
+                    self.dispatch(node, |agent, ctx| agent.on_timer(ctx, token));
+                }
+            }
+        }
+        if horizon != SimTime::MAX && horizon > self.core.now {
+            self.core.now = horizon;
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut Box<dyn Agent<P>>, &mut Ctx<'_, P>),
+    ) {
+        let mut agent = self.agents[node.index()]
+            .take()
+            .expect("packet or timer delivered to switch");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+        };
+        f(&mut agent, &mut ctx);
+        self.agents[node.index()] = Some(agent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::SinkAgent;
+    use crate::packet::{FlowId, TagPayload};
+
+    fn star(n_senders: usize) -> (Simulator<TagPayload>, Vec<NodeId>, NodeId, ChannelId) {
+        let mut sim = Simulator::new();
+        let sw = sim.add_switch();
+        let dst = sim.add_host(Box::new(SinkAgent::default()));
+        let (_, sw_to_dst) = sim.connect(
+            dst,
+            sw,
+            Bandwidth::gbps(1),
+            Dur::from_micros(50),
+            QueueConfig::default(),
+        );
+        let senders = (0..n_senders)
+            .map(|_| {
+                let h = sim.add_host(Box::new(SinkAgent::default()));
+                sim.connect(
+                    h,
+                    sw,
+                    Bandwidth::gbps(1),
+                    Dur::from_micros(50),
+                    QueueConfig::default(),
+                );
+                h
+            })
+            .collect();
+        (sim, senders, dst, sw_to_dst)
+    }
+
+    #[test]
+    fn single_packet_latency() {
+        let (mut sim, senders, dst, _) = star(1);
+        sim.inject(
+            senders[0],
+            Packet::new(senders[0], dst, FlowId(1), 1460, TagPayload(0)),
+        );
+        sim.run();
+        // ser(11.68us) + prop(50us) at each of the 2 hops = 123.36us.
+        assert_eq!(sim.now(), SimTime::from_nanos(123_360));
+        assert_eq!(sim.host::<SinkAgent>(dst).received, 1);
+        assert_eq!(sim.host::<SinkAgent>(dst).received_bytes, 1460);
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize() {
+        let (mut sim, senders, dst, _) = star(1);
+        for _ in 0..3 {
+            sim.inject(
+                senders[0],
+                Packet::new(senders[0], dst, FlowId(1), 1460, TagPayload(0)),
+            );
+        }
+        sim.run();
+        // Last packet leaves the first link at 3*ser, arrives at the switch
+        // at 3*ser + 50us, then 1*ser + 50us more (switch queue drains in
+        // lockstep with arrivals because the rates match).
+        assert_eq!(sim.host::<SinkAgent>(dst).received, 3);
+        assert_eq!(
+            sim.now(),
+            SimTime::from_nanos(3 * 11_680 + 50_000 + 11_680 + 50_000)
+        );
+    }
+
+    #[test]
+    fn congestion_drops_at_bottleneck() {
+        // 5 senders each blast 50 packets at t=0; bottleneck queue is 20.
+        let mut sim = Simulator::new();
+        let sw = sim.add_switch();
+        let dst = sim.add_host(Box::new(SinkAgent::default()));
+        let (_, sw_to_dst) = sim.connect(
+            dst,
+            sw,
+            Bandwidth::gbps(1),
+            Dur::from_micros(50),
+            QueueConfig::drop_tail(20),
+        );
+        let mut senders = Vec::new();
+        for _ in 0..5 {
+            let h = sim.add_host(Box::new(SinkAgent::default()));
+            sim.connect(
+                h,
+                sw,
+                Bandwidth::gbps(1),
+                Dur::from_micros(50),
+                QueueConfig::default(),
+            );
+            senders.push(h);
+        }
+        for &s in &senders {
+            for _ in 0..50 {
+                sim.inject(s, Packet::new(s, dst, FlowId(s.index() as u64), 1460, TagPayload(0)));
+            }
+        }
+        sim.run();
+        let stats = sim.queue_stats(sw_to_dst);
+        assert!(stats.dropped > 0, "bottleneck must overflow");
+        assert_eq!(
+            sim.host::<SinkAgent>(dst).received,
+            250 - stats.dropped,
+            "every packet is either delivered or dropped"
+        );
+        assert!(stats.max_len <= 20);
+    }
+
+    #[test]
+    fn multi_hop_forwarding() {
+        // h0 - sw0 - sw1 - h1
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let h0 = sim.add_host(Box::new(SinkAgent::default()));
+        let h1 = sim.add_host(Box::new(SinkAgent::default()));
+        let sw0 = sim.add_switch();
+        let sw1 = sim.add_switch();
+        let cfg = QueueConfig::default();
+        let bw = Bandwidth::gbps(1);
+        let d = Dur::from_micros(10);
+        sim.connect(h0, sw0, bw, d, cfg);
+        sim.connect(sw0, sw1, bw, d, cfg);
+        sim.connect(sw1, h1, bw, d, cfg);
+        sim.inject(h0, Packet::new(h0, h1, FlowId(1), 1000, TagPayload(0)));
+        sim.run();
+        assert_eq!(sim.host::<SinkAgent>(h1).received, 1);
+        // 3 hops: 3 * (8us ser + 10us prop).
+        assert_eq!(sim.now(), SimTime::from_nanos(3 * 18_000));
+    }
+
+    /// An agent that echoes every packet back to its source.
+    #[derive(Debug, Default)]
+    struct EchoAgent;
+    impl Agent<TagPayload> for EchoAgent {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, TagPayload>, pkt: Packet<TagPayload>) {
+            let reply = Packet::new(pkt.dst, pkt.src, pkt.flow, 40, pkt.payload);
+            ctx.send(reply);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, TagPayload>, _token: u64) {}
+    }
+
+    #[test]
+    fn agents_can_reply() {
+        let mut sim = Simulator::new();
+        let sw = sim.add_switch();
+        let client = sim.add_host(Box::new(SinkAgent::default()));
+        let server = sim.add_host(Box::new(EchoAgent));
+        let cfg = QueueConfig::default();
+        sim.connect(client, sw, Bandwidth::gbps(1), Dur::from_micros(50), cfg);
+        sim.connect(server, sw, Bandwidth::gbps(1), Dur::from_micros(50), cfg);
+        sim.inject(client, Packet::new(client, server, FlowId(7), 1460, TagPayload(3)));
+        sim.run();
+        assert_eq!(sim.host::<SinkAgent>(client).received, 1);
+        assert_eq!(sim.host::<SinkAgent>(client).received_bytes, 40);
+    }
+
+    /// An agent that sets and cancels timers.
+    #[derive(Debug, Default)]
+    struct TimerAgent {
+        fired: Vec<u64>,
+    }
+    impl Agent<TagPayload> for TimerAgent {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TagPayload>) {
+            ctx.set_timer(Dur::from_millis(1), 1);
+            let t2 = ctx.set_timer(Dur::from_millis(2), 2);
+            ctx.set_timer(Dur::from_millis(3), 3);
+            ctx.cancel_timer(t2);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_, TagPayload>, _pkt: Packet<TagPayload>) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, TagPayload>, token: u64) {
+            self.fired.push(token);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let h = sim.add_host(Box::new(TimerAgent::default()));
+        let s = sim.add_host(Box::new(SinkAgent::default()));
+        sim.connect(
+            h,
+            s,
+            Bandwidth::gbps(1),
+            Dur::from_micros(1),
+            QueueConfig::default(),
+        );
+        sim.run();
+        assert_eq!(sim.host::<TimerAgent>(h).fired, vec![1, 3]);
+        assert_eq!(sim.now(), SimTime::from_nanos(3_000_000));
+    }
+
+    #[test]
+    fn run_until_stops_and_resumes() {
+        let (mut sim, senders, dst, _) = star(1);
+        sim.inject(
+            senders[0],
+            Packet::new(senders[0], dst, FlowId(1), 1460, TagPayload(0)),
+        );
+        sim.run_until(SimTime::from_nanos(100_000));
+        assert_eq!(sim.host::<SinkAgent>(dst).received, 0);
+        assert_eq!(sim.now(), SimTime::from_nanos(100_000));
+        sim.run();
+        assert_eq!(sim.host::<SinkAgent>(dst).received, 1);
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_across_equal_paths() {
+        // h0 -- swA -- {sw1, sw2} -- swB -- h1: two equal-cost paths.
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let h0 = sim.add_host(Box::new(SinkAgent::default()));
+        let h1 = sim.add_host(Box::new(SinkAgent::default()));
+        let swa = sim.add_switch();
+        let sw1 = sim.add_switch();
+        let sw2 = sim.add_switch();
+        let swb = sim.add_switch();
+        let cfg = QueueConfig::default();
+        let bw = Bandwidth::gbps(1);
+        let d = Dur::from_micros(1);
+        sim.connect(h0, swa, bw, d, cfg);
+        let (a1, _) = sim.connect(swa, sw1, bw, d, cfg);
+        let (a2, _) = sim.connect(swa, sw2, bw, d, cfg);
+        sim.connect(sw1, swb, bw, d, cfg);
+        sim.connect(sw2, swb, bw, d, cfg);
+        sim.connect(swb, h1, bw, d, cfg);
+        for flow in 0..64 {
+            sim.inject(h0, Packet::new(h0, h1, FlowId(flow), 1000, TagPayload(0)));
+        }
+        sim.run();
+        assert_eq!(sim.host::<SinkAgent>(h1).received, 64);
+        let via1 = sim.queue_stats(a1).enqueued;
+        let via2 = sim.queue_stats(a2).enqueued;
+        assert_eq!(via1 + via2, 64);
+        assert!(via1 > 8 && via2 > 8, "both paths used: {via1}/{via2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unreachable_destination_panics() {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let h0 = sim.add_host(Box::new(SinkAgent::default()));
+        let h1 = sim.add_host(Box::new(SinkAgent::default()));
+        // No links at all.
+        sim.inject(h0, Packet::new(h0, h1, FlowId(0), 100, TagPayload(0)));
+    }
+
+    #[test]
+    fn deterministic_event_order() {
+        // Two identical runs deliver identical outcomes.
+        let run = || {
+            let (mut sim, senders, dst, ch) = star(3);
+            for (i, &s) in senders.iter().enumerate() {
+                for _ in 0..20 {
+                    sim.inject(s, Packet::new(s, dst, FlowId(i as u64), 1460, TagPayload(0)));
+                }
+            }
+            sim.run();
+            (
+                sim.now(),
+                sim.host::<SinkAgent>(dst).received,
+                sim.queue_stats(ch).max_len,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

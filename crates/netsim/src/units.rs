@@ -1,0 +1,170 @@
+//! Link bandwidth and buffer-capacity units.
+
+use core::fmt;
+
+use crate::time::Dur;
+
+/// Link bandwidth in bits per second.
+///
+/// ```
+/// use netsim::units::Bandwidth;
+/// use netsim::time::Dur;
+///
+/// let gbps = Bandwidth::gbps(1);
+/// // A 1500-byte packet serializes in 12 microseconds at 1 Gbps.
+/// assert_eq!(gbps.serialization_time(1500), Dur::from_micros(12));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Creates a bandwidth from bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sec` is zero; a zero-rate link never drains.
+    pub fn bps(bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "bandwidth must be positive");
+        Bandwidth(bits_per_sec)
+    }
+
+    /// Creates a bandwidth from megabits per second.
+    pub fn mbps(mbits: u64) -> Self {
+        Bandwidth::bps(mbits * 1_000_000)
+    }
+
+    /// Creates a bandwidth from gigabits per second.
+    pub fn gbps(gbits: u64) -> Self {
+        Bandwidth::bps(gbits * 1_000_000_000)
+    }
+
+    /// The rate in bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// The rate in packets per second for a given packet size in bytes.
+    ///
+    /// This is the `C` of the paper's steady-state model (Section III.B),
+    /// which measures capacity in packets per second.
+    pub fn packets_per_sec(self, packet_bytes: u32) -> f64 {
+        self.0 as f64 / (packet_bytes as f64 * 8.0)
+    }
+
+    /// Time to serialize `bytes` onto the wire at this rate, rounded up to
+    /// the next nanosecond so that back-to-back packets never overlap.
+    pub fn serialization_time(self, bytes: u32) -> Dur {
+        let bits = bytes as u128 * 8;
+        let ns = (bits * 1_000_000_000).div_ceil(self.0 as u128);
+        Dur::from_nanos(ns as u64)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(1_000_000_000) {
+            write!(f, "{}Gbps", self.0 / 1_000_000_000)
+        } else if self.0.is_multiple_of(1_000_000) {
+            write!(f, "{}Mbps", self.0 / 1_000_000)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+/// Capacity of a switch queue.
+///
+/// The paper sizes buffers in packets for the 1 Gbps scenarios (100 packets)
+/// and in bytes for the fat-tree scenario (350 KB), so both units are
+/// supported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueueCapacity {
+    /// At most this many packets may be queued (excluding the one in
+    /// transmission).
+    Packets(usize),
+    /// At most this many bytes may be queued (excluding the packet in
+    /// transmission).
+    Bytes(u64),
+}
+
+impl QueueCapacity {
+    /// Whether a queue currently holding `pkts` packets / `bytes` bytes can
+    /// accept one more packet of `incoming_bytes`.
+    pub fn admits(self, pkts: usize, bytes: u64, incoming_bytes: u32) -> bool {
+        match self {
+            QueueCapacity::Packets(cap) => pkts < cap,
+            QueueCapacity::Bytes(cap) => bytes + incoming_bytes as u64 <= cap,
+        }
+    }
+}
+
+impl fmt::Display for QueueCapacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueCapacity::Packets(p) => write!(f, "{p}pkts"),
+            QueueCapacity::Bytes(b) => write!(f, "{b}B"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_exact() {
+        // 1460 B at 1 Gbps = 11.68 us.
+        assert_eq!(
+            Bandwidth::gbps(1).serialization_time(1460),
+            Dur::from_nanos(11_680)
+        );
+        // 100 Mbps is 10x slower.
+        assert_eq!(
+            Bandwidth::mbps(100).serialization_time(1460),
+            Dur::from_nanos(116_800)
+        );
+    }
+
+    #[test]
+    fn serialization_time_rounds_up() {
+        // 1 byte at 3 bps: 8/3 s = 2.666..s -> rounds up.
+        let t = Bandwidth::bps(3).serialization_time(1);
+        assert_eq!(t.as_nanos(), 2_666_666_667);
+    }
+
+    #[test]
+    fn packets_per_sec_matches_paper_units() {
+        // 1 Gbps / (1460 B * 8) = 85616.4 packets/s.
+        let c = Bandwidth::gbps(1).packets_per_sec(1460);
+        assert!((c - 85_616.438).abs() < 0.01);
+    }
+
+    #[test]
+    fn capacity_packets() {
+        let cap = QueueCapacity::Packets(2);
+        assert!(cap.admits(0, 0, 1500));
+        assert!(cap.admits(1, 1500, 1500));
+        assert!(!cap.admits(2, 3000, 1500));
+    }
+
+    #[test]
+    fn capacity_bytes() {
+        let cap = QueueCapacity::Bytes(3000);
+        assert!(cap.admits(0, 0, 1500));
+        assert!(cap.admits(5, 1500, 1500));
+        assert!(!cap.admits(1, 1501, 1500));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bandwidth::gbps(10).to_string(), "10Gbps");
+        assert_eq!(Bandwidth::mbps(100).to_string(), "100Mbps");
+        assert_eq!(QueueCapacity::Packets(100).to_string(), "100pkts");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::bps(0);
+    }
+}

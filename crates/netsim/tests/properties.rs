@@ -1,0 +1,164 @@
+//! Property-based tests for the simulator's core data structures.
+
+use proptest::prelude::*;
+
+use netsim::prelude::*;
+use netsim::queue::{DropTailQueue, QueueConfig};
+use netsim::time::SimTime;
+
+fn pkt(src: NodeId, dst: NodeId, size: u32, tag: u64) -> Packet<TagPayload> {
+    Packet::new(src, dst, FlowId(tag), size, TagPayload(tag))
+}
+
+/// Builds two host ids for fabricating packets.
+fn two_nodes() -> (Simulator<TagPayload>, NodeId, NodeId) {
+    let mut sim = Simulator::new();
+    let a = sim.add_host(Box::new(SinkAgent::default()));
+    let b = sim.add_host(Box::new(SinkAgent::default()));
+    (sim, a, b)
+}
+
+proptest! {
+    /// Queue conservation: every offered packet is exactly one of
+    /// {queued now, dequeued, dropped}; FIFO order is preserved among
+    /// the survivors.
+    #[test]
+    fn queue_conserves_and_orders_packets(
+        cap in 1usize..50,
+        ops in proptest::collection::vec((any::<bool>(), 40u32..2000), 1..200),
+    ) {
+        let (_sim, a, b) = two_nodes();
+        let mut q = DropTailQueue::new(QueueConfig::drop_tail(cap));
+        let mut accepted = 0u64;
+        let mut dequeued: Vec<u64> = Vec::new();
+        let mut next_tag = 0u64;
+        let mut t = 0u64;
+        for (is_enqueue, size) in ops {
+            t += 1;
+            let now = SimTime::from_nanos(t);
+            if is_enqueue {
+                let p = pkt(a, b, size, next_tag);
+                next_tag += 1;
+                if q.enqueue(now, p) == netsim::queue::EnqueueOutcome::Accepted {
+                    accepted += 1;
+                }
+            } else if let Some(p) = q.dequeue(now) {
+                dequeued.push(p.payload.0);
+            }
+        }
+        let stats = q.stats();
+        prop_assert_eq!(stats.enqueued, accepted);
+        prop_assert_eq!(stats.enqueued + stats.dropped, next_tag);
+        prop_assert_eq!(stats.dequeued as usize, dequeued.len());
+        prop_assert_eq!(accepted, stats.dequeued + q.len() as u64);
+        prop_assert!(q.len() <= cap);
+        // FIFO among accepted packets: dequeued tags strictly increase.
+        prop_assert!(dequeued.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// The occupancy integral is bounded by (max length x elapsed time)
+    /// and average_len never exceeds max_len.
+    #[test]
+    fn occupancy_integral_bounded(
+        sizes in proptest::collection::vec(40u32..2000, 1..100),
+        gap_ns in 1u64..10_000,
+    ) {
+        let (_sim, a, b) = two_nodes();
+        let mut q = DropTailQueue::new(QueueConfig::drop_tail(1000));
+        let mut t = 0;
+        for (i, &s) in sizes.iter().enumerate() {
+            t += gap_ns;
+            q.enqueue(SimTime::from_nanos(t), pkt(a, b, s, i as u64));
+        }
+        let end = SimTime::from_nanos(t + gap_ns);
+        q.settle(end);
+        let stats = q.stats();
+        let span = end.saturating_since(SimTime::ZERO);
+        let avg = stats.average_len(span);
+        prop_assert!(avg <= stats.max_len as f64 + 1e-9);
+        prop_assert!(
+            stats.occupancy_integral
+                <= stats.max_len as u128 * span.as_nanos() as u128
+        );
+    }
+
+    /// Serialization time scales linearly in bytes and inversely in rate.
+    #[test]
+    fn serialization_time_monotone(
+        bw1 in 1_000_000u64..10_000_000_000,
+        bytes in 1u32..100_000,
+    ) {
+        let b1 = Bandwidth::bps(bw1);
+        let b2 = Bandwidth::bps(bw1 * 2);
+        let t1 = b1.serialization_time(bytes);
+        let t2 = b2.serialization_time(bytes);
+        prop_assert!(t2 <= t1, "double rate never slower");
+        let tb = b1.serialization_time(bytes.saturating_mul(2).max(bytes));
+        prop_assert!(tb >= t1, "more bytes never faster");
+        prop_assert!(t1.as_nanos() > 0, "positive wire time");
+    }
+
+    /// ThroughputMeter: the binned series accounts for every byte.
+    #[test]
+    fn meter_total_matches_series(
+        records in proptest::collection::vec((0u64..10_000_000, 1u64..100_000), 1..100),
+        bin_us in 1u64..10_000,
+    ) {
+        let mut m = ThroughputMeter::new(Dur::from_micros(bin_us));
+        let mut total = 0u64;
+        for &(at_ns, bytes) in &records {
+            m.record(SimTime::from_nanos(at_ns), bytes);
+            total += bytes;
+        }
+        prop_assert_eq!(m.total_bytes(), total);
+        let bin_s = Dur::from_micros(bin_us).as_secs_f64();
+        let from_series: f64 = m
+            .mbps_series()
+            .iter()
+            .map(|(_, mbps)| mbps * bin_s * 1e6 / 8.0)
+            .sum();
+        prop_assert!((from_series - total as f64).abs() < 1.0);
+    }
+
+    /// End-to-end conservation: with random fan-in, every injected packet
+    /// is either delivered to its destination or dropped at a queue.
+    #[test]
+    fn injected_packets_are_delivered_or_dropped(
+        n_senders in 1usize..8,
+        pkts_per_sender in 1u32..60,
+        buffer in 1usize..64,
+    ) {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let sw = sim.add_switch();
+        let dst = sim.add_host(Box::new(SinkAgent::default()));
+        let (_, bottleneck) = sim.connect(
+            dst,
+            sw,
+            Bandwidth::gbps(1),
+            Dur::from_micros(10),
+            QueueConfig::drop_tail(buffer),
+        );
+        let mut senders = Vec::new();
+        for _ in 0..n_senders {
+            let h = sim.add_host(Box::new(SinkAgent::default()));
+            sim.connect(
+                h,
+                sw,
+                Bandwidth::gbps(1),
+                Dur::from_micros(10),
+                QueueConfig::drop_tail(10_000),
+            );
+            senders.push(h);
+        }
+        for (i, &s) in senders.iter().enumerate() {
+            for k in 0..pkts_per_sender {
+                sim.inject(s, pkt(s, dst, 1460, (i as u64) << 32 | k as u64));
+            }
+        }
+        sim.run();
+        let injected = n_senders as u64 * pkts_per_sender as u64;
+        let received = sim.host::<SinkAgent>(dst).received;
+        let dropped = sim.queue_stats(bottleneck).dropped;
+        prop_assert_eq!(received + dropped, injected);
+    }
+}

@@ -1,0 +1,604 @@
+//! The TCP sender state machine: sequencing, loss detection (duplicate
+//! ACKs and RTO), NewReno-style recovery, go-back-N timeout recovery, and
+//! the application-side packet-train queue.
+//!
+//! The policy half (window growth/shrink, TRIM probing) lives in the
+//! pluggable [`CcAlgo`]; this module is the mechanism half. Sequence
+//! numbers count packets, as in NS2.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use netsim::prelude::*;
+use netsim::time::{Dur, SimTime};
+
+use crate::cc::{AckInfo, CcAlgo, PreSendAction, WindowState};
+use crate::config::TcpConfig;
+use crate::rto::RtoEstimator;
+use crate::segment::{SackBlocks, Segment};
+
+/// Timer-token kind for retransmission timeouts (dispatched by `TcpHost`).
+pub(crate) const KIND_RTO: u64 = 0;
+/// Timer-token kind for TRIM probe deadlines.
+pub(crate) const KIND_PROBE: u64 = 1;
+/// Timer-token kind for scheduled application trains.
+pub(crate) const KIND_APP: u64 = 2;
+/// Timer-token kind for the next train in a response sequence.
+pub(crate) const KIND_SEQ: u64 = 3;
+/// Timer-token kind for a receiver's delayed-ACK timeout.
+pub(crate) const KIND_DELACK: u64 = 4;
+/// Width of the kind field in timer tokens.
+pub(crate) const KIND_BITS: u64 = 3;
+
+/// Counters exposed by a connection after a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnStats {
+    /// Data packets transmitted (including retransmissions).
+    pub pkts_sent: u64,
+    /// Retransmitted data packets.
+    pub rtx_sent: u64,
+    /// TRIM probe packets transmitted.
+    pub probes_sent: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Fast-retransmit events entered.
+    pub fast_retransmits: u64,
+    /// ACKs processed.
+    pub acks_received: u64,
+    /// Duplicate ACKs processed.
+    pub dup_acks_received: u64,
+}
+
+/// A finished packet train, with the timestamps used for completion-time
+/// metrics (the paper's ACT/ARCT).
+#[derive(Clone, Copy, Debug)]
+pub struct TrainRecord {
+    /// Order of arrival at the sender (0-based).
+    pub id: u64,
+    /// Application bytes in the train.
+    pub bytes: u64,
+    /// Packets in the train.
+    pub pkts: u64,
+    /// When the application handed the train to TCP.
+    pub enqueued_at: SimTime,
+    /// When the train's first packet left the host.
+    pub first_sent_at: SimTime,
+    /// When the last packet was cumulatively acknowledged.
+    pub completed_at: SimTime,
+}
+
+impl TrainRecord {
+    /// Completion time as measured in the paper: from hand-off to final
+    /// acknowledgment.
+    pub fn completion_time(&self) -> Dur {
+        self.completed_at.saturating_since(self.enqueued_at)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TrainProgress {
+    id: u64,
+    bytes: u64,
+    start_seq: u64,
+    end_seq: u64,
+    enqueued_at: SimTime,
+    first_sent_at: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct ProbePending {
+    remaining: u32,
+    timer: TimerId,
+}
+
+/// One sending TCP connection on a persistent HTTP session.
+#[derive(Debug)]
+pub struct Connection {
+    flow: FlowId,
+    dst: NodeId,
+    cfg: TcpConfig,
+    cc: Box<dyn CcAlgo>,
+    win: WindowState,
+    /// Local index within the owning host, used to build timer tokens.
+    local_idx: u64,
+
+    next_seq: u64,
+    high_ack: u64,
+    max_seq_sent: u64,
+    total_pkts: u64,
+
+    dup_acks: u32,
+    in_recovery: bool,
+    recover: u64,
+
+    rto_est: RtoEstimator,
+    backoff: u32,
+    rto_timer: Option<TimerId>,
+
+    probe: Option<ProbePending>,
+
+    /// SACK scoreboard: sequences above `high_ack` the receiver reported
+    /// holding (only populated when `cfg.sack`).
+    sacked: BTreeSet<u64>,
+    /// Holes already retransmitted in the current recovery episode.
+    rtx_this_recovery: BTreeSet<u64>,
+
+    trains: VecDeque<TrainProgress>,
+    next_train_id: u64,
+    completed: Vec<TrainRecord>,
+
+    stats: ConnStats,
+    cwnd_series: Option<Series>,
+}
+
+impl Connection {
+    /// Creates a connection sending to `dst` with flow label `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(flow: FlowId, dst: NodeId, cfg: TcpConfig, cc: Box<dyn CcAlgo>, local_idx: u64) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid TcpConfig: {e}"));
+        Connection {
+            flow,
+            dst,
+            win: WindowState::new(cfg.init_cwnd, cfg.init_ssthresh, cfg.min_cwnd, cfg.max_cwnd),
+            rto_est: RtoEstimator::new(cfg.min_rto, cfg.max_rto),
+            cfg,
+            cc,
+            local_idx,
+            next_seq: 0,
+            high_ack: 0,
+            max_seq_sent: 0,
+            total_pkts: 0,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            backoff: 1,
+            rto_timer: None,
+            probe: None,
+            sacked: BTreeSet::new(),
+            rtx_this_recovery: BTreeSet::new(),
+            trains: VecDeque::new(),
+            next_train_id: 0,
+            completed: Vec::new(),
+            stats: ConnStats::default(),
+            cwnd_series: None,
+        }
+    }
+
+    /// The connection's flow label.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// The congestion controller's report name.
+    pub fn cc_name(&self) -> &'static str {
+        self.cc.name()
+    }
+
+    /// The controller itself, for algorithm-specific inspection.
+    pub fn cc(&self) -> &dyn CcAlgo {
+        self.cc.as_ref()
+    }
+
+    /// Current congestion window in packets.
+    pub fn cwnd(&self) -> f64 {
+        self.win.cwnd
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ConnStats {
+        self.stats
+    }
+
+    /// Trains fully acknowledged so far, in completion order.
+    pub fn completed_trains(&self) -> &[TrainRecord] {
+        &self.completed
+    }
+
+    /// Whether every queued train has been fully acknowledged.
+    pub fn is_idle(&self) -> bool {
+        self.high_ack == self.total_pkts
+    }
+
+    /// Packets currently unacknowledged.
+    pub fn flight(&self) -> u64 {
+        self.next_seq - self.high_ack
+    }
+
+    /// Starts recording a `(time, cwnd)` point at every window change.
+    pub fn enable_cwnd_recording(&mut self) {
+        if self.cwnd_series.is_none() {
+            self.cwnd_series = Some(Series::new());
+        }
+    }
+
+    /// The recorded window series, if enabled.
+    pub fn cwnd_series(&self) -> Option<&Series> {
+        self.cwnd_series.as_ref()
+    }
+
+    fn record_cwnd(&mut self, now: SimTime) {
+        if let Some(s) = &mut self.cwnd_series {
+            s.push(now, self.win.cwnd);
+        }
+    }
+
+    fn token(&self, kind: u64) -> u64 {
+        (self.local_idx << KIND_BITS) | kind
+    }
+
+    /// Discards all application data that has not yet been transmitted:
+    /// pending trains are dropped and the in-progress train is truncated
+    /// at the highest transmitted packet. In-flight packets still drain
+    /// normally. Models an application closing its response stream
+    /// (used by the convergence and multi-hop experiments to stop LPTs
+    /// at a scheduled time).
+    pub fn truncate_unsent(&mut self) {
+        self.total_pkts = self.next_seq;
+        while let Some(last) = self.trains.back() {
+            if last.start_seq >= self.total_pkts {
+                self.trains.pop_back();
+            } else {
+                break;
+            }
+        }
+        if let Some(last) = self.trains.back_mut() {
+            last.end_seq = last.end_seq.min(self.total_pkts);
+        }
+    }
+
+    /// Queues `bytes` of application data as one packet train and starts
+    /// transmitting as the window allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn enqueue_train(&mut self, ctx: &mut Ctx<'_, Segment>, bytes: u64) {
+        assert!(bytes > 0, "empty train");
+        let pkts = bytes.div_ceil(self.cfg.mss_bytes as u64);
+        let start_seq = self.total_pkts;
+        self.total_pkts += pkts;
+        self.trains.push_back(TrainProgress {
+            id: self.next_train_id,
+            bytes,
+            start_seq,
+            end_seq: self.total_pkts,
+            enqueued_at: ctx.now(),
+            first_sent_at: None,
+        });
+        self.next_train_id += 1;
+        self.try_send(ctx);
+    }
+
+    /// Transmits as much new data as the window, the probe state, and the
+    /// application queue allow.
+    pub fn try_send(&mut self, ctx: &mut Ctx<'_, Segment>) {
+        loop {
+            if self.win.suspended || self.next_seq >= self.total_pkts {
+                break;
+            }
+            // With SACK, sacked packets have left the network: they do
+            // not occupy the window (pipe accounting).
+            let flight = (self.next_seq - self.high_ack) - self.sacked.len() as u64;
+            let wnd = self.win.cwnd.floor().max(1.0) as u64;
+            if flight >= wnd {
+                break;
+            }
+            // Algorithm 1 applies only to fresh data, not go-back-N
+            // resends.
+            if self.probe.is_none() && self.next_seq >= self.max_seq_sent {
+                let available = self.total_pkts - self.next_seq;
+                match self.cc.pre_send(&mut self.win, ctx.now(), available) {
+                    PreSendAction::Continue => {}
+                    PreSendAction::StartProbe { probes, deadline } => {
+                        let timer = ctx.set_timer(deadline, self.token(KIND_PROBE));
+                        self.probe = Some(ProbePending {
+                            remaining: probes,
+                            timer,
+                        });
+                        self.record_cwnd(ctx.now());
+                        continue; // window changed; re-evaluate
+                    }
+                }
+            }
+            let seq = self.next_seq;
+            let is_probe = self.probe.is_some();
+            self.transmit(ctx, seq, is_probe);
+            self.next_seq += 1;
+            self.max_seq_sent = self.max_seq_sent.max(self.next_seq);
+            if let Some(p) = &mut self.probe {
+                self.stats.probes_sent += 1;
+                p.remaining -= 1;
+                if p.remaining == 0 {
+                    // Algorithm 1 line 6: suspend until the probe result.
+                    self.win.suspended = true;
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, ctx: &mut Ctx<'_, Segment>, seq: u64, is_probe: bool) {
+        let now = ctx.now();
+        let is_rtx = seq < self.max_seq_sent;
+        let seg = Segment::data(seq, is_probe, is_rtx, now, self.cc.uses_ecn());
+        let pkt = Packet::new(ctx.node(), self.dst, self.flow, self.cfg.mss_bytes, seg);
+        ctx.send(pkt);
+        self.cc.note_sent(now);
+        self.stats.pkts_sent += 1;
+        if is_rtx {
+            self.stats.rtx_sent += 1;
+        }
+        if !is_rtx {
+            self.note_first_send(seq, now);
+        }
+        if self.rto_timer.is_none() {
+            self.arm_rto(ctx);
+        }
+    }
+
+    fn note_first_send(&mut self, seq: u64, now: SimTime) {
+        // Binary search the (start_seq-sorted) pending trains.
+        let idx = self
+            .trains
+            .partition_point(|t| t.start_seq <= seq)
+            .checked_sub(1);
+        if let Some(i) = idx {
+            let t = &mut self.trains[i];
+            if seq < t.end_seq && t.first_sent_at.is_none() {
+                t.first_sent_at = Some(now);
+            }
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx<'_, Segment>) {
+        let rto = self
+            .rto_est
+            .rto()
+            .mul_f64(self.backoff as f64)
+            .min(self.cfg.max_rto);
+        self.rto_timer = Some(ctx.set_timer(rto, self.token(KIND_RTO)));
+    }
+
+    fn cancel_rto(&mut self, ctx: &mut Ctx<'_, Segment>) {
+        if let Some(t) = self.rto_timer.take() {
+            ctx.cancel_timer(t);
+        }
+    }
+
+    fn rearm_rto(&mut self, ctx: &mut Ctx<'_, Segment>) {
+        self.cancel_rto(ctx);
+        if self.flight() > 0 {
+            self.arm_rto(ctx);
+        }
+    }
+
+    /// Processes an arriving cumulative ACK (with optional SACK blocks).
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_ack(
+        &mut self,
+        ctx: &mut Ctx<'_, Segment>,
+        ack_seq: u64,
+        echo_ts: SimTime,
+        echo_probe: bool,
+        echo_rtx: bool,
+        ece: bool,
+        sack: &SackBlocks,
+    ) {
+        let now = ctx.now();
+        if self.cfg.sack {
+            for block in sack.iter().flatten() {
+                for seq in block.0..block.1 {
+                    if seq >= self.high_ack && seq < self.next_seq {
+                        self.sacked.insert(seq);
+                    }
+                }
+            }
+        }
+        self.stats.acks_received += 1;
+        // Karn's rule: no RTT sample from a retransmitted packet's echo.
+        let rtt = if echo_rtx {
+            None
+        } else {
+            Some(now.saturating_since(echo_ts))
+        };
+        if let Some(r) = rtt {
+            if r > Dur::ZERO {
+                self.rto_est.observe(r);
+            }
+        }
+
+        if ack_seq > self.high_ack {
+            let newly = ack_seq - self.high_ack;
+            self.high_ack = ack_seq;
+            // After go-back-N the ACK may cover packets sent before the
+            // timeout that were still in flight; never send below the
+            // cumulative ACK.
+            self.next_seq = self.next_seq.max(self.high_ack);
+            self.max_seq_sent = self.max_seq_sent.max(self.next_seq);
+            self.backoff = 1;
+            self.sacked = self.sacked.split_off(&self.high_ack);
+            if self.in_recovery {
+                if ack_seq >= self.recover {
+                    // Full ACK: leave recovery, deflate to ssthresh.
+                    self.in_recovery = false;
+                    self.dup_acks = 0;
+                    self.rtx_this_recovery.clear();
+                    self.win.cwnd = self.win.ssthresh;
+                    self.win.clamp_cwnd();
+                } else if self.cfg.sack {
+                    // SACK recovery: repair the lowest unrepaired hole.
+                    self.retransmit_next_hole(ctx);
+                } else {
+                    // NewReno partial ACK: the next hole is lost too.
+                    self.transmit_rtx(ctx, self.high_ack);
+                    self.win.cwnd = (self.win.cwnd - newly as f64 + 1.0).max(self.win.min_cwnd);
+                }
+            } else {
+                self.dup_acks = 0;
+                let info = AckInfo {
+                    now,
+                    rtt,
+                    newly_acked: newly,
+                    ack_seq,
+                    next_seq: self.next_seq,
+                    flight: self.next_seq - self.high_ack,
+                    ece,
+                    probe_echo: echo_probe,
+                };
+                self.cc.on_ack(&mut self.win, &info);
+            }
+            self.complete_trains(now);
+            self.rearm_rto(ctx);
+        } else {
+            // Duplicate ACK.
+            if self.next_seq > self.high_ack {
+                self.dup_acks += 1;
+                self.stats.dup_acks_received += 1;
+                if self.in_recovery {
+                    if self.cfg.sack {
+                        // SACK recovery: the scoreboard says what is
+                        // missing; repair it instead of inflating.
+                        self.retransmit_next_hole(ctx);
+                    } else {
+                        // Window inflation keeps the pipe full.
+                        self.win.cwnd += 1.0;
+                        self.win.clamp_cwnd();
+                    }
+                } else if self.dup_acks == self.cfg.dupack_threshold {
+                    self.enter_fast_recovery(ctx, now);
+                } else {
+                    // Still feed the controller: TRIM needs every RTT
+                    // sample, DCTCP every ECE, probe echoes may ride on
+                    // duplicates.
+                    let info = AckInfo {
+                        now,
+                        rtt,
+                        newly_acked: 0,
+                        ack_seq,
+                        next_seq: self.next_seq,
+                        flight: self.next_seq - self.high_ack,
+                        ece,
+                        probe_echo: echo_probe,
+                    };
+                    self.cc.on_ack(&mut self.win, &info);
+                }
+            }
+        }
+
+        // Did the controller resolve a probe phase?
+        if let Some(p) = &self.probe {
+            if p.remaining == 0 && !self.win.suspended {
+                let timer = p.timer;
+                ctx.cancel_timer(timer);
+                self.probe = None;
+            }
+        }
+        self.record_cwnd(now);
+        self.try_send(ctx);
+    }
+
+    fn enter_fast_recovery(&mut self, ctx: &mut Ctx<'_, Segment>, now: SimTime) {
+        self.in_recovery = true;
+        self.recover = self.next_seq;
+        self.rtx_this_recovery.clear();
+        self.rtx_this_recovery.insert(self.high_ack);
+        self.stats.fast_retransmits += 1;
+        let flight = self.flight();
+        self.cc.on_fast_retransmit(&mut self.win, flight, now);
+        // Standard inflation by the duplicate threshold.
+        self.win.cwnd += self.cfg.dupack_threshold as f64;
+        self.win.clamp_cwnd();
+        self.transmit_rtx(ctx, self.high_ack);
+        self.rearm_rto(ctx);
+    }
+
+    fn transmit_rtx(&mut self, ctx: &mut Ctx<'_, Segment>, seq: u64) {
+        let now = ctx.now();
+        let seg = Segment::data(seq, false, true, now, self.cc.uses_ecn());
+        let pkt = Packet::new(ctx.node(), self.dst, self.flow, self.cfg.mss_bytes, seg);
+        ctx.send(pkt);
+        self.cc.note_sent(now);
+        self.stats.pkts_sent += 1;
+        self.stats.rtx_sent += 1;
+    }
+
+    /// Retransmits the lowest sequence in `[high_ack, recover)` that is
+    /// neither SACKed nor already repaired in this recovery episode and
+    /// that qualifies as lost under RFC 6675's rule: at least
+    /// `dupack_threshold` SACKed sequences lie above it (otherwise the
+    /// packet may simply still be in flight).
+    fn retransmit_next_hole(&mut self, ctx: &mut Ctx<'_, Segment>) {
+        let thresh = self.cfg.dupack_threshold as usize;
+        let mut seq = self.high_ack;
+        while seq < self.recover {
+            if !self.sacked.contains(&seq) && !self.rtx_this_recovery.contains(&seq) {
+                let reported_above = self.sacked.range(seq + 1..).take(thresh).count();
+                if reported_above < thresh {
+                    return; // not yet known lost; wait for more reports
+                }
+                self.rtx_this_recovery.insert(seq);
+                self.transmit_rtx(ctx, seq);
+                return;
+            }
+            seq += 1;
+        }
+    }
+
+    /// The retransmission timer fired: collapse the window, back off the
+    /// timer, and go-back-N from the last cumulative ACK.
+    pub fn on_rto_fire(&mut self, ctx: &mut Ctx<'_, Segment>) {
+        self.rto_timer = None;
+        if self.flight() == 0 {
+            return; // stale: everything got acknowledged meanwhile
+        }
+        let now = ctx.now();
+        self.stats.timeouts += 1;
+        let flight = self.flight();
+        self.cc.on_timeout(&mut self.win, flight, now);
+        self.win.cwnd = self.cfg.restart_cwnd;
+        self.win.suspended = false;
+        self.win.clamp_cwnd();
+        if let Some(p) = self.probe.take() {
+            ctx.cancel_timer(p.timer);
+        }
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        self.rtx_this_recovery.clear();
+        self.sacked.clear();
+        self.backoff = (self.backoff * 2).min(64);
+        // Go-back-N: resume from the last cumulative ACK.
+        self.next_seq = self.high_ack;
+        self.record_cwnd(now);
+        self.try_send(ctx);
+        if self.rto_timer.is_none() && self.flight() > 0 {
+            self.arm_rto(ctx);
+        }
+    }
+
+    /// The TRIM probe deadline fired without all probe ACKs.
+    pub fn on_probe_deadline_fire(&mut self, ctx: &mut Ctx<'_, Segment>) {
+        if self.probe.take().is_some() {
+            self.cc.on_probe_deadline(&mut self.win);
+            self.record_cwnd(ctx.now());
+            self.try_send(ctx);
+        }
+    }
+
+    fn complete_trains(&mut self, now: SimTime) {
+        while let Some(front) = self.trains.front() {
+            if self.high_ack < front.end_seq {
+                break;
+            }
+            let t = self.trains.pop_front().expect("front exists");
+            self.completed.push(TrainRecord {
+                id: t.id,
+                bytes: t.bytes,
+                pkts: t.end_seq - t.start_seq,
+                enqueued_at: t.enqueued_at,
+                first_sent_at: t.first_sent_at.unwrap_or(t.enqueued_at),
+                completed_at: now,
+            });
+        }
+    }
+}

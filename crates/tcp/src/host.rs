@@ -1,0 +1,325 @@
+//! The host agent: demultiplexes packets and timers to the TCP
+//! connections and receivers living on one simulated host, and injects
+//! scheduled application trains.
+
+use std::collections::HashMap;
+
+use netsim::prelude::*;
+use netsim::time::SimTime;
+
+use crate::cc::CcKind;
+use crate::config::TcpConfig;
+use crate::conn::{Connection, KIND_APP, KIND_BITS, KIND_DELACK, KIND_PROBE, KIND_RTO, KIND_SEQ};
+use crate::receiver::Receiver;
+use crate::segment::{SegKind, Segment};
+
+#[derive(Clone, Copy, Debug)]
+enum AppEvent {
+    /// Hand `bytes` to the sender at `at`.
+    Train {
+        at: SimTime,
+        sender_idx: usize,
+        bytes: u64,
+    },
+    /// Discard the sender's unsent data at `at`.
+    Stop { at: SimTime, sender_idx: usize },
+}
+
+impl AppEvent {
+    fn at(&self) -> SimTime {
+        match *self {
+            AppEvent::Train { at, .. } | AppEvent::Stop { at, .. } => at,
+        }
+    }
+}
+
+/// A request/response exchange sequence on one connection: each response
+/// is handed to TCP `think` after the previous one completes (persistent
+/// HTTP with sequential requests, as on the paper's testbed).
+#[derive(Clone, Debug)]
+struct ResponseSequence {
+    sender_idx: usize,
+    start: SimTime,
+    sizes: Vec<u64>,
+    think: netsim::time::Dur,
+    next: usize,
+}
+
+/// A host running any number of sending connections and receivers.
+///
+/// Build the host, register senders/receivers and schedule trains *before*
+/// the simulation starts; read connections back after the run via
+/// [`Simulator::host`].
+///
+/// ```
+/// use netsim::prelude::*;
+/// use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
+///
+/// let mut sim: Simulator<Segment> = Simulator::new();
+/// let sw = sim.add_switch();
+///
+/// // Receiver host.
+/// let mut rx_host = TcpHost::new();
+/// rx_host.add_receiver(FlowId(1), TcpConfig::default());
+/// let rx = sim.add_host(Box::new(rx_host));
+///
+/// // Sender host with one Reno connection sending 100 KB at t=1ms.
+/// let mut tx_host = TcpHost::new();
+/// let idx = tx_host.add_sender(FlowId(1), rx, TcpConfig::default(), &CcKind::Reno);
+/// tx_host.schedule_train(idx, SimTime::from_secs_f64(0.001), 100 * 1024);
+/// let tx = sim.add_host(Box::new(tx_host));
+///
+/// let spec = topology::LinkSpec::new(
+///     Bandwidth::gbps(1), Dur::from_micros(50), QueueConfig::drop_tail(100));
+/// sim.connect(tx, sw, spec.bandwidth, spec.delay, spec.queue);
+/// sim.connect(rx, sw, spec.bandwidth, spec.delay, spec.queue);
+/// sim.run();
+///
+/// let host: &TcpHost = sim.host(tx);
+/// assert_eq!(host.connection(0).completed_trains().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TcpHost {
+    senders: Vec<Connection>,
+    receivers: Vec<Receiver>,
+    recv_by_flow: HashMap<u64, usize>,
+    send_by_flow: HashMap<u64, usize>,
+    schedule: Vec<AppEvent>,
+    sequences: Vec<ResponseSequence>,
+    /// sender_idx -> sequence index, for completion-driven advance.
+    seq_by_sender: HashMap<usize, usize>,
+}
+
+impl TcpHost {
+    /// Creates an empty host.
+    pub fn new() -> Self {
+        TcpHost::default()
+    }
+
+    /// Adds a sending connection toward `dst`; returns its local index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow already has a sender on this host or `cfg` is
+    /// invalid.
+    pub fn add_sender(&mut self, flow: FlowId, dst: NodeId, cfg: TcpConfig, cc: &CcKind) -> usize {
+        let idx = self.senders.len();
+        assert!(
+            self.send_by_flow.insert(flow.0, idx).is_none(),
+            "duplicate sender for flow {flow}"
+        );
+        self.senders
+            .push(Connection::new(flow, dst, cfg, cc.build(), idx as u64));
+        idx
+    }
+
+    /// Adds a receiver for `flow`; returns its local index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow already has a receiver on this host.
+    pub fn add_receiver(&mut self, flow: FlowId, cfg: TcpConfig) -> usize {
+        let idx = self.receivers.len();
+        assert!(
+            self.recv_by_flow.insert(flow.0, idx).is_none(),
+            "duplicate receiver for flow {flow}"
+        );
+        self.receivers.push(Receiver::new(flow, cfg, idx as u64));
+        idx
+    }
+
+    /// Schedules `bytes` to be handed to sender `sender_idx` at absolute
+    /// time `at`. Must be called before the simulation starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender_idx` is out of range.
+    pub fn schedule_train(&mut self, sender_idx: usize, at: SimTime, bytes: u64) {
+        assert!(sender_idx < self.senders.len(), "no such sender");
+        self.schedule.push(AppEvent::Train {
+            at,
+            sender_idx,
+            bytes,
+        });
+    }
+
+    /// Schedules the application to stop sender `sender_idx` at `at`:
+    /// unsent data is discarded, in-flight data drains normally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender_idx` is out of range.
+    pub fn schedule_stop(&mut self, sender_idx: usize, at: SimTime) {
+        assert!(sender_idx < self.senders.len(), "no such sender");
+        self.schedule.push(AppEvent::Stop { at, sender_idx });
+    }
+
+    /// Schedules a sequential request/response exchange: the first
+    /// response of `sizes` is handed to sender `sender_idx` at `start`,
+    /// and each subsequent one `think` after the previous response
+    /// completes. Only one sequence per sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender_idx` is out of range, `sizes` is empty, or the
+    /// sender already has a sequence.
+    pub fn schedule_response_sequence(
+        &mut self,
+        sender_idx: usize,
+        start: SimTime,
+        sizes: Vec<u64>,
+        think: netsim::time::Dur,
+    ) {
+        assert!(sender_idx < self.senders.len(), "no such sender");
+        assert!(!sizes.is_empty(), "empty response sequence");
+        let idx = self.sequences.len();
+        assert!(
+            self.seq_by_sender.insert(sender_idx, idx).is_none(),
+            "sender already has a response sequence"
+        );
+        self.sequences.push(ResponseSequence {
+            sender_idx,
+            start,
+            sizes,
+            think,
+            next: 0,
+        });
+    }
+
+    /// Borrows a sending connection by local index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn connection(&self, idx: usize) -> &Connection {
+        &self.senders[idx]
+    }
+
+    /// Mutably borrows a sending connection by local index (e.g. to enable
+    /// window recording before the run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn connection_mut(&mut self, idx: usize) -> &mut Connection {
+        &mut self.senders[idx]
+    }
+
+    /// All sending connections on this host.
+    pub fn connections(&self) -> &[Connection] {
+        &self.senders
+    }
+
+    /// Borrows a receiver by local index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn receiver(&self, idx: usize) -> &Receiver {
+        &self.receivers[idx]
+    }
+
+    /// Mutably borrows a receiver by local index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn receiver_mut(&mut self, idx: usize) -> &mut Receiver {
+        &mut self.receivers[idx]
+    }
+
+    /// All receivers on this host.
+    pub fn receivers(&self) -> &[Receiver] {
+        &self.receivers
+    }
+
+    /// The receiver serving `flow`, if any.
+    pub fn receiver_for_flow(&self, flow: FlowId) -> Option<&Receiver> {
+        self.recv_by_flow.get(&flow.0).map(|&i| &self.receivers[i])
+    }
+}
+
+impl TcpHost {
+    /// A train completed on sender `sender_idx`: if it drives a response
+    /// sequence with responses left, arm the think-time timer for the
+    /// next one.
+    fn advance_sequence(&mut self, ctx: &mut Ctx<'_, Segment>, sender_idx: usize) {
+        let Some(&seq_idx) = self.seq_by_sender.get(&sender_idx) else {
+            return;
+        };
+        let seq = &self.sequences[seq_idx];
+        if seq.next < seq.sizes.len() {
+            ctx.set_timer(seq.think, ((seq_idx as u64) << KIND_BITS) | KIND_SEQ);
+        }
+    }
+}
+
+impl Agent<Segment> for TcpHost {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Segment>) {
+        for (i, s) in self.schedule.iter().enumerate() {
+            let delay = s.at().saturating_since(SimTime::ZERO);
+            ctx.set_timer(delay, ((i as u64) << KIND_BITS) | KIND_APP);
+        }
+        for (i, seq) in self.sequences.iter().enumerate() {
+            let delay = seq.start.saturating_since(SimTime::ZERO);
+            ctx.set_timer(delay, ((i as u64) << KIND_BITS) | KIND_SEQ);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Segment>, pkt: Packet<Segment>) {
+        match pkt.payload.kind {
+            SegKind::Data { .. } => {
+                let Some(&idx) = self.recv_by_flow.get(&pkt.flow.0) else {
+                    return; // no receiver registered: drop silently
+                };
+                self.receivers[idx].on_data(ctx, pkt);
+            }
+            SegKind::Ack {
+                ack_seq,
+                echo_ts,
+                echo_probe,
+                echo_rtx,
+                ece,
+                sack,
+            } => {
+                let Some(&idx) = self.send_by_flow.get(&pkt.flow.0) else {
+                    return;
+                };
+                let before = self.senders[idx].completed_trains().len();
+                self.senders[idx].on_ack(ctx, ack_seq, echo_ts, echo_probe, echo_rtx, ece, &sack);
+                let after = self.senders[idx].completed_trains().len();
+                if after > before {
+                    self.advance_sequence(ctx, idx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Segment>, token: u64) {
+        let kind = token & ((1 << KIND_BITS) - 1);
+        let idx = (token >> KIND_BITS) as usize;
+        match kind {
+            KIND_RTO => self.senders[idx].on_rto_fire(ctx),
+            KIND_PROBE => self.senders[idx].on_probe_deadline_fire(ctx),
+            KIND_APP => match self.schedule[idx] {
+                AppEvent::Train {
+                    sender_idx, bytes, ..
+                } => self.senders[sender_idx].enqueue_train(ctx, bytes),
+                AppEvent::Stop { sender_idx, .. } => {
+                    self.senders[sender_idx].truncate_unsent()
+                }
+            },
+            KIND_DELACK => self.receivers[idx].on_delack_timer(ctx),
+            KIND_SEQ => {
+                let seq = &mut self.sequences[idx];
+                if seq.next < seq.sizes.len() {
+                    let bytes = seq.sizes[seq.next];
+                    seq.next += 1;
+                    let sender = seq.sender_idx;
+                    self.senders[sender].enqueue_train(ctx, bytes);
+                }
+            }
+            _ => unreachable!("unknown timer kind {kind}"),
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the TCP stack: reliability under arbitrary
+//! loss patterns, estimator bounds, and controller invariants.
+
+use proptest::prelude::*;
+
+use netsim::prelude::*;
+use netsim::time::SimTime;
+use trim_tcp::rto::RtoEstimator;
+use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
+
+/// Exactly-once delivery: whatever the buffer size, fan-in, and train
+/// schedule, every byte handed to TCP is eventually delivered in order,
+/// exactly once.
+fn reliability_case(
+    cc: CcKind,
+    n_senders: usize,
+    buffer: usize,
+    trains: &[(f64, u64)],
+) -> Result<(), TestCaseError> {
+    let mut sim: Simulator<Segment> = Simulator::new();
+    let sw = sim.add_switch();
+    let mut fe = TcpHost::new();
+    for i in 0..n_senders {
+        fe.add_receiver(FlowId(i as u64), TcpConfig::default());
+    }
+    let fe = sim.add_host(Box::new(fe));
+    sim.connect(
+        fe,
+        sw,
+        Bandwidth::gbps(1),
+        Dur::from_micros(20),
+        QueueConfig::drop_tail(buffer),
+    );
+    let cfg = TcpConfig::default().with_min_rto(Dur::from_millis(10));
+    let mut senders = Vec::new();
+    for i in 0..n_senders {
+        let mut h = TcpHost::new();
+        let idx = h.add_sender(FlowId(i as u64), fe, cfg, &cc);
+        for &(at, bytes) in trains {
+            h.schedule_train(idx, SimTime::from_secs_f64(at), bytes);
+        }
+        let node = sim.add_host(Box::new(h));
+        sim.connect(
+            node,
+            sw,
+            Bandwidth::gbps(1),
+            Dur::from_micros(20),
+            QueueConfig::drop_tail(buffer.max(32)),
+        );
+        senders.push(node);
+    }
+    sim.run_until(SimTime::from_secs(30));
+
+    let total_pkts: u64 = trains
+        .iter()
+        .map(|&(_, b)| b.div_ceil(1460))
+        .sum();
+    for (i, &s) in senders.iter().enumerate() {
+        let host: &TcpHost = sim.host(s);
+        let conn = host.connection(0);
+        prop_assert!(
+            conn.is_idle(),
+            "sender {i} incomplete: flight={} stats={:?}",
+            conn.flight(),
+            conn.stats()
+        );
+        prop_assert_eq!(conn.completed_trains().len(), trains.len());
+        let rx: &TcpHost = sim.host(fe);
+        let delivered = rx.receiver(i).stats().delivered_pkts;
+        prop_assert_eq!(delivered, total_pkts, "sender {} delivery", i);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reno delivers everything exactly once through lossy bottlenecks.
+    #[test]
+    fn reno_is_reliable_under_loss(
+        n_senders in 1usize..5,
+        buffer in 2usize..40,
+        trains in proptest::collection::vec(
+            (0.0f64..0.2, 1_000u64..200_000), 1..6),
+    ) {
+        reliability_case(CcKind::Reno, n_senders, buffer, &trains)?;
+    }
+
+    /// TCP-TRIM preserves TCP's reliability: probing and delay back-off
+    /// never lose or duplicate data.
+    #[test]
+    fn trim_is_reliable_under_loss(
+        n_senders in 1usize..5,
+        buffer in 2usize..40,
+        trains in proptest::collection::vec(
+            (0.0f64..0.2, 1_000u64..200_000), 1..6),
+    ) {
+        let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
+        reliability_case(trim, n_senders, buffer, &trains)?;
+    }
+
+    /// DCTCP under ECN marking also delivers exactly once.
+    #[test]
+    fn dctcp_is_reliable_under_marking(
+        n_senders in 1usize..4,
+        trains in proptest::collection::vec(
+            (0.0f64..0.1, 10_000u64..300_000), 1..4),
+    ) {
+        reliability_case(CcKind::Dctcp, n_senders, 30, &trains)?;
+    }
+
+    /// The RTO estimate is always within its configured bounds, for any
+    /// sample sequence.
+    #[test]
+    fn rto_respects_bounds(
+        samples in proptest::collection::vec(1u64..10_000_000_000, 0..200),
+        min_ms in 1u64..100,
+    ) {
+        let min = Dur::from_millis(min_ms);
+        let max = Dur::from_millis(min_ms * 10);
+        let mut e = RtoEstimator::new(min, max);
+        for &s in &samples {
+            e.observe(Dur::from_nanos(s));
+            let rto = e.rto();
+            prop_assert!(rto >= min && rto <= max, "rto {rto} out of bounds");
+        }
+    }
+
+    /// Window state clamps always hold after arbitrary controller input.
+    #[test]
+    fn cwnd_never_leaves_its_bounds(
+        acks in proptest::collection::vec(
+            (1u64..1_000_000, 0u64..5, any::<bool>(), any::<bool>()), 1..300),
+    ) {
+        use trim_tcp::cc::{AckInfo, WindowState};
+        for kind in [
+            CcKind::Reno,
+            CcKind::Cubic,
+            CcKind::Dctcp,
+            CcKind::L2dct,
+            CcKind::trim_with_capacity(1_000_000_000, 1460),
+            CcKind::Gip,
+        ] {
+            let mut cc = kind.build();
+            let mut w = WindowState::new(2.0, 64.0, 2.0, 1000.0);
+            let mut now_ns = 0;
+            let mut seq = 0u64;
+            for &(rtt_ns, newly, ece, probe) in &acks {
+                now_ns += rtt_ns / 4 + 1;
+                seq += newly;
+                cc.on_ack(&mut w, &AckInfo {
+                    now: SimTime::from_nanos(now_ns),
+                    rtt: Some(Dur::from_nanos(rtt_ns)),
+                    newly_acked: newly,
+                    ack_seq: seq,
+                    next_seq: seq + 10,
+                    flight: 10,
+                    ece,
+                    probe_echo: probe,
+                });
+                w.clamp_cwnd();
+                prop_assert!(
+                    w.cwnd >= 2.0 && w.cwnd <= 1000.0,
+                    "{}: cwnd {} escaped bounds",
+                    cc.name(),
+                    w.cwnd
+                );
+                prop_assert!(w.cwnd.is_finite());
+            }
+            // Loss handling also stays in bounds.
+            cc.on_fast_retransmit(&mut w, 10, SimTime::from_nanos(now_ns));
+            w.clamp_cwnd();
+            prop_assert!(w.cwnd >= 2.0);
+            cc.on_timeout(&mut w, 10, SimTime::from_nanos(now_ns));
+            w.clamp_cwnd();
+            prop_assert!(w.cwnd >= 2.0 && w.ssthresh >= 2.0);
+        }
+    }
+}

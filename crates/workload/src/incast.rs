@@ -1,0 +1,186 @@
+//! Partition/aggregate (incast) queries — the many-to-one pattern the
+//! paper's Section II.B.2 motivates: a front-end fans a query out to `n`
+//! workers whose response shards all arrive at (nearly) the same time,
+//! and the query completes when the *slowest* shard does.
+
+use netsim::time::Dur;
+use rand::Rng;
+use rand::RngExt;
+
+use crate::metrics::Summary;
+use crate::scenario::{Scenario, ScenarioBuilder, TrainSpec};
+
+/// Configuration of a partition/aggregate run.
+#[derive(Clone, Debug)]
+pub struct QueryConfig {
+    /// Number of workers per query.
+    pub workers: usize,
+    /// Response shard size in bytes.
+    pub shard_bytes: u64,
+    /// Number of queries issued (sequentially spaced by `query_gap`).
+    pub queries: usize,
+    /// Spacing between query fan-outs.
+    pub query_gap: Dur,
+    /// Warm-up responses per worker before the first query, so the
+    /// persistent connections carry inherited windows (see DESIGN.md §4).
+    pub warmup_responses: usize,
+    /// Random seed for warm-up sizes.
+    pub seed: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            workers: 16,
+            shard_bytes: 30_000,
+            queries: 5,
+            query_gap: Dur::from_millis(400),
+            warmup_responses: 10,
+            seed: 0x1ca5,
+        }
+    }
+}
+
+/// Results of one incast run.
+#[derive(Clone, Debug)]
+pub struct IncastReport {
+    /// Per-query completion time: the slowest shard of each query.
+    pub query_completion: Vec<Dur>,
+    /// Summary over all individual shard completions.
+    pub shards: Summary,
+    /// Retransmission timeouts across all workers.
+    pub timeouts: u64,
+    /// Packets dropped at the fan-in bottleneck.
+    pub drops: u64,
+}
+
+impl IncastReport {
+    /// Summary over query completion times (mean is the mean QCT).
+    pub fn queries(&self) -> Summary {
+        Summary::of(&self.query_completion)
+    }
+}
+
+/// Schedules the queries onto a built many-to-one [`Scenario`] and runs
+/// it. The scenario must have been built with at least
+/// [`QueryConfig::workers`] senders.
+///
+/// # Panics
+///
+/// Panics if the scenario has fewer senders than `cfg.workers`.
+pub fn run_incast<R: Rng + ?Sized>(mut sc: Scenario, cfg: &QueryConfig, rng: &mut R) -> IncastReport {
+    assert!(
+        sc.net().senders.len() >= cfg.workers,
+        "scenario has {} senders, need {}",
+        sc.net().senders.len(),
+        cfg.workers
+    );
+    // Warm-up: earlier responses grow each persistent connection.
+    for w in 0..cfg.workers {
+        let mut t = 0.001;
+        for _ in 0..cfg.warmup_responses {
+            sc.send_train(w, TrainSpec::at_secs(t, rng.random_range(2_000..=10_000)));
+            t += 0.002;
+        }
+    }
+    // Queries: synchronized shards, one train per worker per query.
+    let first_query = 0.001 + cfg.warmup_responses as f64 * 0.002 + 0.02;
+    for q in 0..cfg.queries {
+        let at = first_query + q as f64 * cfg.query_gap.as_secs_f64();
+        for w in 0..cfg.workers {
+            sc.send_train(w, TrainSpec::at_secs(at, cfg.shard_bytes));
+        }
+    }
+    let horizon = first_query + cfg.queries as f64 * cfg.query_gap.as_secs_f64() + 3.0;
+    let report = sc.run_for_secs(horizon);
+
+    let mut query_completion = Vec::with_capacity(cfg.queries);
+    let mut all_shards = Vec::new();
+    for q in 0..cfg.queries {
+        let shard_id = (cfg.warmup_responses + q) as u64;
+        let mut worst = Dur::ZERO;
+        let mut seen = 0;
+        for s in report.senders.iter().take(cfg.workers) {
+            for t in s.trains.iter().filter(|t| t.id == shard_id) {
+                let ct = t.completion_time();
+                worst = worst.max(ct);
+                all_shards.push(ct);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, cfg.workers, "query {q}: missing shards");
+        query_completion.push(worst);
+    }
+    IncastReport {
+        query_completion,
+        shards: Summary::of(&all_shards),
+        timeouts: report.total_timeouts(),
+        drops: report.bottleneck.dropped,
+    }
+}
+
+/// Convenience: builds the default 1 Gbps many-to-one fabric for
+/// `cfg.workers` workers with the given congestion control and runs the
+/// queries.
+pub fn incast_qct(cc: &trim_tcp::CcKind, cfg: &QueryConfig) -> IncastReport {
+    use rand::SeedableRng;
+    let mut builder = ScenarioBuilder::many_to_one(cfg.workers).congestion_control(cc.clone());
+    if cc.build().uses_ecn() {
+        // ECN-based protocols need a marking threshold at the switch
+        // (20 packets at 1 Gbps, per the DCTCP paper).
+        builder = builder.ecn_threshold(20);
+    }
+    let sc = builder.build();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    run_incast(sc, cfg, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trim_tcp::CcKind;
+
+    #[test]
+    fn all_queries_complete_and_are_counted() {
+        let cfg = QueryConfig {
+            workers: 4,
+            queries: 3,
+            ..QueryConfig::default()
+        };
+        let report = incast_qct(&CcKind::Reno, &cfg);
+        assert_eq!(report.query_completion.len(), 3);
+        assert_eq!(report.shards.count, 12);
+        // A query is never faster than its fastest shard.
+        assert!(report.queries().min >= report.shards.min);
+        assert!(report.queries().max <= report.shards.max + 1e-12);
+    }
+
+    #[test]
+    fn trim_beats_reno_at_wide_fanout() {
+        let cfg = QueryConfig {
+            workers: 16,
+            queries: 3,
+            ..QueryConfig::default()
+        };
+        let reno = incast_qct(&CcKind::Reno, &cfg);
+        let trim = incast_qct(&CcKind::trim_with_capacity(1_000_000_000, 1460), &cfg);
+        assert_eq!(trim.timeouts, 0, "{trim:?}");
+        assert!(reno.timeouts > 0, "{reno:?}");
+        assert!(
+            trim.queries().mean < reno.queries().mean,
+            "QCT: trim {} vs reno {}",
+            trim.queries().mean,
+            reno.queries().mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn too_few_senders_rejected() {
+        use rand::SeedableRng;
+        let sc = ScenarioBuilder::many_to_one(2).build();
+        let cfg = QueryConfig::default(); // wants 16 workers
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = run_incast(sc, &cfg, &mut rng);
+    }
+}

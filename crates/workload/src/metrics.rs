@@ -1,0 +1,135 @@
+//! Completion-time metrics: the ACT/ARCT summaries and CDFs the paper
+//! reports.
+
+use netsim::time::Dur;
+
+/// Summary statistics over a set of completion times.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean in seconds (the paper's ACT/ARCT).
+    pub mean: f64,
+    /// Minimum in seconds.
+    pub min: f64,
+    /// Maximum in seconds (the paper's tail metric).
+    pub max: f64,
+    /// Median in seconds.
+    pub p50: f64,
+    /// 99th percentile in seconds.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarizes a set of durations. Returns the zero summary when the
+    /// input is empty.
+    pub fn of(samples: &[Dur]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let mut secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let count = secs.len();
+        Summary {
+            count,
+            mean: secs.iter().sum::<f64>() / count as f64,
+            min: secs[0],
+            max: secs[count - 1],
+            p50: percentile_sorted(&secs, 0.50),
+            p99: percentile_sorted(&secs, 0.99),
+        }
+    }
+}
+
+/// The `p`-th percentile (0..=1) of an ascending-sorted slice, by the
+/// nearest-rank method.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample set");
+    assert!((0.0..=1.0).contains(&p), "percentile {p} out of range");
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Empirical CDF points `(value_seconds, cumulative_fraction)` suitable
+/// for plotting (Fig. 13(e)).
+pub fn cdf_points(samples: &[Dur]) -> Vec<(f64, f64)> {
+    let mut secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let n = secs.len();
+    secs.into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// The fraction of samples at or below `threshold`.
+pub fn fraction_below(samples: &[Dur], threshold: Dur) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&d| d <= threshold).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Dur {
+        Dur::from_millis(v)
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[ms(10), ms(20), ms(30), ms(40)]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 0.025).abs() < 1e-12);
+        assert_eq!(s.min, 0.010);
+        assert_eq!(s.max, 0.040);
+        assert_eq!(s.p50, 0.020);
+        assert_eq!(s.p99, 0.040);
+    }
+
+    #[test]
+    fn summary_empty() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = Summary::of(&[ms(7)]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.p50, 0.007);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 0.2), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 0.21), 2.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 5.0);
+    }
+
+    #[test]
+    fn cdf_points_cover_unit_interval() {
+        let pts = cdf_points(&[ms(3), ms(1), ms(2)]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (0.001, 1.0 / 3.0));
+        assert_eq!(pts[2], (0.003, 1.0));
+        // Sorted ascending by value.
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn fraction_below_threshold() {
+        let samples = [ms(10), ms(20), ms(30)];
+        assert_eq!(fraction_below(&samples, ms(20)), 2.0 / 3.0);
+        assert_eq!(fraction_below(&samples, ms(5)), 0.0);
+        assert_eq!(fraction_below(&[], ms(5)), 0.0);
+    }
+}

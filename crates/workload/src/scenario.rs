@@ -1,0 +1,418 @@
+//! Ready-made evaluation scenarios.
+//!
+//! [`ScenarioBuilder`] assembles the paper's workhorse many-to-one setup —
+//! N web servers sending packet trains to one front-end across a single
+//! switch — into a runnable [`Scenario`] with per-train completion
+//! records, per-connection statistics, and bottleneck-queue measurements.
+//! For other topologies, [`wire_flow`] and [`schedule_train`] wire TCP
+//! connections over any `netsim` topology built with empty
+//! [`TcpHost`] agents.
+
+use netsim::prelude::*;
+use netsim::time::SimTime;
+use netsim::topology::{self, LinkSpec, ManyToOne};
+use trim_tcp::conn::TrainRecord;
+use trim_tcp::{CcKind, ConnStats, Segment, TcpConfig, TcpHost};
+
+use crate::metrics::Summary;
+
+/// A train to inject: `bytes` handed to TCP at absolute time `at`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainSpec {
+    /// Injection time.
+    pub at: SimTime,
+    /// Application bytes.
+    pub bytes: u64,
+}
+
+impl TrainSpec {
+    /// A train of `bytes` at `t` seconds.
+    pub fn at_secs(t: f64, bytes: u64) -> Self {
+        TrainSpec {
+            at: SimTime::from_secs_f64(t),
+            bytes,
+        }
+    }
+}
+
+/// Registers a sender on `src` and a receiver on `dst` for `flow`, over
+/// any topology whose hosts are [`TcpHost`]s. Returns the sender's local
+/// index on `src` (needed by [`schedule_train`]).
+///
+/// # Panics
+///
+/// Panics if either node is not a [`TcpHost`] or the flow is already
+/// wired there.
+pub fn wire_flow(
+    sim: &mut Simulator<Segment>,
+    flow: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    cfg: TcpConfig,
+    cc: &CcKind,
+) -> usize {
+    sim.host_mut::<TcpHost>(dst).add_receiver(flow, cfg);
+    sim.host_mut::<TcpHost>(src).add_sender(flow, dst, cfg, cc)
+}
+
+/// Schedules a train on a sender previously wired with [`wire_flow`].
+///
+/// # Panics
+///
+/// Panics if `src` is not a [`TcpHost`] or `sender_idx` is out of range.
+pub fn schedule_train(
+    sim: &mut Simulator<Segment>,
+    src: NodeId,
+    sender_idx: usize,
+    spec: TrainSpec,
+) {
+    sim.host_mut::<TcpHost>(src)
+        .schedule_train(sender_idx, spec.at, spec.bytes);
+}
+
+/// Builder for the many-to-one scenario (Sections II.B and IV.A/B).
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    senders: usize,
+    cc: CcKind,
+    tcp: TcpConfig,
+    sender_link: LinkSpec,
+    front_end_link: LinkSpec,
+    record_cwnd: bool,
+    throughput_bin: Option<Dur>,
+    record_queue: bool,
+}
+
+impl ScenarioBuilder {
+    /// Starts a many-to-one scenario with `senders` web servers and the
+    /// paper's defaults: 1 Gbps links, 50 µs latency, 100-packet switch
+    /// buffer, Reno.
+    pub fn many_to_one(senders: usize) -> Self {
+        let link = LinkSpec::new(
+            Bandwidth::gbps(1),
+            Dur::from_micros(50),
+            QueueConfig::drop_tail(100),
+        );
+        ScenarioBuilder {
+            senders,
+            cc: CcKind::Reno,
+            tcp: TcpConfig::default(),
+            sender_link: link,
+            front_end_link: link,
+            record_cwnd: false,
+            throughput_bin: None,
+            record_queue: false,
+        }
+    }
+
+    /// Selects the congestion-control policy for every sender.
+    pub fn congestion_control(mut self, cc: CcKind) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Uses TCP-TRIM with `K` derived from this scenario's bottleneck.
+    pub fn trim(self) -> Self {
+        let bw = self.front_end_link.bandwidth.as_bps();
+        let mss = self.tcp.mss_bytes;
+        self.congestion_control(CcKind::trim_with_capacity(bw, mss))
+    }
+
+    /// Overrides the TCP configuration (RTO bounds, MSS, windows).
+    pub fn tcp_config(mut self, cfg: TcpConfig) -> Self {
+        self.tcp = cfg;
+        self
+    }
+
+    /// Overrides both link specs at once.
+    pub fn links(mut self, link: LinkSpec) -> Self {
+        self.sender_link = link;
+        self.front_end_link = link;
+        self
+    }
+
+    /// Overrides the sender-side links (for the asymmetric convergence
+    /// test, Fig. 10).
+    pub fn sender_links(mut self, link: LinkSpec) -> Self {
+        self.sender_link = link;
+        self
+    }
+
+    /// Overrides the front-end link (the bottleneck).
+    pub fn front_end_link(mut self, link: LinkSpec) -> Self {
+        self.front_end_link = link;
+        self
+    }
+
+    /// Sets the switch buffer size in packets on every queue.
+    pub fn buffer_pkts(mut self, pkts: usize) -> Self {
+        self.sender_link.queue = QueueConfig {
+            capacity: QueueCapacity::Packets(pkts),
+            ..self.sender_link.queue
+        };
+        self.front_end_link.queue = QueueConfig {
+            capacity: QueueCapacity::Packets(pkts),
+            ..self.front_end_link.queue
+        };
+        self
+    }
+
+    /// Enables ECN marking above `pkts` on every queue (for DCTCP/L2DCT).
+    pub fn ecn_threshold(mut self, pkts: usize) -> Self {
+        self.sender_link.queue.ecn_threshold = Some(pkts);
+        self.front_end_link.queue.ecn_threshold = Some(pkts);
+        self
+    }
+
+    /// Records every sender's congestion-window evolution.
+    pub fn record_cwnd(mut self) -> Self {
+        self.record_cwnd = true;
+        self
+    }
+
+    /// Meters per-flow goodput at the front-end in bins of `bin`.
+    pub fn throughput_bin(mut self, bin: Dur) -> Self {
+        self.throughput_bin = Some(bin);
+        self
+    }
+
+    /// Records the bottleneck queue-length time series (Fig. 9(a)).
+    pub fn record_queue(mut self) -> Self {
+        self.record_queue = true;
+        self
+    }
+
+    /// Assembles the simulator, topology and connections.
+    pub fn build(self) -> Scenario {
+        let mut sim: Simulator<Segment> = Simulator::new();
+        let net = topology::many_to_one_asym(
+            &mut sim,
+            self.senders,
+            self.sender_link,
+            self.front_end_link,
+            |_role| Box::new(TcpHost::new()),
+        );
+        for (i, &s) in net.senders.iter().enumerate() {
+            let flow = FlowId(i as u64);
+            let idx = wire_flow(&mut sim, flow, s, net.front_end, self.tcp, &self.cc);
+            debug_assert_eq!(idx, 0, "one sender per host");
+            if self.record_cwnd {
+                sim.host_mut::<TcpHost>(s)
+                    .connection_mut(0)
+                    .enable_cwnd_recording();
+            }
+            if let Some(bin) = self.throughput_bin {
+                sim.host_mut::<TcpHost>(net.front_end)
+                    .receiver_mut(i)
+                    .enable_throughput_meter(bin);
+            }
+        }
+        if self.record_queue {
+            sim.enable_queue_recording(net.bottleneck);
+        }
+        Scenario { sim, net }
+    }
+}
+
+/// A built many-to-one scenario, ready to receive trains and run.
+pub struct Scenario {
+    sim: Simulator<Segment>,
+    net: ManyToOne,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("senders", &self.net.senders.len())
+            .field("now", &self.sim.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scenario {
+    /// Schedules a train on sender `sender` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range or the simulation has already
+    /// started.
+    pub fn send_train(&mut self, sender: usize, spec: TrainSpec) {
+        let node = self.net.senders[sender];
+        schedule_train(&mut self.sim, node, 0, spec);
+    }
+
+    /// Schedules many trains at once.
+    pub fn send_trains(&mut self, sender: usize, specs: impl IntoIterator<Item = TrainSpec>) {
+        for s in specs {
+            self.send_train(sender, s);
+        }
+    }
+
+    /// The underlying simulator, for custom instrumentation.
+    pub fn sim_mut(&mut self) -> &mut Simulator<Segment> {
+        &mut self.sim
+    }
+
+    /// The topology handle.
+    pub fn net(&self) -> &ManyToOne {
+        &self.net
+    }
+
+    /// Runs until `secs` of simulated time and collects the report.
+    pub fn run_for_secs(&mut self, secs: f64) -> Report {
+        self.sim.run_until(SimTime::from_secs_f64(secs));
+        self.report()
+    }
+
+    /// Collects the report at the current simulated time without running
+    /// further.
+    pub fn report(&mut self) -> Report {
+        let bottleneck = self.sim.queue_stats(self.net.bottleneck);
+        let queue_series = self
+            .sim
+            .queue_samples(self.net.bottleneck)
+            .map(|s| s.to_vec());
+        let mut senders = Vec::new();
+        for (i, &node) in self.net.senders.iter().enumerate() {
+            let host: &TcpHost = self.sim.host(node);
+            let conn = host.connection(0);
+            let fe: &TcpHost = self.sim.host(self.net.front_end);
+            let meter = fe.receiver(i).meter().cloned();
+            senders.push(SenderReport {
+                sender: i,
+                cc: conn.cc_name(),
+                trains: conn.completed_trains().to_vec(),
+                stats: conn.stats(),
+                unfinished: !conn.is_idle(),
+                cwnd: conn.cwnd_series().cloned(),
+                goodput_bytes: fe.receiver(i).goodput_bytes(),
+                throughput: meter,
+            });
+        }
+        Report {
+            at: self.sim.now(),
+            senders,
+            bottleneck,
+            queue_series,
+        }
+    }
+}
+
+/// Per-sender results.
+#[derive(Clone, Debug)]
+pub struct SenderReport {
+    /// Sender index.
+    pub sender: usize,
+    /// Congestion-control name.
+    pub cc: &'static str,
+    /// Completed trains in completion order.
+    pub trains: Vec<TrainRecord>,
+    /// Connection counters.
+    pub stats: ConnStats,
+    /// Whether data was still outstanding at report time.
+    pub unfinished: bool,
+    /// Window evolution, when recorded.
+    pub cwnd: Option<Series>,
+    /// In-order bytes delivered at the front-end.
+    pub goodput_bytes: u64,
+    /// Binned goodput at the front-end, when metered.
+    pub throughput: Option<ThroughputMeter>,
+}
+
+/// Results of a many-to-one run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Simulated time of the report.
+    pub at: SimTime,
+    /// One entry per sender.
+    pub senders: Vec<SenderReport>,
+    /// Bottleneck queue statistics.
+    pub bottleneck: netsim::QueueStats,
+    /// Bottleneck queue-length series, when recorded.
+    pub queue_series: Option<Vec<netsim::QueueSample>>,
+}
+
+impl Report {
+    /// Total trains completed across all senders.
+    pub fn completed_trains(&self) -> usize {
+        self.senders.iter().map(|s| s.trains.len()).sum()
+    }
+
+    /// Total retransmission timeouts across all senders.
+    pub fn total_timeouts(&self) -> u64 {
+        self.senders.iter().map(|s| s.stats.timeouts).sum()
+    }
+
+    /// All completion times across all senders.
+    pub fn completion_times(&self) -> Vec<Dur> {
+        self.senders
+            .iter()
+            .flat_map(|s| s.trains.iter().map(|t| t.completion_time()))
+            .collect()
+    }
+
+    /// Summary of all completion times (the paper's ACT is `.mean`).
+    pub fn act(&self) -> Summary {
+        Summary::of(&self.completion_times())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_runs_the_motivating_example() {
+        let mut sc = ScenarioBuilder::many_to_one(3).build();
+        for s in 0..3 {
+            sc.send_train(s, TrainSpec::at_secs(0.01, 50_000));
+        }
+        let report = sc.run_for_secs(1.0);
+        assert_eq!(report.completed_trains(), 3);
+        assert_eq!(report.total_timeouts(), 0);
+        assert!(report.act().mean > 0.0);
+        for s in &report.senders {
+            assert_eq!(s.cc, "reno");
+            assert!(!s.unfinished);
+            assert_eq!(s.goodput_bytes % 1460, 0);
+        }
+    }
+
+    #[test]
+    fn trim_builder_configures_capacity() {
+        let mut sc = ScenarioBuilder::many_to_one(2).trim().record_cwnd().build();
+        sc.send_train(0, TrainSpec::at_secs(0.001, 20_000));
+        sc.send_train(1, TrainSpec::at_secs(0.001, 20_000));
+        let report = sc.run_for_secs(0.5);
+        assert_eq!(report.completed_trains(), 2);
+        assert_eq!(report.senders[0].cc, "trim");
+        assert!(report.senders[0].cwnd.is_some());
+    }
+
+    #[test]
+    fn queue_and_throughput_instrumentation() {
+        let mut sc = ScenarioBuilder::many_to_one(2)
+            .record_queue()
+            .throughput_bin(Dur::from_millis(1))
+            .build();
+        sc.send_train(0, TrainSpec::at_secs(0.0, 100_000));
+        sc.send_train(1, TrainSpec::at_secs(0.0, 100_000));
+        let report = sc.run_for_secs(0.5);
+        assert!(report.queue_series.is_some());
+        let m = report.senders[0].throughput.as_ref().unwrap();
+        assert_eq!(m.total_bytes(), report.senders[0].goodput_bytes);
+        assert!(report.bottleneck.enqueued > 0);
+    }
+
+    #[test]
+    fn asymmetric_links_build() {
+        let sc = ScenarioBuilder::many_to_one(5)
+            .sender_links(LinkSpec::new(
+                Bandwidth::bps(1_100_000_000),
+                Dur::from_micros(50),
+                QueueConfig::drop_tail(100),
+            ))
+            .build();
+        assert_eq!(sc.net().senders.len(), 5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Convergence and fairness (the Fig. 10 scenario): five long flows
+//! arrive two seconds apart on a shared 1 Gbps bottleneck, then leave one
+//! by one. Watch each protocol's per-flow throughput as the competition
+//! changes.
+//!
+//! Run with `cargo run --example fairness --release`.
+
+use tcp_trim::prelude::*;
+use tcp_trim::tcp::TcpHost;
+
+fn run(cc: &CcKind) -> Vec<Vec<(SimTime, f64)>> {
+    let mut sc = ScenarioBuilder::many_to_one(5)
+        .congestion_control(cc.clone())
+        .throughput_bin(Dur::from_millis(500))
+        .build();
+    for i in 0..5 {
+        // Base-RTT warm-up on the idle network (the paper establishes all
+        // connections before any data flows).
+        sc.send_train(i, TrainSpec::at_secs(0.001 + 0.0002 * i as f64, 1));
+        // The staggered long flow.
+        sc.send_train(i, TrainSpec::at_secs(0.1 + 2.0 * i as f64, 4_000_000_000));
+        let node = sc.net().senders[i];
+        sc.sim_mut()
+            .host_mut::<TcpHost>(node)
+            .schedule_stop(0, SimTime::from_secs_f64(12.1 + 2.0 * i as f64));
+    }
+    let report = sc.run_for_secs(22.0);
+    report
+        .senders
+        .iter()
+        .map(|s| s.throughput.as_ref().expect("metered").mbps_series())
+        .collect()
+}
+
+fn at(series: &[(SimTime, f64)], t: f64) -> f64 {
+    let target = SimTime::from_secs_f64(t);
+    let i = series.partition_point(|&(at, _)| at <= target);
+    if i == 0 {
+        return 0.0;
+    }
+    // Beyond a stopped flow's last bin the throughput is zero.
+    let (bin_start, v) = series[i - 1];
+    if target.saturating_since(bin_start) > Dur::from_millis(500) {
+        0.0
+    } else {
+        v
+    }
+}
+
+fn main() {
+    let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
+    for cc in [CcKind::Reno, trim] {
+        let series = run(&cc);
+        println!("==== {} — per-flow throughput (Mbps) ====", cc.name());
+        println!(
+            "{:>6} {:>7} {:>7} {:>7} {:>7} {:>7}  (fair share)",
+            "t", "c1", "c2", "c3", "c4", "c5"
+        );
+        for step in 0..10 {
+            let t = 1.0 + 2.0 * step as f64;
+            let active = if t < 12.1 {
+                (step + 1).min(5)
+            } else {
+                5usize.saturating_sub(step - 5)
+            };
+            let shares: Vec<f64> = series.iter().map(|s| at(s, t)).collect();
+            println!(
+                "{:>5.1}s {:>7.0} {:>7.0} {:>7.0} {:>7.0} {:>7.0}  ({:.0})",
+                t,
+                shares[0],
+                shares[1],
+                shares[2],
+                shares[3],
+                shares[4],
+                if active > 0 { 1000.0 / active as f64 } else { 0.0 }
+            );
+        }
+        println!();
+    }
+}

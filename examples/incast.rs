@@ -1,0 +1,66 @@
+//! Partition/aggregate incast: a front-end fans a query out to many
+//! workers whose responses all arrive at (nearly) the same instant — the
+//! many-to-one pattern of Section II.B.2. Sweep the fan-out and watch
+//! plain TCP fall off a cliff while TCP-TRIM degrades gracefully.
+//!
+//! Run with `cargo run --example incast --release`.
+
+use tcp_trim::prelude::*;
+
+/// One aggregation round: `n` workers each return a 30 KB shard at t=1ms,
+/// after a warm-up exchange that gives the persistent connections an
+/// inherited window.
+fn round(cc: &CcKind, n: usize) -> (f64, u64) {
+    let mut scenario = ScenarioBuilder::many_to_one(n)
+        .congestion_control(cc.clone())
+        .build();
+    for w in 0..n {
+        // Warm-up: a few earlier responses grow the window.
+        for k in 0..10 {
+            scenario.send_train(w, TrainSpec::at_secs(0.001 + k as f64 * 0.002, 8_000));
+        }
+        // The measured aggregation burst.
+        scenario.send_train(w, TrainSpec::at_secs(0.05, 30_000));
+    }
+    let report = scenario.run_for_secs(3.0);
+    let times: Vec<_> = report
+        .senders
+        .iter()
+        .flat_map(|s| {
+            s.trains
+                .iter()
+                .filter(|t| t.id == 10)
+                .map(|t| t.completion_time())
+        })
+        .collect();
+    assert_eq!(times.len(), n, "every shard must arrive");
+    let summary = tcp_trim::workload::Summary::of(&times);
+    (summary.max, report.total_timeouts())
+}
+
+fn main() {
+    let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
+    println!("aggregation of n x 30 KB shards (query completes at the slowest shard)\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "workers", "tcp_worst", "trim_worst", "tcp_rtos", "trim_rtos"
+    );
+    for n in [4, 8, 16, 24, 32] {
+        let (tcp_max, tcp_to) = round(&CcKind::Reno, n);
+        let (trim_max, trim_to) = round(&trim, n);
+        println!(
+            "{:>8} {:>12.2}ms {:>12.2}ms {:>12} {:>12}",
+            n,
+            tcp_max * 1e3,
+            trim_max * 1e3,
+            tcp_to,
+            trim_to
+        );
+    }
+    println!(
+        "\nThe query is as slow as its slowest shard: one RTO (>=200 ms) on any\n\
+         worker stalls the whole aggregation. TCP-TRIM's probing + delay-based\n\
+         queue control keeps the switch buffer shallow enough to absorb the\n\
+         synchronized burst."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: five web servers send one HTTP response each to a
+//! front-end over a 1 Gbps bottleneck, once with plain TCP (Reno) and
+//! once with TCP-TRIM, and we compare completion times and timeouts.
+//!
+//! Run with `cargo run --example quickstart --release`.
+
+use tcp_trim::prelude::*;
+
+fn main() {
+    let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
+    println!("five servers, one 64 KB response each at t = 10 ms\n");
+    println!(
+        "{:<8} {:>10} {:>10} {:>9} {:>7}",
+        "cc", "act", "max_ct", "timeouts", "drops"
+    );
+    for cc in [CcKind::Reno, trim] {
+        let mut scenario = ScenarioBuilder::many_to_one(5)
+            .congestion_control(cc.clone())
+            .build();
+        for s in 0..5 {
+            scenario.send_train(s, TrainSpec::at_secs(0.01, 64 * 1024));
+        }
+        let report = scenario.run_for_secs(1.0);
+        assert_eq!(report.completed_trains(), 5);
+        let act = report.act();
+        println!(
+            "{:<8} {:>8.2}ms {:>8.2}ms {:>9} {:>7}",
+            cc.name(),
+            act.mean * 1e3,
+            act.max * 1e3,
+            report.total_timeouts(),
+            report.bottleneck.dropped,
+        );
+    }
+
+    // The analytical side: the RTT threshold TCP-TRIM derives for this
+    // network (Eq. 22 of the paper).
+    let c = 1e9 / (1460.0 * 8.0); // packets per second
+    let d = 224_000; // ~base RTT of the topology in ns
+    let k = kmodel::k_lower_bound_ns(c, d);
+    println!(
+        "\nK guideline for this network: {:.0} us (base RTT {:.0} us)",
+        k as f64 / 1e3,
+        d as f64 / 1e3
+    );
+    let st = kmodel::steady_state(c, d, k, 5);
+    println!(
+        "steady state with 5 synchronized senders: target queue {:.1} pkts, \
+         peak {:.1} pkts, full utilization: {}",
+        st.target_queue, st.max_queue, st.full_utilization
+    );
+}

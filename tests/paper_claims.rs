@@ -1,0 +1,209 @@
+//! Integration tests of the paper's headline claims through the public
+//! facade: each test exercises the full stack (workload -> TCP -> switch
+//! queues -> metrics) end to end.
+
+use tcp_trim::core::{kmodel, Trim, TrimConfig, WindowAction};
+use tcp_trim::prelude::*;
+
+/// Section II.B: blind window inheritance causes timeouts; Section IV.A:
+/// TCP-TRIM removes them and bounds the queue below 20 packets.
+#[test]
+fn impairment_reproduces_fig4_and_fig6() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tcp_trim::workload::http::impairment_workload;
+
+    let run = |cc: CcKind| {
+        let mut sc = ScenarioBuilder::many_to_one(5)
+            .congestion_control(cc)
+            .record_cwnd()
+            .build();
+        let mut rng = StdRng::seed_from_u64(42);
+        for s in 0..5 {
+            sc.send_trains(s, impairment_workload(&mut rng));
+        }
+        sc.run_for_secs(3.0)
+    };
+    let reno = run(CcKind::Reno);
+    let trim = run(CcKind::trim_with_capacity(1_000_000_000, 1460));
+
+    // Fig. 4: Reno inherits ~900-packet windows and hits timeouts.
+    assert!(reno.total_timeouts() >= 2);
+    let reno_peak_cwnd = reno.senders[4]
+        .cwnd
+        .as_ref()
+        .and_then(|s| s.value_at(SimTime::from_secs_f64(0.499)))
+        .expect("recorded");
+    assert!(
+        reno_peak_cwnd > 500.0,
+        "paper: window close to 900, got {reno_peak_cwnd}"
+    );
+
+    // Fig. 6: TRIM never times out, never drops, queue stays under ~20.
+    assert_eq!(trim.total_timeouts(), 0);
+    assert_eq!(trim.bottleneck.dropped, 0);
+    assert!(trim.bottleneck.max_len <= 25, "queue {}", trim.bottleneck.max_len);
+    let trim_peak_cwnd = trim.senders[4]
+        .cwnd
+        .as_ref()
+        .and_then(|s| s.value_at(SimTime::from_secs_f64(0.499)))
+        .expect("recorded");
+    assert!(
+        trim_peak_cwnd <= 20.0,
+        "paper: window never exceeds 20, got {trim_peak_cwnd}"
+    );
+
+    // Headline: up to 80% reduction in completion time; here the LPT
+    // completion shrinks from RTO-scale to milliseconds.
+    let lpt_ct = |r: &tcp_trim::workload::Report| {
+        r.senders
+            .iter()
+            .flat_map(|s| s.trains.iter().filter(|t| t.id == 200))
+            .map(|t| t.completion_time().as_secs_f64())
+            .fold(0.0f64, f64::max)
+    };
+    let (reno_lpt, trim_lpt) = (lpt_ct(&reno), lpt_ct(&trim));
+    assert!(
+        trim_lpt < 0.2 * reno_lpt,
+        "LPT completion: trim {trim_lpt}s vs reno {reno_lpt}s"
+    );
+}
+
+/// The abstract's claim: "reduces the completion time of HTTP response by
+/// up to 80%" — measured on the concurrent-SPT scenario (Fig. 7).
+#[test]
+fn trim_reduces_act_by_up_to_80_percent() {
+    let run = |cc: CcKind| {
+        let mut sc = ScenarioBuilder::many_to_one(8)
+            .congestion_control(cc)
+            .build();
+        // Two long trains plus six short bursts from warmed-up senders.
+        sc.send_train(0, TrainSpec::at_secs(0.1, 20_000_000));
+        sc.send_train(1, TrainSpec::at_secs(0.1, 20_000_000));
+        for s in 2..8 {
+            for k in 0..50 {
+                sc.send_train(s, TrainSpec::at_secs(0.1 + k as f64 * 0.004, 6_000));
+            }
+            sc.send_train(s, TrainSpec::at_secs(0.3, 15_000));
+        }
+        let report = sc.run_for_secs(3.0);
+        let times: Vec<_> = report
+            .senders
+            .iter()
+            .skip(2)
+            .flat_map(|s| {
+                s.trains
+                    .iter()
+                    .filter(|t| t.id == 50)
+                    .map(|t| t.completion_time())
+            })
+            .collect();
+        assert_eq!(times.len(), 6, "every measured SPT completes");
+        tcp_trim::workload::Summary::of(&times).mean
+    };
+    let tcp_act = run(CcKind::Reno);
+    let trim_act = run(CcKind::trim_with_capacity(1_000_000_000, 1460));
+    assert!(
+        trim_act < 0.5 * tcp_act,
+        "trim {trim_act}s vs tcp {tcp_act}s"
+    );
+}
+
+/// The K guideline (Eq. 22) taken from a live connection matches the
+/// analytical model, and the simulated queue respects the model's target.
+#[test]
+fn live_k_matches_model_and_queue_respects_target() {
+    let cfg = TrimConfig::default().with_capacity(1_000_000_000, 1460);
+    let mut sc = ScenarioBuilder::many_to_one(5)
+        .congestion_control(CcKind::Trim(cfg))
+        .build();
+    for s in 0..5 {
+        sc.send_train(s, TrainSpec::at_secs(0.1, 10_000_000));
+    }
+    let report = sc.run_for_secs(2.0);
+    assert_eq!(report.completed_trains(), 5);
+    assert_eq!(report.bottleneck.dropped, 0);
+
+    // Reconstruct the model at the topology's base RTT. The many-to-one
+    // default is 1 Gbps / 50 us per link, two hops each way.
+    let c = 1e9 / (1460.0 * 8.0);
+    let d = 224_000; // ns, measured base RTT of the default topology
+    let k = kmodel::k_lower_bound_ns(c, d);
+    let st = kmodel::steady_state(c, d, k, 5);
+    // The observed peak queue stays within the same regime as the model's
+    // peak (allowing the margin-floored K and slow-start transients).
+    assert!(
+        (report.bottleneck.max_len as f64) < 4.0 * st.max_queue + 20.0,
+        "observed {} vs model peak {}",
+        report.bottleneck.max_len,
+        st.max_queue
+    );
+}
+
+/// The pure algorithm and the simulated connection agree on probing: a
+/// standalone `Trim` fed the same gap produces the same decision the
+/// in-simulator controller acted on.
+#[test]
+fn pure_state_machine_agrees_with_simulation() {
+    // Pure run.
+    let cfg = TrimConfig::default().with_capacity(1_000_000_000, 1460);
+    let mut pure = Trim::new(cfg).expect("valid");
+    pure.on_ack(0, 224_000, false);
+    pure.note_sent(300_000);
+    let decision = pure.on_send_attempt(10_000_000, 40.0);
+    assert!(matches!(
+        decision,
+        tcp_trim::core::SendDecision::StartProbe { .. }
+    ));
+    pure.begin_probe(40.0, 2);
+    let a1 = pure.on_ack(10_300_000, 230_000, true);
+    assert_eq!(a1, WindowAction::None);
+    let a2 = pure.on_ack(10_400_000, 230_000, true);
+    match a2 {
+        WindowAction::SetAndResume(w) => assert!(w > 2.0 && w <= 40.0),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Simulated run with the same shape: two trains a long gap apart.
+    let mut sc = ScenarioBuilder::many_to_one(1)
+        .congestion_control(CcKind::Trim(cfg))
+        .build();
+    sc.send_train(0, TrainSpec::at_secs(0.01, 60_000));
+    sc.send_train(0, TrainSpec::at_secs(0.11, 60_000));
+    let report = sc.run_for_secs(1.0);
+    let stats = report.senders[0].stats;
+    assert!(
+        stats.probes_sent >= 2,
+        "the second train must be probed: {stats:?}"
+    );
+    assert_eq!(stats.timeouts, 0);
+    assert_eq!(report.completed_trains(), 2);
+}
+
+/// Determinism across the full stack: identical seeds give identical
+/// reports.
+#[test]
+fn full_stack_runs_are_deterministic() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tcp_trim::workload::http::impairment_workload;
+
+    let run = || {
+        let mut sc = ScenarioBuilder::many_to_one(3)
+            .congestion_control(CcKind::trim_with_capacity(1_000_000_000, 1460))
+            .build();
+        let mut rng = StdRng::seed_from_u64(7);
+        for s in 0..3 {
+            sc.send_trains(s, impairment_workload(&mut rng));
+        }
+        let r = sc.run_for_secs(2.0);
+        (
+            r.completed_trains(),
+            r.total_timeouts(),
+            r.bottleneck.enqueued,
+            r.bottleneck.max_len,
+            (r.act().mean * 1e12) as u64,
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -2,7 +2,9 @@ use netsim::prelude::*;
 use netsim::time::SimTime;
 use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
 fn main() {
-    let cfg = TcpConfig::default().with_min_rto(Dur::from_millis(20)).with_sack();
+    let cfg = TcpConfig::default()
+        .with_min_rto(Dur::from_millis(20))
+        .with_sack();
     let mut sim: Simulator<Segment> = Simulator::new();
     let mut rx = TcpHost::new();
     rx.add_receiver(FlowId(0), cfg);
@@ -11,7 +13,13 @@ fn main() {
     let idx = tx.add_sender(FlowId(0), rx_node, cfg, &CcKind::Reno);
     tx.schedule_train(idx, SimTime::from_secs_f64(0.001), 60 * 1460);
     let tx_node = sim.add_host(Box::new(tx));
-    let (data_ch, _) = sim.connect(tx_node, rx_node, Bandwidth::gbps(1), Dur::from_micros(50), QueueConfig::drop_tail(1000));
+    let (data_ch, _) = sim.connect(
+        tx_node,
+        rx_node,
+        Bandwidth::gbps(1),
+        Dur::from_micros(50),
+        QueueConfig::drop_tail(1000),
+    );
     sim.inject_channel_drops(data_ch, [6, 11, 16, 21, 26]);
     // step in small increments and print conn state
     for step in 1..2000 {
@@ -21,8 +29,17 @@ fn main() {
         if step % 10 == 0 || !c.completed_trains().is_empty() {
             let rxh: &TcpHost = sim.host(rx_node);
             let rs = rxh.receiver(0).stats();
-            println!("t={:.1}ms flight={} cwnd={:.1} tx={:?} rx={:?}", step as f64 / 10.0, c.flight(), c.cwnd(), c.stats(), rs);
-            if !c.completed_trains().is_empty() { break; }
+            println!(
+                "t={:.1}ms flight={} cwnd={:.1} tx={:?} rx={:?}",
+                step as f64 / 10.0,
+                c.flight(),
+                c.cwnd(),
+                c.stats(),
+                rs
+            );
+            if !c.completed_trains().is_empty() {
+                break;
+            }
         }
     }
 }

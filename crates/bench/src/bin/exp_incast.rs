@@ -1,9 +1,7 @@
-//! Regenerates the extension experiment in `experiments::incast`.
-//! Pass `--full` for the wider sweep.
+//! Regenerates the paper artifact covered by `experiments::incast` via
+//! the campaign engine. Accepts the shared trim-bench flags
+//! (`--full`, `--jobs`, `--force`, ...); see `--help`.
 
 fn main() {
-    let effort = trim_experiments::Effort::from_args();
-    for t in trim_experiments::experiments::incast::run(effort) {
-        t.print();
-    }
+    trim_experiments::single_experiment_main("incast");
 }

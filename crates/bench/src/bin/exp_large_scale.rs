@@ -1,9 +1,7 @@
-//! Regenerates the paper artifact covered by `experiments::large_scale`.
-//! Pass `--full` for paper-scale parameters.
+//! Regenerates the paper artifact covered by `experiments::large_scale` via
+//! the campaign engine. Accepts the shared trim-bench flags
+//! (`--full`, `--jobs`, `--force`, ...); see `--help`.
 
 fn main() {
-    let effort = trim_experiments::Effort::from_args();
-    for t in trim_experiments::experiments::large_scale::run(effort) {
-        t.print();
-    }
+    trim_experiments::single_experiment_main("large_scale");
 }

@@ -1,9 +1,7 @@
-//! Regenerates the paper artifact covered by `experiments::testbed`.
-//! Pass `--full` for paper-scale parameters.
+//! Regenerates the paper artifact covered by `experiments::testbed` via
+//! the campaign engine. Accepts the shared trim-bench flags
+//! (`--full`, `--jobs`, `--force`, ...); see `--help`.
 
 fn main() {
-    let effort = trim_experiments::Effort::from_args();
-    for t in trim_experiments::experiments::testbed::run(effort) {
-        t.print();
-    }
+    trim_experiments::single_experiment_main("testbed");
 }

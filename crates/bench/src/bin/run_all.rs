@@ -1,37 +1,12 @@
 //! Runs every experiment in sequence, regenerating all tables and
-//! figures of the paper. Pass `--full` for paper-scale parameters.
-
-use std::time::Instant;
-
-/// One experiment: a name and its regenerator.
-type Experiment = (
-    &'static str,
-    fn(trim_experiments::Effort) -> Vec<trim_experiments::Table>,
-);
+//! figures of the paper. Kept as an alias of `trim-bench` (same flags,
+//! same campaign engine) for scripts that predate the unified CLI.
 
 fn main() {
-    let effort = trim_experiments::Effort::from_args();
-    let suite: &[Experiment] = &[
-        ("fig1-2 trace", trim_experiments::experiments::trace::run),
-        ("fig4/6 impairment", trim_experiments::experiments::impairment::run),
-        ("fig5/7 concurrency", trim_experiments::experiments::concurrency::run),
-        ("fig8 large-scale", trim_experiments::experiments::large_scale::run),
-        ("fig9 properties", trim_experiments::experiments::properties::run),
-        ("fig10 convergence", trim_experiments::experiments::convergence::run),
-        ("fig11 multi-hop", trim_experiments::experiments::multihop::run),
-        ("fig12/tab1 fat-tree", trim_experiments::experiments::fat_tree::run),
-        ("fig13 testbed", trim_experiments::experiments::testbed::run),
-        ("kmodel guideline", trim_experiments::experiments::kmodel::run),
-        ("ablations", trim_experiments::experiments::ablation::run),
-        ("ext: incast QCT", trim_experiments::experiments::incast::run),
-        ("ext: RTO sensitivity", trim_experiments::experiments::rto_sensitivity::run),
-    ];
-    for (name, run) in suite {
-        let t0 = Instant::now();
-        println!("\n########## {name} ##########");
-        for table in run(effort) {
-            table.print();
-        }
-        println!("[{name}: {:.1}s]", t0.elapsed().as_secs_f64());
+    let ids = trim_experiments::registry::ids();
+    let args = trim_harness::cli::parse_env_or_exit("run_all", &ids);
+    if let Err(msg) = trim_experiments::drive(&args) {
+        eprintln!("run_all: {msg}");
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,24 @@
+//! `trim-bench` — the unified campaign CLI.
+//!
+//! Runs any subset of the paper's experiments as parallel, resumable
+//! campaigns:
+//!
+//! ```text
+//! trim-bench                         # everything, quick effort
+//! trim-bench --full --jobs 8         # paper-scale sweeps on 8 workers
+//! trim-bench --only trace,kmodel     # a selection
+//! trim-bench --list                  # experiment ids and titles
+//! trim-bench --force                 # recompute, ignoring results/jobs
+//! ```
+//!
+//! Artifacts land under `results/` (see the README for the layout);
+//! completed jobs are skipped on re-runs unless `--force` is given.
+
+fn main() {
+    let ids = trim_experiments::registry::ids();
+    let args = trim_harness::cli::parse_env_or_exit("trim-bench", &ids);
+    if let Err(msg) = trim_experiments::drive(&args) {
+        eprintln!("trim-bench: {msg}");
+        std::process::exit(1);
+    }
+}

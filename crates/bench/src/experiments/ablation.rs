@@ -3,19 +3,26 @@
 //! choices, per-RTT versus per-ACK back-off, and Eq. 1 window tuning
 //! versus a GIP-style fixed restart. Each variant runs the Fig. 4/6
 //! impairment scenario and the Fig. 7 concurrency cell.
+//!
+//! The scenarios pin their own workload seeds (42 for the impairment
+//! workload, the legacy cell seed for the concurrency point) so every
+//! variant sees the identical traffic; the campaign jobs therefore
+//! ignore their derived seeds.
 
 use netsim::prelude::*;
 use netsim::topology::LinkSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trim_core::TrimConfig;
+use trim_harness::{Campaign, JobRecord};
 use trim_tcp::CcKind;
 use trim_workload::http::impairment_workload;
 use trim_workload::scenario::ScenarioBuilder;
 
 use crate::experiments::concurrency;
+use crate::num;
 use crate::table::fmt_secs;
-use crate::{parallel_map, results_dir, Effort, Table};
+use crate::{Effort, Table};
 
 /// A named TRIM variant (or baseline) for the ablation grid.
 #[derive(Clone, Debug)]
@@ -35,8 +42,20 @@ pub fn variants() -> Vec<Variant> {
     };
     vec![
         mk("trim (paper)", base),
-        mk("probe=1", TrimConfig { probe_packets: 1, ..base }),
-        mk("probe=4", TrimConfig { probe_packets: 4, ..base }),
+        mk(
+            "probe=1",
+            TrimConfig {
+                probe_packets: 1,
+                ..base
+            },
+        ),
+        mk(
+            "probe=4",
+            TrimConfig {
+                probe_packets: 4,
+                ..base
+            },
+        ),
         mk("alpha=0.1", TrimConfig { alpha: 0.1, ..base }),
         mk("alpha=0.5", TrimConfig { alpha: 0.5, ..base }),
         mk(
@@ -112,42 +131,34 @@ pub fn impairment_cell_with_queue(cc: &CcKind, queue: QueueConfig) -> AblationCe
     }
 }
 
-/// Runs the experiment and returns its tables.
-pub fn run(_effort: Effort) -> Vec<Table> {
-    let vs = variants();
-    let imp = parallel_map(vs.clone(), |v| impairment_cell(&v.cc));
-    let mut t1 = Table::new(
-        "Ablation — impairment scenario (5 servers, Fig. 4/6 workload)",
-        &["variant", "timeouts", "drops", "max_queue", "act"],
-    );
-    for (v, c) in vs.iter().zip(&imp) {
-        t1.row(&[
-            v.name.to_string(),
-            format!("{}", c.timeouts),
-            format!("{}", c.drops),
-            format!("{}", c.max_queue),
-            fmt_secs(c.act),
-        ]);
-    }
+/// The raw artifact for an impairment-style cell.
+fn impairment_table(c: AblationCell) -> Table {
+    let mut t = Table::new("cell", &["timeouts", "drops", "max_queue", "act"]);
+    t.row(&[
+        c.timeouts.to_string(),
+        c.drops.to_string(),
+        c.max_queue.to_string(),
+        num(c.act),
+    ]);
+    t
+}
 
-    let conc = parallel_map(vs.clone(), |v| concurrency::run_cell(&v.cc, 8, 2));
-    let mut t2 = Table::new(
-        "Ablation — concurrency cell (8 SPTs + 2 LPTs, Fig. 7 point)",
-        &["variant", "spt_act", "spt_max", "timeouts"],
-    );
-    for (v, c) in vs.iter().zip(&conc) {
-        t2.row(&[
-            v.name.to_string(),
-            fmt_secs(c.spt.mean),
-            fmt_secs(c.spt.max),
-            format!("{}", c.timeouts),
-        ]);
-    }
+fn record_for<'a>(records: &'a [JobRecord], key: &str) -> &'a JobRecord {
+    records
+        .iter()
+        .find(|r| r.key == key)
+        .unwrap_or_else(|| panic!("missing job '{key}'"))
+}
 
-    // Can a switch-side AQM substitute for TRIM's end-host control?
+/// The switch-AQM comparison grid: (label, protocol, queue discipline).
+fn aqm_rows() -> Vec<(&'static str, CcKind, QueueConfig)> {
     let red = RedConfig::default();
-    let aqm_rows: Vec<(&str, CcKind, QueueConfig)> = vec![
-        ("reno + drop-tail", CcKind::Reno, QueueConfig::drop_tail(100)),
+    vec![
+        (
+            "reno + drop-tail",
+            CcKind::Reno,
+            QueueConfig::drop_tail(100),
+        ),
         (
             "reno + RED",
             CcKind::Reno,
@@ -163,29 +174,96 @@ pub fn run(_effort: Effort) -> Vec<Table> {
             CcKind::trim_with_capacity(1_000_000_000, 1460),
             QueueConfig::drop_tail(100),
         ),
-    ];
-    let aqm_cells = parallel_map(aqm_rows.clone(), |(_, cc, q)| {
-        impairment_cell_with_queue(&cc, q)
-    });
-    let mut t3 = Table::new(
-        "Ablation — switch AQM vs end-host control (impairment workload)",
-        &["setup", "timeouts", "drops", "max_queue", "act"],
-    );
-    for ((name, _, _), c) in aqm_rows.iter().zip(&aqm_cells) {
-        t3.row(&[
-            name.to_string(),
-            format!("{}", c.timeouts),
-            format!("{}", c.drops),
-            format!("{}", c.max_queue),
-            fmt_secs(c.act),
-        ]);
-    }
+    ]
+}
 
-    let dir = results_dir();
-    let _ = t1.write_csv(&dir, "ablation_impairment");
-    let _ = t2.write_csv(&dir, "ablation_concurrency");
-    let _ = t3.write_csv(&dir, "ablation_aqm");
-    vec![t1, t2, t3]
+/// Builds the ablation campaign: per variant, one impairment job and
+/// one concurrency-cell job, plus one job per switch-AQM setup.
+pub fn campaign(_effort: Effort) -> Campaign {
+    let mut c = Campaign::new("ablation", 0xAB1);
+    for v in variants() {
+        let cc = v.cc.clone();
+        c.table_job(
+            format!("imp_{}", v.name),
+            &[("variant", v.name.to_string())],
+            move |_seed| impairment_table(impairment_cell(&cc)),
+        );
+        let cc = v.cc.clone();
+        c.table_job(
+            format!("conc_{}", v.name),
+            &[("variant", v.name.to_string())],
+            move |_seed| {
+                let cell = concurrency::run_cell(&cc, 8, 2);
+                let mut t = Table::new("cell", &["spt_act", "spt_max", "timeouts"]);
+                t.row(&[
+                    num(cell.spt.mean),
+                    num(cell.spt.max),
+                    cell.timeouts.to_string(),
+                ]);
+                t
+            },
+        );
+    }
+    for (name, cc, q) in aqm_rows() {
+        c.table_job(
+            format!("aqm_{name}"),
+            &[("setup", name.to_string())],
+            move |_seed| impairment_table(impairment_cell_with_queue(&cc, q)),
+        );
+    }
+    c.reduce(move |records| {
+        let mut t1 = Table::new(
+            "Ablation — impairment scenario (5 servers, Fig. 4/6 workload)",
+            &["variant", "timeouts", "drops", "max_queue", "act"],
+        );
+        let mut t2 = Table::new(
+            "Ablation — concurrency cell (8 SPTs + 2 LPTs, Fig. 7 point)",
+            &["variant", "spt_act", "spt_max", "timeouts"],
+        );
+        for v in variants() {
+            let imp = record_for(records, &format!("imp_{}", v.name)).only();
+            t1.row(&[
+                v.name.to_string(),
+                imp.cell(0, 0).to_string(),
+                imp.cell(0, 1).to_string(),
+                imp.cell(0, 2).to_string(),
+                fmt_secs(imp.f64_at(0, 3)),
+            ]);
+            let conc = record_for(records, &format!("conc_{}", v.name)).only();
+            t2.row(&[
+                v.name.to_string(),
+                fmt_secs(conc.f64_at(0, 0)),
+                fmt_secs(conc.f64_at(0, 1)),
+                conc.cell(0, 2).to_string(),
+            ]);
+        }
+        // Can a switch-side AQM substitute for TRIM's end-host control?
+        let mut t3 = Table::new(
+            "Ablation — switch AQM vs end-host control (impairment workload)",
+            &["setup", "timeouts", "drops", "max_queue", "act"],
+        );
+        for (name, _, _) in aqm_rows() {
+            let cell = record_for(records, &format!("aqm_{name}")).only();
+            t3.row(&[
+                name.to_string(),
+                cell.cell(0, 0).to_string(),
+                cell.cell(0, 1).to_string(),
+                cell.cell(0, 2).to_string(),
+                fmt_secs(cell.f64_at(0, 3)),
+            ]);
+        }
+        vec![
+            ("ablation_impairment".to_string(), t1),
+            ("ablation_concurrency".to_string(), t2),
+            ("ablation_aqm".to_string(), t3),
+        ]
+    });
+    c
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]

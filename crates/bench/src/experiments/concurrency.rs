@@ -8,14 +8,16 @@
 use netsim::time::Dur;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use trim_harness::{Campaign, JobRecord};
 use trim_tcp::{CcKind, TcpConfig};
 use trim_workload::distributions::exponential;
 use trim_workload::http::{lpt, spt};
 use trim_workload::scenario::{ScenarioBuilder, TrainSpec};
 use trim_workload::Summary;
 
+use crate::num;
 use crate::table::fmt_secs;
-use crate::{parallel_map, results_dir, Effort, Table};
+use crate::{Effort, Table};
 
 const MSS: u32 = 1460;
 
@@ -34,20 +36,42 @@ pub struct Cell {
 /// inherited from earlier response traffic.
 const WARMUP_RESPONSES: u64 = 100;
 
+/// The legacy per-cell seed, used when a cell is run outside a campaign.
+fn legacy_seed(n_spt: usize, n_lpt: usize) -> u64 {
+    0x5eed ^ (n_spt as u64) << 8 ^ n_lpt as u64
+}
+
 /// Runs one configuration and summarizes the SPT completion times.
 pub fn run_cell(cc: &CcKind, n_spt: usize, n_lpt: usize) -> Cell {
-    run_cell_with_rto(cc, n_spt, n_lpt, Dur::from_millis(200))
+    run_cell_seeded(cc, n_spt, n_lpt, legacy_seed(n_spt, n_lpt))
 }
 
 /// Like [`run_cell`] with a custom minimum RTO (used by the RTO
 /// sensitivity extension).
 pub fn run_cell_with_rto(cc: &CcKind, n_spt: usize, n_lpt: usize, rto: Dur) -> Cell {
+    run_cell_with_rto_seeded(cc, n_spt, n_lpt, rto, legacy_seed(n_spt, n_lpt))
+}
+
+/// Like [`run_cell`] with an explicit workload seed (campaign jobs pass
+/// their derived seed here).
+pub fn run_cell_seeded(cc: &CcKind, n_spt: usize, n_lpt: usize, seed: u64) -> Cell {
+    run_cell_with_rto_seeded(cc, n_spt, n_lpt, Dur::from_millis(200), seed)
+}
+
+/// The fully parameterized cell: protocol, concurrency, RTO, and seed.
+pub fn run_cell_with_rto_seeded(
+    cc: &CcKind,
+    n_spt: usize,
+    n_lpt: usize,
+    rto: Dur,
+    seed: u64,
+) -> Cell {
     let tcp = TcpConfig::default().with_min_rto(rto);
     let mut sc = ScenarioBuilder::many_to_one(n_spt + n_lpt)
         .congestion_control(cc.clone())
         .tcp_config(tcp)
         .build();
-    let mut rng = StdRng::seed_from_u64(0x5eed ^ (n_spt as u64) << 8 ^ n_lpt as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
     for l in 0..n_lpt {
         // "Running throughout the test": a train large enough to span it.
         sc.send_train(l, lpt(0.1, 40_000_000));
@@ -56,7 +80,10 @@ pub fn run_cell_with_rto(cc: &CcKind, n_spt: usize, n_lpt: usize, rto: Dur) -> C
         // Warm-up responses from 0.1 s inherit a grown window...
         let mut t = 0.1;
         for _ in 0..WARMUP_RESPONSES {
-            sc.send_train(n_lpt + s, TrainSpec::at_secs(t, rng.random_range(2_000..=10_000)));
+            sc.send_train(
+                n_lpt + s,
+                TrainSpec::at_secs(t, rng.random_range(2_000..=10_000)),
+            );
             t += exponential(&mut rng, 0.0018);
         }
         // ...then every server bursts its measured 10-packet SPT at 0.3 s.
@@ -81,66 +108,113 @@ pub fn run_cell_with_rto(cc: &CcKind, n_spt: usize, n_lpt: usize, rto: Dur) -> C
     }
 }
 
-/// Runs the experiment and returns its tables.
-pub fn run(effort: Effort) -> Vec<Table> {
+/// A cell job's artifact: the full-precision numbers the figures need.
+fn cell_table(cell: Cell) -> Table {
+    let mut t = Table::new("cell", &["mean", "min", "max", "timeouts"]);
+    t.row(&[
+        num(cell.spt.mean),
+        num(cell.spt.min),
+        num(cell.spt.max),
+        cell.timeouts.to_string(),
+    ]);
+    t
+}
+
+fn record_for<'a>(records: &'a [JobRecord], key: &str) -> &'a JobRecord {
+    records
+        .iter()
+        .find(|r| r.key == key)
+        .unwrap_or_else(|| panic!("missing job '{key}'"))
+}
+
+/// Builds the concurrency campaign: one job per (protocol, n_spt,
+/// n_lpt) cell, reduced into Fig. 5(a)/(b) and Fig. 7.
+pub fn campaign(effort: Effort) -> Campaign {
     let max_spt = effort.pick(10, 14);
     let spt_counts: Vec<usize> = (2..=max_spt).step_by(2).collect();
 
-    // Fig. 5(a): TCP ACT vs concurrency for 0/1/2 LPTs.
-    let mut fig5a = Table::new(
-        "Fig. 5(a) — ACT of concurrent SPTs under TCP (s)",
-        &["n_spt", "0 LPT", "1 LPT", "2 LPT"],
-    );
-    let cells = parallel_map(
-        spt_counts
-            .iter()
-            .flat_map(|&n| (0..=2).map(move |l| (n, l)))
-            .collect::<Vec<_>>(),
-        |(n, l)| run_cell(&CcKind::Reno, n, l),
-    );
-    let mut fig5b = Table::new(
-        "Fig. 5(b) — min/max SPT completion times under TCP, 2 LPTs (s)",
-        &["n_spt", "min", "max"],
-    );
-    for (i, &n) in spt_counts.iter().enumerate() {
-        let row = &cells[i * 3..i * 3 + 3];
-        fig5a.row(&[
-            format!("{n}"),
-            fmt_secs(row[0].spt.mean),
-            fmt_secs(row[1].spt.mean),
-            fmt_secs(row[2].spt.mean),
-        ]);
-        fig5b.row(&[
-            format!("{n}"),
-            fmt_secs(row[2].spt.min),
-            fmt_secs(row[2].spt.max),
-        ]);
+    let mut c = Campaign::new("concurrency", 0x5eed);
+    for &n in &spt_counts {
+        for l in 0..=2usize {
+            // tcp and trim share the seed key of a cell so the A/B
+            // comparison runs the identical workload.
+            c.table_job_seeded(
+                format!("tcp_n{n}_l{l}"),
+                format!("n{n}_l{l}"),
+                &[
+                    ("protocol", "tcp".to_string()),
+                    ("n_spt", n.to_string()),
+                    ("n_lpt", l.to_string()),
+                ],
+                move |seed| cell_table(run_cell_seeded(&CcKind::Reno, n, l, seed)),
+            );
+        }
+        c.table_job_seeded(
+            format!("trim_n{n}_l2"),
+            format!("n{n}_l2"),
+            &[
+                ("protocol", "trim".to_string()),
+                ("n_spt", n.to_string()),
+                ("n_lpt", "2".to_string()),
+            ],
+            move |seed| {
+                let trim = CcKind::trim_with_capacity(1_000_000_000, MSS);
+                cell_table(run_cell_seeded(&trim, n, 2, seed))
+            },
+        );
     }
+    c.reduce(move |records| {
+        let mut fig5a = Table::new(
+            "Fig. 5(a) — ACT of concurrent SPTs under TCP (s)",
+            &["n_spt", "0 LPT", "1 LPT", "2 LPT"],
+        );
+        let mut fig5b = Table::new(
+            "Fig. 5(b) — min/max SPT completion times under TCP, 2 LPTs (s)",
+            &["n_spt", "min", "max"],
+        );
+        let mut fig7 = Table::new(
+            "Fig. 7 — ACT of SPTs with 2 LPTs: TCP vs TCP-TRIM (s)",
+            &["n_spt", "tcp", "trim", "tcp_timeouts", "trim_timeouts"],
+        );
+        for &n in &spt_counts {
+            let at = |key: String| record_for(records, &key).only().clone();
+            let tcp = [
+                at(format!("tcp_n{n}_l0")),
+                at(format!("tcp_n{n}_l1")),
+                at(format!("tcp_n{n}_l2")),
+            ];
+            let trim = at(format!("trim_n{n}_l2"));
+            fig5a.row(&[
+                format!("{n}"),
+                fmt_secs(tcp[0].f64_at(0, 0)),
+                fmt_secs(tcp[1].f64_at(0, 0)),
+                fmt_secs(tcp[2].f64_at(0, 0)),
+            ]);
+            fig5b.row(&[
+                format!("{n}"),
+                fmt_secs(tcp[2].f64_at(0, 1)),
+                fmt_secs(tcp[2].f64_at(0, 2)),
+            ]);
+            fig7.row(&[
+                format!("{n}"),
+                fmt_secs(tcp[2].f64_at(0, 0)),
+                fmt_secs(trim.f64_at(0, 0)),
+                tcp[2].cell(0, 3).to_string(),
+                trim.cell(0, 3).to_string(),
+            ]);
+        }
+        vec![
+            ("fig5a_act".to_string(), fig5a),
+            ("fig5b_minmax".to_string(), fig5b),
+            ("fig7_tcp_vs_trim".to_string(), fig7),
+        ]
+    });
+    c
+}
 
-    // Fig. 7: with 2 LPTs, TCP vs TCP-TRIM.
-    let trim = CcKind::trim_with_capacity(1_000_000_000, MSS);
-    let trim_cells = parallel_map(spt_counts.clone(), |n| run_cell(&trim, n, 2));
-    let mut fig7 = Table::new(
-        "Fig. 7 — ACT of SPTs with 2 LPTs: TCP vs TCP-TRIM (s)",
-        &["n_spt", "tcp", "trim", "tcp_timeouts", "trim_timeouts"],
-    );
-    for (i, &n) in spt_counts.iter().enumerate() {
-        let tcp_cell = cells[i * 3 + 2];
-        let trim_cell = trim_cells[i];
-        fig7.row(&[
-            format!("{n}"),
-            fmt_secs(tcp_cell.spt.mean),
-            fmt_secs(trim_cell.spt.mean),
-            format!("{}", tcp_cell.timeouts),
-            format!("{}", trim_cell.timeouts),
-        ]);
-    }
-
-    let dir = results_dir();
-    let _ = fig5a.write_csv(&dir, "fig5a_act");
-    let _ = fig5b.write_csv(&dir, "fig5b_minmax");
-    let _ = fig7.write_csv(&dir, "fig7_tcp_vs_trim");
-    vec![fig5a, fig5b, fig7]
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]

@@ -5,14 +5,18 @@
 //! 2 s spacing, then stop one by one from 12.1 s with the same spacing.
 //! The paper shows TRIM's flows converging quickly to their fair share
 //! while TCP's shares swing widely.
+//!
+//! The scenario is deterministic (fixed sizes and start times), so the
+//! campaign's jobs ignore their derived seeds.
 
 use netsim::prelude::*;
 use netsim::time::{Dur, SimTime};
 use netsim::topology::LinkSpec;
+use trim_harness::{Artifacts, Campaign, JobRecord};
 use trim_tcp::{CcKind, TcpHost};
 use trim_workload::scenario::ScenarioBuilder;
 
-use crate::{results_dir, Effort, Table};
+use crate::{Effort, Table};
 
 const N: usize = 5;
 
@@ -36,7 +40,10 @@ pub fn run_once(cc: &CcKind) -> Vec<Vec<(SimTime, f64)>> {
         // its true base RTT (otherwise late arrivals measure min_RTT
         // against the standing queue and delay-based control turns
         // unfair).
-        sc.send_train(i, trim_workload::TrainSpec::at_secs(0.001 + 0.0002 * i as f64, 1));
+        sc.send_train(
+            i,
+            trim_workload::TrainSpec::at_secs(0.001 + 0.0002 * i as f64, 1),
+        );
         sc.send_train(i, trim_workload::TrainSpec::at_secs(start, 4_000_000_000));
         let node = sc.net().senders[i];
         sc.sim_mut()
@@ -78,36 +85,24 @@ fn value_at(series: &[(SimTime, f64)], t: f64) -> f64 {
     }
 }
 
-/// Runs the experiment and returns its tables.
-pub fn run(_effort: Effort) -> Vec<Table> {
-    let mut tables = Vec::new();
-    let mut fairness = Table::new(
-        "Fig. 10 — Jain fairness of active flows (sampled mid-phase)",
-        &["t", "active", "tcp_jain", "trim_jain"],
-    );
-    let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
-    let tcp_series = run_once(&CcKind::Reno);
-    let trim_series = run_once(&trim);
+/// One protocol's job: the sampled throughput grid plus its per-phase
+/// fairness column.
+fn protocol_job(cc: &CcKind) -> Artifacts {
+    let series = run_once(cc);
 
-    for (name, series) in [("tcp", &tcp_series), ("trim", &trim_series)] {
-        let mut t = Table::new(
-            format!("Fig. 10 ({name}) — per-connection throughput (Mbps)"),
-            &["t", "c1", "c2", "c3", "c4", "c5"],
-        );
-        let mut ts = 1.0;
-        while ts < 22.0 {
-            let mut row = vec![format!("{ts:.1}")];
-            for s in series {
-                row.push(format!("{:.0}", value_at(s, ts)));
-            }
-            t.row(&row);
-            ts += 1.0;
+    let mut grid = Table::new("grid", &["t", "c1", "c2", "c3", "c4", "c5"]);
+    let mut ts = 1.0;
+    while ts < 22.0 {
+        let mut row = vec![format!("{ts:.1}")];
+        for s in &series {
+            row.push(format!("{:.0}", value_at(s, ts)));
         }
-        let _ = t.write_csv(&results_dir(), &format!("fig10_{name}"));
-        tables.push(t);
+        grid.row(&row);
+        ts += 1.0;
     }
 
     // Fairness index at the midpoint of each arrival/departure phase.
+    let mut fairness = Table::new("fairness", &["t", "active", "jain"]);
     for phase in 0..9 {
         let t = 1.1 + 2.0 * phase as f64; // midpoints: 1.1, 3.1, ..., 17.1
         let (lo, hi) = if t < 12.1 {
@@ -119,18 +114,77 @@ pub fn run(_effort: Effort) -> Vec<Table> {
         if active == 0 {
             continue;
         }
-        let tcp_shares: Vec<f64> = (lo..hi).map(|i| value_at(&tcp_series[i], t)).collect();
-        let trim_shares: Vec<f64> = (lo..hi).map(|i| value_at(&trim_series[i], t)).collect();
+        let shares: Vec<f64> = (lo..hi).map(|i| value_at(&series[i], t)).collect();
         fairness.row(&[
             format!("{t:.1}"),
             format!("{active}"),
-            format!("{:.3}", jain_index(&tcp_shares)),
-            format!("{:.3}", jain_index(&trim_shares)),
+            format!("{:.3}", jain_index(&shares)),
         ]);
     }
-    let _ = fairness.write_csv(&results_dir(), "fig10_fairness");
-    tables.push(fairness);
-    tables
+
+    vec![
+        ("grid".to_string(), grid),
+        ("fairness".to_string(), fairness),
+    ]
+}
+
+fn record_for<'a>(records: &'a [JobRecord], key: &str) -> &'a JobRecord {
+    records
+        .iter()
+        .find(|r| r.key == key)
+        .unwrap_or_else(|| panic!("missing job '{key}'"))
+}
+
+/// Builds the convergence campaign: one job per protocol, reduced into
+/// the two throughput grids and the combined fairness table.
+pub fn campaign(_effort: Effort) -> Campaign {
+    let mut c = Campaign::new("convergence", 0xF1A);
+    for proto in ["tcp", "trim"] {
+        c.job(proto, &[("protocol", proto.to_string())], move |_seed| {
+            let cc = if proto == "trim" {
+                CcKind::trim_with_capacity(1_000_000_000, 1460)
+            } else {
+                CcKind::Reno
+            };
+            protocol_job(&cc)
+        });
+    }
+    c.reduce(|records| {
+        let mut out: Artifacts = Vec::new();
+        for proto in ["tcp", "trim"] {
+            out.push((
+                format!("fig10_{proto}"),
+                record_for(records, proto)
+                    .table("grid")
+                    .clone()
+                    .with_title(format!(
+                        "Fig. 10 ({proto}) — per-connection throughput (Mbps)"
+                    )),
+            ));
+        }
+        let tcp_fair = record_for(records, "tcp").table("fairness");
+        let trim_fair = record_for(records, "trim").table("fairness");
+        let mut fairness = Table::new(
+            "Fig. 10 — Jain fairness of active flows (sampled mid-phase)",
+            &["t", "active", "tcp_jain", "trim_jain"],
+        );
+        for (tcp_row, trim_row) in tcp_fair.rows().iter().zip(trim_fair.rows()) {
+            fairness.row(&[
+                tcp_row[0].clone(),
+                tcp_row[1].clone(),
+                tcp_row[2].clone(),
+                trim_row[2].clone(),
+            ]);
+        }
+        out.push(("fig10_fairness".to_string(), fairness));
+        out
+    });
+    c
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]

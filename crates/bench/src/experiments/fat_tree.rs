@@ -12,13 +12,15 @@ use netsim::time::SimTime;
 use netsim::topology::{self, LinkSpec};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use trim_harness::Campaign;
 use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
 use trim_workload::http::fat_tree_workload;
 use trim_workload::scenario::{schedule_train, wire_flow};
 use trim_workload::Summary;
 
+use crate::num;
 use crate::table::fmt_secs;
-use crate::{parallel_map, results_dir, Effort, Table};
+use crate::{Effort, Table};
 
 /// Result of one fat-tree run.
 #[derive(Clone, Copy, Debug)]
@@ -87,59 +89,89 @@ pub fn protocols() -> Vec<CcKind> {
     ]
 }
 
-/// Runs the experiment and returns its tables.
-pub fn run(effort: Effort) -> Vec<Table> {
+/// Builds the fat-tree campaign: one job per (pod count, protocol,
+/// repetition), with protocols sharing each (pods, rep) workload seed,
+/// reduced into Fig. 12 and Table I.
+pub fn campaign(effort: Effort) -> Campaign {
     let pods: Vec<usize> = effort.pick(vec![4, 8], vec![4, 6, 8, 10]);
     let reps = effort.pick(1, 3);
-    let protos = protocols();
 
-    let jobs: Vec<(usize, usize, u64)> = pods
-        .iter()
-        .flat_map(|&k| {
-            (0..protos.len()).flat_map(move |p| (0..reps).map(move |r| (k, p, r as u64)))
-        })
-        .collect();
-    let results = parallel_map(jobs.clone(), |(k, p, r)| {
-        run_once(&protocols()[p], k, 0xFA7 ^ ((k as u64) << 40) ^ r)
-    });
-
-    let mut fig12 = Table::new(
-        "Fig. 12 — mean and max completion times in the fat-tree (s)",
-        &["pods", "protocol", "mean", "max"],
-    );
-    let mut tab1 = Table::new(
-        "Table I — number of timeouts per protocol",
-        &["pods", "tcp", "dctcp", "l2dct", "trim"],
-    );
-    let mut idx = 0;
+    let mut c = Campaign::new("fat_tree", 0xFA7);
     for &k in &pods {
-        let mut timeout_row = vec![format!("{k}")];
-        for p in &protos {
-            let mut mean = 0.0;
-            let mut max: f64 = 0.0;
-            let mut tos = 0;
-            for _ in 0..reps {
-                let r = results[idx];
-                idx += 1;
-                mean += r.completion.mean;
-                max = max.max(r.completion.max);
-                tos += r.timeouts;
+        for (p, cc) in protocols().into_iter().enumerate() {
+            let name = cc.name().to_string();
+            for r in 0..reps {
+                c.table_job_seeded(
+                    format!("k{k}_{name}_r{r}"),
+                    format!("k{k}_r{r}"),
+                    &[
+                        ("pods", k.to_string()),
+                        ("protocol", name.clone()),
+                        ("rep", r.to_string()),
+                    ],
+                    move |seed| {
+                        let run = run_once(&protocols()[p], k, seed);
+                        let mut t = Table::new("run", &["mean", "max", "timeouts"]);
+                        t.row(&[
+                            num(run.completion.mean),
+                            num(run.completion.max),
+                            run.timeouts.to_string(),
+                        ]);
+                        t
+                    },
+                );
             }
-            mean /= reps as f64;
-            fig12.row(&[
-                format!("{k}"),
-                p.name().to_string(),
-                fmt_secs(mean),
-                fmt_secs(max),
-            ]);
-            timeout_row.push(format!("{}", tos / reps as u64));
         }
-        tab1.row(&timeout_row);
     }
-    let dir = results_dir();
-    let _ = fig12.write_csv(&dir, "fig12_fat_tree");
-    let _ = tab1.write_csv(&dir, "table1_timeouts");
-    vec![fig12, tab1]
+    c.reduce(move |records| {
+        let mut fig12 = Table::new(
+            "Fig. 12 — mean and max completion times in the fat-tree (s)",
+            &["pods", "protocol", "mean", "max"],
+        );
+        let mut tab1 = Table::new(
+            "Table I — number of timeouts per protocol",
+            &["pods", "tcp", "dctcp", "l2dct", "trim"],
+        );
+        for &k in &pods {
+            let mut timeout_row = vec![format!("{k}")];
+            for cc in protocols() {
+                let name = cc.name();
+                let mut mean = 0.0;
+                let mut max: f64 = 0.0;
+                let mut tos = 0u64;
+                for r in 0..reps {
+                    let key = format!("k{k}_{name}_r{r}");
+                    let run = records
+                        .iter()
+                        .find(|rec| rec.key == key)
+                        .unwrap_or_else(|| panic!("missing job '{key}'"))
+                        .only();
+                    mean += run.f64_at(0, 0);
+                    max = max.max(run.f64_at(0, 1));
+                    tos += run.u64_at(0, 2);
+                }
+                mean /= reps as f64;
+                fig12.row(&[
+                    format!("{k}"),
+                    name.to_string(),
+                    fmt_secs(mean),
+                    fmt_secs(max),
+                ]);
+                timeout_row.push(format!("{}", tos / reps as u64));
+            }
+            tab1.row(&timeout_row);
+        }
+        vec![
+            ("fig12_fat_tree".to_string(), fig12),
+            ("table1_timeouts".to_string(), tab1),
+        ]
+    });
+    c
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]
@@ -148,10 +180,7 @@ mod tests {
 
     #[test]
     fn trim_has_fewest_timeouts_at_pod_4() {
-        let runs: Vec<FatTreeRun> = protocols()
-            .iter()
-            .map(|cc| run_once(cc, 4, 99))
-            .collect();
+        let runs: Vec<FatTreeRun> = protocols().iter().map(|cc| run_once(cc, 4, 99)).collect();
         let (tcp, trim) = (runs[0], runs[3]);
         assert!(
             trim.timeouts <= tcp.timeouts,

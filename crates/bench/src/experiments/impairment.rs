@@ -10,13 +10,15 @@
 use netsim::time::{Dur, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use trim_harness::{Artifacts, Campaign};
 use trim_tcp::CcKind;
 use trim_workload::http::impairment_workload;
 use trim_workload::scenario::ScenarioBuilder;
 use trim_workload::Report;
 
+use crate::num;
 use crate::table::fmt_secs;
-use crate::{results_dir, Effort, Table};
+use crate::{Effort, Table};
 
 const SENDERS: usize = 5;
 
@@ -35,99 +37,155 @@ fn run_protocol(cc: &CcKind, seed: u64) -> Report {
     sc.run_for_secs(3.0)
 }
 
-/// Runs the experiment and returns its tables.
-pub fn run(_effort: Effort) -> Vec<Table> {
-    let mut tables = Vec::new();
-    let mut summary = Table::new(
-        "Fig. 4 vs Fig. 6 — impairment test summary",
-        &[
-            "protocol",
-            "timeouts",
-            "drops",
-            "max_queue",
-            "act",
-            "lpt_max_ct",
-            "all_done_by",
-        ],
-    );
-    for cc in [
+/// The two compared protocols.
+fn protocols() -> [CcKind; 2] {
+    [
         CcKind::Reno,
         CcKind::trim_with_capacity(1_000_000_000, 1460),
-    ] {
-        let report = run_protocol(&cc, 42);
-        let name = cc.name();
+    ]
+}
 
-        // Per-connection detail (the paper discusses connection 5).
-        let mut detail = Table::new(
-            format!("{name}: per-connection detail"),
-            &["conn", "timeouts", "cwnd_before_lpt", "lpt_ct", "trains_done"],
-        );
-        let before_lpt = SimTime::from_secs_f64(0.499);
-        let mut lpt_max: f64 = 0.0;
-        let mut finish: f64 = 0.0;
-        for s in &report.senders {
-            let cwnd_pre = s
-                .cwnd
-                .as_ref()
-                .and_then(|series| series.value_at(before_lpt))
-                .unwrap_or(0.0);
-            // The LPT is the last-enqueued train (id 200).
-            let lpt_ct = s
-                .trains
-                .iter()
-                .find(|t| t.id == 200)
-                .map(|t| t.completion_time().as_secs_f64())
-                .unwrap_or(f64::NAN);
-            lpt_max = lpt_max.max(lpt_ct);
-            for t in &s.trains {
-                finish = finish.max(t.completed_at.as_secs_f64());
-            }
-            detail.row(&[
-                format!("{}", s.sender + 1),
-                format!("{}", s.stats.timeouts),
-                format!("{cwnd_pre:.0}"),
-                fmt_secs(lpt_ct),
-                format!("{}", s.trains.len()),
-            ]);
+/// One protocol's job: the per-connection detail, the goodput series,
+/// and a full-precision summary row for the reduce step.
+fn protocol_job(cc: &CcKind, seed: u64) -> Artifacts {
+    let report = run_protocol(cc, seed);
+
+    // Per-connection detail (the paper discusses connection 5).
+    let mut detail = Table::new(
+        "detail",
+        &[
+            "conn",
+            "timeouts",
+            "cwnd_before_lpt",
+            "lpt_ct",
+            "trains_done",
+        ],
+    );
+    let before_lpt = SimTime::from_secs_f64(0.499);
+    let mut lpt_max: f64 = 0.0;
+    let mut finish: f64 = 0.0;
+    for s in &report.senders {
+        let cwnd_pre = s
+            .cwnd
+            .as_ref()
+            .and_then(|series| series.value_at(before_lpt))
+            .unwrap_or(0.0);
+        // The LPT is the last-enqueued train (id 200).
+        let lpt_ct = s
+            .trains
+            .iter()
+            .find(|t| t.id == 200)
+            .map(|t| t.completion_time().as_secs_f64())
+            .unwrap_or(f64::NAN);
+        lpt_max = lpt_max.max(lpt_ct);
+        for t in &s.trains {
+            finish = finish.max(t.completed_at.as_secs_f64());
         }
-        summary.row(&[
-            name.to_string(),
-            format!("{}", report.total_timeouts()),
-            format!("{}", report.bottleneck.dropped),
-            format!("{}", report.bottleneck.max_len),
-            fmt_secs(report.act().mean),
-            fmt_secs(lpt_max),
-            fmt_secs(finish),
+        detail.row(&[
+            format!("{}", s.sender + 1),
+            format!("{}", s.stats.timeouts),
+            format!("{cwnd_pre:.0}"),
+            fmt_secs(lpt_ct),
+            format!("{}", s.trains.len()),
         ]);
-
-        // Throughput-over-time series (Fig. 4(a)/6(a)): aggregate goodput.
-        let mut series = Table::new(
-            format!("{name}: bottleneck goodput (10 ms bins, 0.4-0.8 s)"),
-            &["t", "mbps"],
-        );
-        let mut bins = std::collections::BTreeMap::<u64, f64>::new();
-        for s in &report.senders {
-            if let Some(m) = &s.throughput {
-                for (t, mbps) in m.mbps_series() {
-                    *bins.entry(t.as_nanos()).or_default() += mbps;
-                }
-            }
-        }
-        for (t_ns, mbps) in bins {
-            let t = t_ns as f64 / 1e9;
-            if (0.4..0.8).contains(&t) {
-                series.row(&[format!("{t:.2}"), format!("{mbps:.0}")]);
-            }
-        }
-        let dir = results_dir();
-        let _ = detail.write_csv(&dir, &format!("fig4_6_{name}_detail"));
-        let _ = series.write_csv(&dir, &format!("fig4_6_{name}_throughput"));
-        tables.push(detail);
-        tables.push(series);
     }
-    let _ = summary.write_csv(&results_dir(), "fig4_6_summary");
-    tables.insert(0, summary);
-    tables
+
+    // Throughput-over-time series (Fig. 4(a)/6(a)): aggregate goodput.
+    let mut series = Table::new("throughput", &["t", "mbps"]);
+    let mut bins = std::collections::BTreeMap::<u64, f64>::new();
+    for s in &report.senders {
+        if let Some(m) = &s.throughput {
+            for (t, mbps) in m.mbps_series() {
+                *bins.entry(t.as_nanos()).or_default() += mbps;
+            }
+        }
+    }
+    for (t_ns, mbps) in bins {
+        let t = t_ns as f64 / 1e9;
+        if (0.4..0.8).contains(&t) {
+            series.row(&[format!("{t:.2}"), format!("{mbps:.0}")]);
+        }
+    }
+
+    // Full-precision numbers the summary table is assembled from.
+    let mut raw = Table::new(
+        "summary_row",
+        &["timeouts", "drops", "max_queue", "act", "lpt_max", "finish"],
+    );
+    raw.row(&[
+        report.total_timeouts().to_string(),
+        report.bottleneck.dropped.to_string(),
+        report.bottleneck.max_len.to_string(),
+        num(report.act().mean),
+        num(lpt_max),
+        num(finish),
+    ]);
+
+    vec![
+        ("detail".to_string(), detail),
+        ("throughput".to_string(), series),
+        ("summary_row".to_string(), raw),
+    ]
+}
+
+/// Builds the impairment campaign: one job per protocol, reduced into
+/// the summary plus per-protocol detail and goodput tables.
+pub fn campaign(_effort: Effort) -> Campaign {
+    let mut c = Campaign::new("impairment", 42);
+    for cc in protocols() {
+        let name = cc.name().to_string();
+        c.job(name.clone(), &[("protocol", name)], move |seed| {
+            protocol_job(&cc, seed)
+        });
+    }
+    c.reduce(|records| {
+        let mut out: Artifacts = Vec::new();
+        let mut summary = Table::new(
+            "Fig. 4 vs Fig. 6 — impairment test summary",
+            &[
+                "protocol",
+                "timeouts",
+                "drops",
+                "max_queue",
+                "act",
+                "lpt_max_ct",
+                "all_done_by",
+            ],
+        );
+        for job in records {
+            let raw = job.table("summary_row");
+            summary.row(&[
+                job.key.clone(),
+                raw.cell(0, 0).to_string(),
+                raw.cell(0, 1).to_string(),
+                raw.cell(0, 2).to_string(),
+                fmt_secs(raw.f64_at(0, 3)),
+                fmt_secs(raw.f64_at(0, 4)),
+                fmt_secs(raw.f64_at(0, 5)),
+            ]);
+            let name = &job.key;
+            out.push((
+                format!("fig4_6_{name}_detail"),
+                job.table("detail")
+                    .clone()
+                    .with_title(format!("{name}: per-connection detail")),
+            ));
+            out.push((
+                format!("fig4_6_{name}_throughput"),
+                job.table("throughput").clone().with_title(format!(
+                    "{name}: bottleneck goodput (10 ms bins, 0.4-0.8 s)"
+                )),
+            ));
+        }
+        out.insert(0, ("fig4_6_summary".to_string(), summary));
+        out
+    });
+    c
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]
@@ -167,5 +225,12 @@ mod tests {
         assert_eq!(trim.completed_trains(), SENDERS * 201);
         // And TRIM's ACT improves on Reno's.
         assert!(trim.act().mean < reno.act().mean);
+    }
+
+    #[test]
+    fn campaign_reduces_to_summary_and_per_protocol_tables() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 5, "summary + 2x(detail, throughput)");
+        assert_eq!(tables[0].len(), 2, "one summary row per protocol");
     }
 }

@@ -6,72 +6,109 @@
 //! This experiment quantifies them: a query completes when its *slowest*
 //! shard arrives, so one RTO on any worker stalls the whole query.
 
+use trim_harness::{Campaign, JobRecord};
 use trim_tcp::CcKind;
 use trim_workload::incast::{incast_qct, QueryConfig};
 
+use crate::num;
 use crate::table::fmt_secs;
-use crate::{parallel_map, results_dir, Effort, Table};
+use crate::{Effort, Table};
 
-/// Runs the experiment and returns its tables.
-pub fn run(effort: Effort) -> Vec<Table> {
-    let fanouts: Vec<usize> = effort.pick(vec![4, 8, 16, 32], vec![4, 8, 16, 32, 48, 64]);
-    let protos = [
+/// The three protocols of the sweep, in column order.
+fn protocols() -> [(&'static str, CcKind); 3] {
+    [
         ("tcp", CcKind::Reno),
         ("dctcp", CcKind::Dctcp),
         ("trim", CcKind::trim_with_capacity(1_000_000_000, 1460)),
-    ];
+    ]
+}
 
-    let jobs: Vec<(usize, usize)> = fanouts
+fn record_for<'a>(records: &'a [JobRecord], key: &str) -> &'a JobRecord {
+    records
         .iter()
-        .flat_map(|&n| (0..protos.len()).map(move |p| (n, p)))
-        .collect();
-    let results = parallel_map(jobs, |(n, p)| {
-        let cfg = QueryConfig {
-            workers: n,
-            queries: 5,
-            ..QueryConfig::default()
-        };
-        incast_qct(&protos[p].1, &cfg)
-    });
+        .find(|r| r.key == key)
+        .unwrap_or_else(|| panic!("missing job '{key}'"))
+}
 
-    let mut qct = Table::new(
-        "Extension — mean query completion time vs fan-out (s)",
-        &["workers", "tcp", "dctcp", "trim"],
-    );
-    let mut tail = Table::new(
-        "Extension — worst query completion time vs fan-out (s)",
-        &["workers", "tcp", "dctcp", "trim"],
-    );
-    let mut timeouts = Table::new(
-        "Extension — timeouts during the query sweep",
-        &["workers", "tcp", "dctcp", "trim"],
-    );
-    for (i, &n) in fanouts.iter().enumerate() {
-        let row = &results[i * protos.len()..(i + 1) * protos.len()];
-        qct.row(&[
-            format!("{n}"),
-            fmt_secs(row[0].queries().mean),
-            fmt_secs(row[1].queries().mean),
-            fmt_secs(row[2].queries().mean),
-        ]);
-        tail.row(&[
-            format!("{n}"),
-            fmt_secs(row[0].queries().max),
-            fmt_secs(row[1].queries().max),
-            fmt_secs(row[2].queries().max),
-        ]);
-        timeouts.row(&[
-            format!("{n}"),
-            format!("{}", row[0].timeouts),
-            format!("{}", row[1].timeouts),
-            format!("{}", row[2].timeouts),
-        ]);
+/// Builds the incast campaign: one job per (fan-out, protocol), with
+/// protocols sharing each fan-out's warm-up seed, reduced into the
+/// mean/tail/timeout tables.
+pub fn campaign(effort: Effort) -> Campaign {
+    let fanouts: Vec<usize> = effort.pick(vec![4, 8, 16, 32], vec![4, 8, 16, 32, 48, 64]);
+
+    let mut c = Campaign::new("incast", 0x1ca5);
+    for &n in &fanouts {
+        for (proto, cc) in protocols() {
+            let cc = cc.clone();
+            c.table_job_seeded(
+                format!("f{n}_{proto}"),
+                format!("f{n}"),
+                &[("workers", n.to_string()), ("protocol", proto.to_string())],
+                move |seed| {
+                    let cfg = QueryConfig {
+                        workers: n,
+                        queries: 5,
+                        seed,
+                        ..QueryConfig::default()
+                    };
+                    let report = incast_qct(&cc, &cfg);
+                    let q = report.queries();
+                    let mut t = Table::new("run", &["mean", "max", "timeouts"]);
+                    t.row(&[num(q.mean), num(q.max), report.timeouts.to_string()]);
+                    t
+                },
+            );
+        }
     }
-    let dir = results_dir();
-    let _ = qct.write_csv(&dir, "ext_incast_qct");
-    let _ = tail.write_csv(&dir, "ext_incast_tail");
-    let _ = timeouts.write_csv(&dir, "ext_incast_timeouts");
-    vec![qct, tail, timeouts]
+    c.reduce(move |records| {
+        let mut qct = Table::new(
+            "Extension — mean query completion time vs fan-out (s)",
+            &["workers", "tcp", "dctcp", "trim"],
+        );
+        let mut tail = Table::new(
+            "Extension — worst query completion time vs fan-out (s)",
+            &["workers", "tcp", "dctcp", "trim"],
+        );
+        let mut timeouts = Table::new(
+            "Extension — timeouts during the query sweep",
+            &["workers", "tcp", "dctcp", "trim"],
+        );
+        for &n in &fanouts {
+            let row: Vec<&Table> = protocols()
+                .iter()
+                .map(|(proto, _)| record_for(records, &format!("f{n}_{proto}")).only())
+                .collect();
+            qct.row(&[
+                format!("{n}"),
+                fmt_secs(row[0].f64_at(0, 0)),
+                fmt_secs(row[1].f64_at(0, 0)),
+                fmt_secs(row[2].f64_at(0, 0)),
+            ]);
+            tail.row(&[
+                format!("{n}"),
+                fmt_secs(row[0].f64_at(0, 1)),
+                fmt_secs(row[1].f64_at(0, 1)),
+                fmt_secs(row[2].f64_at(0, 1)),
+            ]);
+            timeouts.row(&[
+                format!("{n}"),
+                row[0].cell(0, 2).to_string(),
+                row[1].cell(0, 2).to_string(),
+                row[2].cell(0, 2).to_string(),
+            ]);
+        }
+        vec![
+            ("ext_incast_qct".to_string(), qct),
+            ("ext_incast_tail".to_string(), tail),
+            ("ext_incast_timeouts".to_string(), timeouts),
+        ]
+    });
+    c
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]
@@ -79,10 +116,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn produces_three_tables_with_matching_rows() {
-        let tables = run(Effort::Quick);
-        assert_eq!(tables.len(), 3);
-        assert_eq!(tables[0].len(), tables[1].len());
-        assert_eq!(tables[0].len(), tables[2].len());
+    fn campaign_covers_every_fanout_and_protocol() {
+        let c = campaign(Effort::Quick);
+        assert_eq!(c.len(), 4 * 3);
+        // Protocols are paired on the same workload per fan-out.
+        assert_eq!(c.job_seed("f4_tcp"), c.job_seed("f4_trim"));
+        assert_ne!(c.job_seed("f4_tcp"), c.job_seed("f8_tcp"));
     }
 }

@@ -5,6 +5,10 @@
 //! the validation runs synchronized LPTs with K at the guideline and
 //! confirms near-full utilization (the claim Eq. 22 exists to guarantee,
 //! echoed by Fig. 9(d)).
+//!
+//! All three tables are deterministic (the model is closed-form and the
+//! validation scenario has no random workload), so the campaign jobs
+//! ignore their derived seeds.
 
 use trim_core::kmodel::{f_of_n, k_lower_bound_ns, n_star, steady_state};
 use trim_core::TrimConfig;
@@ -13,23 +17,34 @@ use trim_workload::http::lpt;
 use trim_workload::scenario::ScenarioBuilder;
 
 use netsim::time::{Dur, SimTime};
+use trim_harness::{Campaign, JobRecord};
 
-use crate::{results_dir, Effort, Table};
+use crate::num;
+use crate::{Effort, Table};
 
-/// Runs the experiment and returns its tables.
-pub fn run(_effort: Effort) -> Vec<Table> {
-    let c_1g = 1e9 / (1460.0 * 8.0);
+/// Packets per second on a 1 Gbps link with 1460-byte segments.
+fn c_1g() -> f64 {
+    1e9 / (1460.0 * 8.0)
+}
 
+fn guideline_table() -> Table {
+    let c = c_1g();
     let mut guideline = Table::new(
         "Eq. 22 — K guideline sweep (C = 1 Gbps / 1460 B)",
-        &["base_rtt_us", "n_star", "f_max_us", "k_us", "target_queue_pkts"],
+        &[
+            "base_rtt_us",
+            "n_star",
+            "f_max_us",
+            "k_us",
+            "target_queue_pkts",
+        ],
     );
     for d_us in [50u64, 100, 200, 500, 1000] {
         let d = d_us * 1000;
-        let ns = n_star(c_1g, d);
-        let k = k_lower_bound_ns(c_1g, d);
-        let f_max = if ns >= 1.0 { f_of_n(ns, c_1g, d) } else { 0.0 };
-        let st = steady_state(c_1g, d, k.max(d), 5);
+        let ns = n_star(c, d);
+        let k = k_lower_bound_ns(c, d);
+        let f_max = if ns >= 1.0 { f_of_n(ns, c, d) } else { 0.0 };
+        let st = steady_state(c, d, k.max(d), 5);
         guideline.row(&[
             format!("{d_us}"),
             format!("{ns:.2}"),
@@ -38,15 +53,25 @@ pub fn run(_effort: Effort) -> Vec<Table> {
             format!("{:.1}", st.target_queue),
         ]);
     }
+    guideline
+}
 
+fn steady_state_table() -> Table {
+    let c = c_1g();
     let mut steady = Table::new(
         "Eq. 4-11 — steady state at the guideline K (D = 200us)",
-        &["n", "window_pkts", "qmax_pkts", "decrement_pkts", "full_util"],
+        &[
+            "n",
+            "window_pkts",
+            "qmax_pkts",
+            "decrement_pkts",
+            "full_util",
+        ],
     );
     let d = 200_000;
-    let k = k_lower_bound_ns(c_1g, d);
+    let k = k_lower_bound_ns(c, d);
     for n in [1u32, 2, 5, 10, 20, 50, 100] {
-        let st = steady_state(c_1g, d, k, n);
+        let st = steady_state(c, d, k, n);
         steady.row(&[
             format!("{n}"),
             format!("{:.2}", st.window),
@@ -55,28 +80,82 @@ pub fn run(_effort: Effort) -> Vec<Table> {
             format!("{}", st.full_utilization),
         ]);
     }
+    steady
+}
 
-    // Simulation validation: utilization with K from the guideline vs a
-    // deliberately tiny K (which starves the link).
-    let mut validation = Table::new(
-        "Validation — goodput with guideline K vs K = min_RTT",
-        &["n", "guideline_mbps", "tiny_k_mbps"],
-    );
-    for n in [2usize, 5, 10] {
-        let good = measure_goodput(n, None);
-        let tiny = measure_goodput(n, Some(1_000)); // K ~ 1us: back-off on every ACK round
-        validation.row(&[
-            format!("{n}"),
-            format!("{good:.0}"),
-            format!("{tiny:.0}"),
-        ]);
+fn record_for<'a>(records: &'a [JobRecord], key: &str) -> &'a JobRecord {
+    records
+        .iter()
+        .find(|r| r.key == key)
+        .unwrap_or_else(|| panic!("missing job '{key}'"))
+}
+
+/// Builds the K-model campaign: one analytic job for the two model
+/// tables plus one validation job per LPT count (guideline K versus a
+/// deliberately tiny K that starves the link).
+pub fn campaign(_effort: Effort) -> Campaign {
+    let counts = [2usize, 5, 10];
+
+    let mut c = Campaign::new("kmodel", 0x4B);
+    c.job("analytic", &[], |_seed| {
+        vec![
+            ("guideline".to_string(), guideline_table()),
+            ("steady_state".to_string(), steady_state_table()),
+        ]
+    });
+    for &n in &counts {
+        c.table_job(
+            format!("validation_n{n}"),
+            &[("n_lpts", n.to_string())],
+            move |_seed| {
+                let mut t = Table::new("goodput", &["guideline_mbps", "tiny_k_mbps"]);
+                t.row(&[
+                    num(measure_goodput(n, None)),
+                    // K ~ 1us: back-off on every ACK round.
+                    num(measure_goodput(n, Some(1_000))),
+                ]);
+                t
+            },
+        );
     }
+    c.reduce(move |records| {
+        let analytic = record_for(records, "analytic");
+        let mut validation = Table::new(
+            "Validation — goodput with guideline K vs K = min_RTT",
+            &["n", "guideline_mbps", "tiny_k_mbps"],
+        );
+        for &n in &counts {
+            let run = record_for(records, &format!("validation_n{n}")).only();
+            validation.row(&[
+                format!("{n}"),
+                format!("{:.0}", run.f64_at(0, 0)),
+                format!("{:.0}", run.f64_at(0, 1)),
+            ]);
+        }
+        vec![
+            (
+                "kmodel_guideline".to_string(),
+                analytic
+                    .table("guideline")
+                    .clone()
+                    .with_title("Eq. 22 — K guideline sweep (C = 1 Gbps / 1460 B)"),
+            ),
+            (
+                "kmodel_steady_state".to_string(),
+                analytic
+                    .table("steady_state")
+                    .clone()
+                    .with_title("Eq. 4-11 — steady state at the guideline K (D = 200us)"),
+            ),
+            ("kmodel_validation".to_string(), validation),
+        ]
+    });
+    c
+}
 
-    let dir = results_dir();
-    let _ = guideline.write_csv(&dir, "kmodel_guideline");
-    let _ = steady.write_csv(&dir, "kmodel_steady_state");
-    let _ = validation.write_csv(&dir, "kmodel_validation");
-    vec![guideline, steady, validation]
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 /// Goodput (Mbps) of `n` TRIM LPTs over a 1 Gbps bottleneck for 0.8 s,

@@ -12,14 +12,16 @@ use netsim::time::SimTime;
 use netsim::topology::{self, LinkSpec};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use trim_harness::Campaign;
 use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
 use trim_workload::distributions::{exponential, pt_size_bytes};
 use trim_workload::http::{large_scale_workload, SptSpread};
 use trim_workload::scenario::{schedule_train, wire_flow};
 use trim_workload::Summary;
 
+use crate::num;
 use crate::table::{fmt_pct, fmt_secs};
-use crate::{parallel_map, results_dir, Effort, Table};
+use crate::{Effort, Table};
 
 const SERVERS_PER_SWITCH: usize = 42;
 const LPTS_PER_SWITCH: usize = 2;
@@ -108,58 +110,94 @@ pub fn run_once(cc: &CcKind, n_switches: usize, spread: SptSpread, seed: u64) ->
     Summary::of(&times)
 }
 
-/// Runs the experiment and returns its tables.
-pub fn run(effort: Effort) -> Vec<Table> {
+fn spread_label(spread: SptSpread) -> &'static str {
+    match spread {
+        SptSpread::Uniform => "uniform",
+        SptSpread::Exponential => "exponential",
+    }
+}
+
+/// Builds the large-scale campaign: one job per (spread, switch count,
+/// protocol, repetition), reduced into the two Fig. 8 tables.
+pub fn campaign(effort: Effort) -> Campaign {
     let switch_counts: Vec<usize> = effort.pick(vec![5, 15, 25], vec![5, 10, 15, 20, 25]);
     let reps = effort.pick(2, 10);
-    let trim = CcKind::trim_with_capacity(10_000_000_000, 1460);
 
-    let mut tables = Vec::new();
+    let mut c = Campaign::new("large_scale", 0xF18);
     for spread in [SptSpread::Uniform, SptSpread::Exponential] {
-        let label = match spread {
-            SptSpread::Uniform => "uniform",
-            SptSpread::Exponential => "exponential",
-        };
-        let jobs: Vec<(usize, bool, u64)> = switch_counts
-            .iter()
-            .flat_map(|&s| {
-                (0..reps).flat_map(move |r| [(s, false, r as u64), (s, true, r as u64)])
-            })
-            .collect();
-        let results = parallel_map(jobs, |(s, is_trim, r)| {
-            let cc = if is_trim {
-                CcKind::trim_with_capacity(10_000_000_000, 1460)
-            } else {
-                CcKind::Reno
-            };
-            run_once(&cc, s, spread, 0xF18 ^ ((s as u64) << 32) ^ r)
-        });
-        let mut t = Table::new(
-            format!("Fig. 8(b) — ACT of SPTs, {label} SPT start times"),
-            &["servers", "tcp_act", "trim_act", "reduction"],
-        );
-        for (i, &s) in switch_counts.iter().enumerate() {
-            let mut tcp_sum = 0.0;
-            let mut trim_sum = 0.0;
-            for r in 0..reps {
-                let base = i * reps * 2 + r * 2;
-                tcp_sum += results[base].mean;
-                trim_sum += results[base + 1].mean;
+        let label = spread_label(spread);
+        for &s in &switch_counts {
+            for proto in ["tcp", "trim"] {
+                for r in 0..reps {
+                    // Protocols share the (spread, scale, rep) seed key:
+                    // the legacy sweep also paired the workloads.
+                    c.table_job_seeded(
+                        format!("{label}_s{s}_{proto}_r{r}"),
+                        format!("{label}_s{s}_r{r}"),
+                        &[
+                            ("spread", label.to_string()),
+                            ("switches", s.to_string()),
+                            ("protocol", proto.to_string()),
+                            ("rep", r.to_string()),
+                        ],
+                        move |seed| {
+                            let cc = if proto == "trim" {
+                                CcKind::trim_with_capacity(10_000_000_000, 1460)
+                            } else {
+                                CcKind::Reno
+                            };
+                            let summary = run_once(&cc, s, spread, seed);
+                            let mut t = Table::new("run", &["mean", "count"]);
+                            t.row(&[num(summary.mean), summary.count.to_string()]);
+                            t
+                        },
+                    );
+                }
             }
-            let tcp_act = tcp_sum / reps as f64;
-            let trim_act = trim_sum / reps as f64;
-            t.row(&[
-                format!("{}", s * SERVERS_PER_SWITCH),
-                fmt_secs(tcp_act),
-                fmt_secs(trim_act),
-                fmt_pct(1.0 - trim_act / tcp_act),
-            ]);
         }
-        let _ = t.write_csv(&results_dir(), &format!("fig8_{label}"));
-        tables.push(t);
     }
-    let _ = trim;
-    tables
+    c.reduce(move |records| {
+        let mut out = Vec::new();
+        for spread in [SptSpread::Uniform, SptSpread::Exponential] {
+            let label = spread_label(spread);
+            let mut t = Table::new(
+                format!("Fig. 8(b) — ACT of SPTs, {label} SPT start times"),
+                &["servers", "tcp_act", "trim_act", "reduction"],
+            );
+            for &s in &switch_counts {
+                let mean_of = |proto: &str| -> f64 {
+                    let sum: f64 = (0..reps)
+                        .map(|r| {
+                            let key = format!("{label}_s{s}_{proto}_r{r}");
+                            records
+                                .iter()
+                                .find(|rec| rec.key == key)
+                                .unwrap_or_else(|| panic!("missing job '{key}'"))
+                                .only()
+                                .f64_at(0, 0)
+                        })
+                        .sum();
+                    sum / reps as f64
+                };
+                let tcp_act = mean_of("tcp");
+                let trim_act = mean_of("trim");
+                t.row(&[
+                    format!("{}", s * SERVERS_PER_SWITCH),
+                    fmt_secs(tcp_act),
+                    fmt_secs(trim_act),
+                    fmt_pct(1.0 - trim_act / tcp_act),
+                ]);
+            }
+            out.push((format!("fig8_{label}"), t));
+        }
+        out
+    });
+    c
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]

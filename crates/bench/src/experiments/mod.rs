@@ -18,10 +18,10 @@
 
 pub mod ablation;
 pub mod concurrency;
-pub mod incast;
 pub mod convergence;
 pub mod fat_tree;
 pub mod impairment;
+pub mod incast;
 pub mod kmodel;
 pub mod large_scale;
 pub mod multihop;

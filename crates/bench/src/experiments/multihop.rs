@@ -9,10 +9,12 @@
 use netsim::prelude::*;
 use netsim::time::SimTime;
 use netsim::topology::{self, LinkSpec};
+use trim_harness::Campaign;
 use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
 use trim_workload::scenario::{schedule_train, wire_flow};
 
-use crate::{results_dir, Effort, Table};
+use crate::num;
+use crate::{Effort, Table};
 
 const GROUP: usize = 10;
 const DURATION: f64 = 3.0;
@@ -79,25 +81,53 @@ pub fn run_once(cc: &CcKind) -> (f64, f64, f64) {
     (a, b, c)
 }
 
-/// Runs the experiment and returns its tables.
-pub fn run(_effort: Effort) -> Vec<Table> {
-    let trim = CcKind::trim_with_capacity(10_000_000_000, 1460);
-    let mut t = Table::new(
-        "Fig. 11(b) — average per-sender throughput (Mbps)",
-        &["protocol", "group_a", "group_b", "group_c", "a+b_total_gbps"],
-    );
-    for cc in [CcKind::Reno, trim] {
-        let (a, b, c) = run_once(&cc);
-        t.row(&[
-            cc.name().to_string(),
-            format!("{a:.0}"),
-            format!("{b:.0}"),
-            format!("{c:.0}"),
-            format!("{:.2}", (a + b) * GROUP as f64 / 1000.0),
-        ]);
+/// Builds the multi-hop campaign: one deterministic job per protocol
+/// (the scenario has no randomness, so jobs ignore their seeds),
+/// reduced into the Fig. 11(b) table.
+pub fn campaign(_effort: Effort) -> Campaign {
+    let mut c = Campaign::new("multihop", 0xF1B);
+    for cc in [
+        CcKind::Reno,
+        CcKind::trim_with_capacity(10_000_000_000, 1460),
+    ] {
+        let name = cc.name().to_string();
+        c.table_job(name.clone(), &[("protocol", name)], move |_seed| {
+            let (a, b, g_c) = run_once(&cc);
+            let mut t = Table::new("groups", &["group_a", "group_b", "group_c"]);
+            t.row(&[num(a), num(b), num(g_c)]);
+            t
+        });
     }
-    let _ = t.write_csv(&results_dir(), "fig11_multihop");
-    vec![t]
+    c.reduce(|records| {
+        let mut t = Table::new(
+            "Fig. 11(b) — average per-sender throughput (Mbps)",
+            &[
+                "protocol",
+                "group_a",
+                "group_b",
+                "group_c",
+                "a+b_total_gbps",
+            ],
+        );
+        for job in records {
+            let row = job.only();
+            let (a, b, g_c) = (row.f64_at(0, 0), row.f64_at(0, 1), row.f64_at(0, 2));
+            t.row(&[
+                job.key.clone(),
+                format!("{a:.0}"),
+                format!("{b:.0}"),
+                format!("{g_c:.0}"),
+                format!("{:.2}", (a + b) * GROUP as f64 / 1000.0),
+            ]);
+        }
+        vec![("fig11_multihop".to_string(), t)]
+    });
+    c
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]

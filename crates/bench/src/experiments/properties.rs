@@ -4,13 +4,18 @@
 //! Persistent LPT connections share the 1 Gbps / 50 µs / 100-packet
 //! bottleneck from 0.1 s to 0.9 s. TCP saw-tooths against the buffer
 //! ceiling; TRIM pins the queue near its target `C(K - D)`.
+//!
+//! The workload here is fully deterministic (fixed-size LPTs, no random
+//! arrivals), so the campaign's jobs ignore their derived seeds.
 
 use netsim::time::{Dur, SimTime};
+use trim_harness::{Campaign, JobRecord};
 use trim_tcp::{CcKind, TcpConfig, TcpHost};
 use trim_workload::http::lpt;
 use trim_workload::scenario::ScenarioBuilder;
 
-use crate::{parallel_map, results_dir, Effort, Table};
+use crate::num;
+use crate::{Effort, Table};
 
 const END: f64 = 0.9;
 const START: f64 = 0.1;
@@ -32,7 +37,12 @@ pub struct PropertyRun {
 
 /// Runs `n` persistent LPTs under `cc`, with the queue-length series
 /// optionally returned for Fig. 9(a).
-pub fn run_once(cc: &CcKind, n: usize, rto: Dur, record: bool) -> (PropertyRun, Option<Vec<(f64, usize)>>) {
+pub fn run_once(
+    cc: &CcKind,
+    n: usize,
+    rto: Dur,
+    record: bool,
+) -> (PropertyRun, Option<Vec<(f64, usize)>>) {
     let mut builder = ScenarioBuilder::many_to_one(n)
         .congestion_control(cc.clone())
         .tcp_config(TcpConfig::default().with_min_rto(rto));
@@ -69,95 +79,145 @@ pub fn run_once(cc: &CcKind, n: usize, rto: Dur, record: bool) -> (PropertyRun, 
     (run, series)
 }
 
-/// Runs the experiment and returns its tables.
-pub fn run(effort: Effort) -> Vec<Table> {
-    let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
-    let mut tables = Vec::new();
-
-    // Fig. 9(a): queue-length evolution with 5 LPTs (sampled at 20 ms).
-    let mut fig9a = Table::new(
-        "Fig. 9(a) — switch queue with 5 LPTs (packets, sampled)",
-        &["t", "tcp", "trim"],
-    );
-    let (_, tcp_series) = run_once(&CcKind::Reno, 5, Dur::from_millis(200), true);
-    let (_, trim_series) = run_once(&trim, 5, Dur::from_millis(200), true);
-    let sample = |series: &[(f64, usize)], t: f64| -> usize {
+/// Samples a queue-length series on the 20 ms Fig. 9(a) grid.
+fn sampled_series(cc: &CcKind) -> Table {
+    let (_, series) = run_once(cc, 5, Dur::from_millis(200), true);
+    let series = series.expect("recorded");
+    let sample = |t: f64| -> usize {
         match series.partition_point(|&(at, _)| at <= t) {
             0 => 0,
             i => series[i - 1].1,
         }
     };
-    let (tcp_series, trim_series) = (
-        tcp_series.expect("recorded"),
-        trim_series.expect("recorded"),
-    );
+    let mut out = Table::new("queue", &["t", "len"]);
     let mut t = START;
     while t < END {
-        fig9a.row(&[
-            format!("{t:.2}"),
-            format!("{}", sample(&tcp_series, t)),
-            format!("{}", sample(&trim_series, t)),
-        ]);
+        out.row(&[format!("{t:.2}"), format!("{}", sample(t))]);
         t += 0.02;
     }
+    out
+}
 
-    // Fig. 9(b)-(d): sweep the number of concurrent PTs with a 1 ms RTO.
-    let counts: Vec<usize> = effort.pick(vec![2, 4, 6, 8, 10], vec![2, 3, 4, 5, 6, 7, 8, 9, 10]);
-    let jobs: Vec<(usize, bool)> = counts
+/// One sweep cell's raw metrics.
+fn cell_table(run: PropertyRun) -> Table {
+    let mut t = Table::new(
+        "cell",
+        &[
+            "avg_queue",
+            "max_queue",
+            "drops",
+            "goodput_mbps",
+            "timeouts",
+        ],
+    );
+    t.row(&[
+        num(run.avg_queue),
+        run.max_queue.to_string(),
+        run.drops.to_string(),
+        num(run.goodput_mbps),
+        run.timeouts.to_string(),
+    ]);
+    t
+}
+
+fn record_for<'a>(records: &'a [JobRecord], key: &str) -> &'a JobRecord {
+    records
         .iter()
-        .flat_map(|&n| [(n, false), (n, true)])
-        .collect();
-    let results = parallel_map(jobs, |(n, is_trim)| {
-        let cc = if is_trim {
-            CcKind::trim_with_capacity(1_000_000_000, 1460)
-        } else {
-            CcKind::Reno
-        };
-        run_once(&cc, n, Dur::from_millis(1), false).0
-    });
-    let mut fig9b = Table::new(
-        "Fig. 9(b) — average queue length (packets)",
-        &["n_pts", "tcp", "trim"],
-    );
-    let mut fig9c = Table::new(
-        "Fig. 9(c) — dropped packets",
-        &["n_pts", "tcp", "trim"],
-    );
-    let mut fig9d = Table::new(
-        "Fig. 9(d) — bottleneck goodput (Mbps)",
-        &["n_pts", "tcp", "trim", "trim_utilization"],
-    );
-    for (i, &n) in counts.iter().enumerate() {
-        let tcp = results[i * 2];
-        let trm = results[i * 2 + 1];
-        fig9b.row(&[
-            format!("{n}"),
-            format!("{:.1}", tcp.avg_queue),
-            format!("{:.1}", trm.avg_queue),
-        ]);
-        fig9c.row(&[
-            format!("{n}"),
-            format!("{}", tcp.drops),
-            format!("{}", trm.drops),
-        ]);
-        fig9d.row(&[
-            format!("{n}"),
-            format!("{:.0}", tcp.goodput_mbps),
-            format!("{:.0}", trm.goodput_mbps),
-            format!("{:.1}%", trm.goodput_mbps / 10.0),
-        ]);
-    }
+        .find(|r| r.key == key)
+        .unwrap_or_else(|| panic!("missing job '{key}'"))
+}
 
-    let dir = results_dir();
-    let _ = fig9a.write_csv(&dir, "fig9a_queue_series");
-    let _ = fig9b.write_csv(&dir, "fig9b_aql");
-    let _ = fig9c.write_csv(&dir, "fig9c_drops");
-    let _ = fig9d.write_csv(&dir, "fig9d_goodput");
-    tables.push(fig9a);
-    tables.push(fig9b);
-    tables.push(fig9c);
-    tables.push(fig9d);
-    tables
+/// Builds the properties campaign: two recorded queue-series jobs for
+/// Fig. 9(a) plus one job per (count, protocol) sweep cell.
+pub fn campaign(effort: Effort) -> Campaign {
+    let counts: Vec<usize> = effort.pick(vec![2, 4, 6, 8, 10], vec![2, 3, 4, 5, 6, 7, 8, 9, 10]);
+
+    let mut c = Campaign::new("properties", 0xF19);
+    for proto in ["tcp", "trim"] {
+        c.table_job(
+            format!("series_{proto}"),
+            &[("protocol", proto.to_string()), ("n_lpts", "5".to_string())],
+            move |_seed| {
+                let cc = if proto == "trim" {
+                    CcKind::trim_with_capacity(1_000_000_000, 1460)
+                } else {
+                    CcKind::Reno
+                };
+                sampled_series(&cc)
+            },
+        );
+    }
+    for &n in &counts {
+        for proto in ["tcp", "trim"] {
+            c.table_job(
+                format!("sweep_n{n}_{proto}"),
+                &[("protocol", proto.to_string()), ("n_pts", n.to_string())],
+                move |_seed| {
+                    let cc = if proto == "trim" {
+                        CcKind::trim_with_capacity(1_000_000_000, 1460)
+                    } else {
+                        CcKind::Reno
+                    };
+                    cell_table(run_once(&cc, n, Dur::from_millis(1), false).0)
+                },
+            );
+        }
+    }
+    c.reduce(move |records| {
+        // Fig. 9(a): zip the two sampled series.
+        let tcp_series = record_for(records, "series_tcp").only();
+        let trim_series = record_for(records, "series_trim").only();
+        let mut fig9a = Table::new(
+            "Fig. 9(a) — switch queue with 5 LPTs (packets, sampled)",
+            &["t", "tcp", "trim"],
+        );
+        for (row, trim_row) in tcp_series.rows().iter().zip(trim_series.rows()) {
+            fig9a.row(&[row[0].clone(), row[1].clone(), trim_row[1].clone()]);
+        }
+
+        // Fig. 9(b)-(d): one row per concurrency level.
+        let mut fig9b = Table::new(
+            "Fig. 9(b) — average queue length (packets)",
+            &["n_pts", "tcp", "trim"],
+        );
+        let mut fig9c = Table::new("Fig. 9(c) — dropped packets", &["n_pts", "tcp", "trim"]);
+        let mut fig9d = Table::new(
+            "Fig. 9(d) — bottleneck goodput (Mbps)",
+            &["n_pts", "tcp", "trim", "trim_utilization"],
+        );
+        for &n in &counts {
+            let tcp = record_for(records, &format!("sweep_n{n}_tcp")).only();
+            let trm = record_for(records, &format!("sweep_n{n}_trim")).only();
+            fig9b.row(&[
+                format!("{n}"),
+                format!("{:.1}", tcp.f64_at(0, 0)),
+                format!("{:.1}", trm.f64_at(0, 0)),
+            ]);
+            fig9c.row(&[
+                format!("{n}"),
+                tcp.cell(0, 2).to_string(),
+                trm.cell(0, 2).to_string(),
+            ]);
+            fig9d.row(&[
+                format!("{n}"),
+                format!("{:.0}", tcp.f64_at(0, 3)),
+                format!("{:.0}", trm.f64_at(0, 3)),
+                format!("{:.1}%", trm.f64_at(0, 3) / 10.0),
+            ]);
+        }
+        vec![
+            ("fig9a_queue_series".to_string(), fig9a),
+            ("fig9b_aql".to_string(), fig9b),
+            ("fig9c_drops".to_string(), fig9c),
+            ("fig9d_goodput".to_string(), fig9d),
+        ]
+    });
+    c
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]

@@ -9,47 +9,90 @@
 //! retransmissions that TRIM avoids entirely.
 
 use netsim::time::Dur;
+use trim_harness::{Campaign, JobRecord};
 use trim_tcp::CcKind;
 
 use crate::experiments::concurrency;
+use crate::num;
 use crate::table::fmt_secs;
-use crate::{parallel_map, results_dir, Effort, Table};
+use crate::{Effort, Table};
+
+const N_SPT: usize = 8;
+
+fn record_for<'a>(records: &'a [JobRecord], key: &str) -> &'a JobRecord {
+    records
+        .iter()
+        .find(|r| r.key == key)
+        .unwrap_or_else(|| panic!("missing job '{key}'"))
+}
+
+/// Builds the RTO-sensitivity campaign: one job per (RTO_min, protocol)
+/// on the 8-SPT/2-LPT cell. Every job shares the one cell's seed key,
+/// so the sweep varies only the timer and the protocol — never the
+/// workload.
+pub fn campaign(effort: Effort) -> Campaign {
+    let rtos_ms: Vec<u64> = effort.pick(vec![1, 20, 200], vec![1, 5, 10, 20, 50, 200]);
+
+    let mut c = Campaign::new("rto_sensitivity", 0x870);
+    for &ms in &rtos_ms {
+        for proto in ["tcp", "trim"] {
+            c.table_job_seeded(
+                format!("rto{ms}_{proto}"),
+                "cell",
+                &[
+                    ("rto_min_ms", ms.to_string()),
+                    ("protocol", proto.to_string()),
+                ],
+                move |seed| {
+                    let cc = if proto == "trim" {
+                        CcKind::trim_with_capacity(1_000_000_000, 1460)
+                    } else {
+                        CcKind::Reno
+                    };
+                    let cell = concurrency::run_cell_with_rto_seeded(
+                        &cc,
+                        N_SPT,
+                        2,
+                        Dur::from_millis(ms),
+                        seed,
+                    );
+                    let mut t = Table::new("run", &["act", "timeouts"]);
+                    t.row(&[num(cell.spt.mean), cell.timeouts.to_string()]);
+                    t
+                },
+            );
+        }
+    }
+    c.reduce(move |records| {
+        let mut t = Table::new(
+            "Extension — SPT ACT vs RTO_min (8 SPTs + 2 LPTs)",
+            &[
+                "rto_min_ms",
+                "tcp_act",
+                "trim_act",
+                "tcp_timeouts",
+                "trim_timeouts",
+            ],
+        );
+        for &ms in &rtos_ms {
+            let tcp = record_for(records, &format!("rto{ms}_tcp")).only();
+            let trim = record_for(records, &format!("rto{ms}_trim")).only();
+            t.row(&[
+                format!("{ms}"),
+                fmt_secs(tcp.f64_at(0, 0)),
+                fmt_secs(trim.f64_at(0, 0)),
+                tcp.cell(0, 1).to_string(),
+                trim.cell(0, 1).to_string(),
+            ]);
+        }
+        vec![("ext_rto_sensitivity".to_string(), t)]
+    });
+    c
+}
 
 /// Runs the experiment and returns its tables.
 pub fn run(effort: Effort) -> Vec<Table> {
-    let rtos_ms: Vec<u64> = effort.pick(vec![1, 20, 200], vec![1, 5, 10, 20, 50, 200]);
-    let n_spt = 8;
-
-    let jobs: Vec<(u64, bool)> = rtos_ms
-        .iter()
-        .flat_map(|&ms| [(ms, false), (ms, true)])
-        .collect();
-    let results = parallel_map(jobs, |(ms, is_trim)| {
-        let cc = if is_trim {
-            CcKind::trim_with_capacity(1_000_000_000, 1460)
-        } else {
-            CcKind::Reno
-        };
-        concurrency::run_cell_with_rto(&cc, n_spt, 2, Dur::from_millis(ms))
-    });
-
-    let mut t = Table::new(
-        "Extension — SPT ACT vs RTO_min (8 SPTs + 2 LPTs)",
-        &["rto_min_ms", "tcp_act", "trim_act", "tcp_timeouts", "trim_timeouts"],
-    );
-    for (i, &ms) in rtos_ms.iter().enumerate() {
-        let tcp = &results[i * 2];
-        let trim = &results[i * 2 + 1];
-        t.row(&[
-            format!("{ms}"),
-            fmt_secs(tcp.spt.mean),
-            fmt_secs(trim.spt.mean),
-            format!("{}", tcp.timeouts),
-            format!("{}", trim.timeouts),
-        ]);
-    }
-    let _ = t.write_csv(&results_dir(), "ext_rto_sensitivity");
-    vec![t]
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]
@@ -58,10 +101,8 @@ mod tests {
 
     #[test]
     fn small_rto_helps_tcp_but_trim_still_wins() {
-        let tcp_1ms =
-            concurrency::run_cell_with_rto(&CcKind::Reno, 8, 2, Dur::from_millis(1));
-        let tcp_200ms =
-            concurrency::run_cell_with_rto(&CcKind::Reno, 8, 2, Dur::from_millis(200));
+        let tcp_1ms = concurrency::run_cell_with_rto(&CcKind::Reno, 8, 2, Dur::from_millis(1));
+        let tcp_200ms = concurrency::run_cell_with_rto(&CcKind::Reno, 8, 2, Dur::from_millis(200));
         let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
         let trim_1ms = concurrency::run_cell_with_rto(&trim, 8, 2, Dur::from_millis(1));
         // An aggressive timer slashes TCP's penalty...

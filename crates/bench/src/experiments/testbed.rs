@@ -20,9 +20,11 @@ use trim_workload::Summary;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use trim_harness::{Artifacts, Campaign, JobRecord};
 
+use crate::num;
 use crate::table::fmt_secs;
-use crate::{parallel_map, results_dir, Effort, Table};
+use crate::{Effort, Table};
 
 /// Fig. 13(a): ARCT of 100 responses of mean size `mean_bytes` while two
 /// large files stream on 100 Mbps links.
@@ -111,82 +113,158 @@ pub fn web_service(cc: &CcKind, n_per_server: usize, seed: u64) -> WebServiceRun
     }
 }
 
-/// Runs the experiment and returns its tables.
-pub fn run(effort: Effort) -> Vec<Table> {
-    let mut tables = Vec::new();
+/// A web-service job's artifacts: the scalar summary plus the CDF
+/// checkpoints used by the Fig. 13(e) table.
+fn web_service_job(cc: &CcKind, n_per_server: usize, seed: u64) -> Artifacts {
+    let r = web_service(cc, n_per_server, seed);
+    let max_mid = r.mid_sizes.iter().copied().fold(0.0f64, f64::max);
+    let mut summary = Table::new(
+        "summary",
+        &["arct", "under_25ms", "max_mid_ct", "responses"],
+    );
+    summary.row(&[
+        num(r.arct),
+        num(r.under_25ms),
+        num(max_mid),
+        r.cdf.len().to_string(),
+    ]);
+    let mut cdf = Table::new("cdf", &["ct_ms", "frac"]);
+    for ms in [5.0, 10.0, 25.0, 50.0, 100.0, 250.0] {
+        let t = ms / 1e3;
+        let frac = r.cdf.partition_point(|&(v, _)| v <= t) as f64 / r.cdf.len().max(1) as f64;
+        cdf.row(&[format!("{ms}"), num(frac)]);
+    }
+    vec![("summary".to_string(), summary), ("cdf".to_string(), cdf)]
+}
 
-    // Fig. 13(a).
+fn record_for<'a>(records: &'a [JobRecord], key: &str) -> &'a JobRecord {
+    records
+        .iter()
+        .find(|r| r.key == key)
+        .unwrap_or_else(|| panic!("missing job '{key}'"))
+}
+
+/// Builds the testbed campaign: one ARCT job per (response size,
+/// protocol) on the 100 Mbps network plus one web-service job per
+/// protocol on the 1 Gbps network. Protocols share each scenario's
+/// seed key so A/B comparisons run the identical workload.
+pub fn campaign(effort: Effort) -> Campaign {
     let sizes: Vec<u64> = effort.pick(
         vec![32_768, 131_072, 524_288, 1_048_576],
         vec![32_768, 65_536, 131_072, 262_144, 524_288, 1_048_576],
     );
-    let trim100 = CcKind::trim_with_capacity(100_000_000, 1460);
-    let jobs: Vec<(u64, u8)> = sizes.iter().flat_map(|&s| [(s, 0u8), (s, 1)]).collect();
-    let results = parallel_map(jobs, |(s, p)| {
-        let cc = if p == 0 {
-            CcKind::Cubic
-        } else {
-            CcKind::trim_with_capacity(100_000_000, 1460)
-        };
-        arct_100mbps(&cc, s, 0xBED ^ s)
-    });
-    let mut fig13a = Table::new(
-        "Fig. 13(a) — ARCT on 100 Mbps testbed (s)",
-        &["mean_size_kb", "cubic", "trim"],
-    );
-    for (i, &s) in sizes.iter().enumerate() {
-        fig13a.row(&[
-            format!("{}", s / 1024),
-            fmt_secs(results[i * 2].mean),
-            fmt_secs(results[i * 2 + 1].mean),
-        ]);
-    }
-    let _ = fig13a.write_csv(&results_dir(), "fig13a_arct");
-    tables.push(fig13a);
-    let _ = trim100;
-
-    // Fig. 13(b)-(e).
     let n_per_server = effort.pick(400, 1000);
-    let trim = CcKind::trim_with_capacity(1_000_000_000, 1460);
-    let protos = [CcKind::Cubic, CcKind::Reno, trim];
-    let runs = parallel_map(protos.to_vec(), |cc| web_service(&cc, n_per_server, 0xCAFE));
-    let mut fig13e = Table::new(
-        "Fig. 13(b)-(e) — web-service completion times (4 servers)",
-        &["protocol", "arct", "p_under_25ms", "max_mid_ct", "responses"],
-    );
-    for (cc, r) in protos.iter().zip(&runs) {
-        let max_mid = r.mid_sizes.iter().copied().fold(0.0f64, f64::max);
-        fig13e.row(&[
-            cc.name().to_string(),
-            fmt_secs(r.arct),
-            format!("{:.3}", r.under_25ms),
-            fmt_secs(max_mid),
-            format!("{}", r.cdf.len()),
-        ]);
-    }
-    let _ = fig13e.write_csv(&results_dir(), "fig13e_web_service");
 
-    // CDF checkpoints for Fig. 13(e).
-    let mut cdf_table = Table::new(
-        "Fig. 13(e) — CDF of response completion time",
-        &["ct_ms", "cubic", "reno", "trim"],
-    );
-    for ms in [5.0, 10.0, 25.0, 50.0, 100.0, 250.0] {
-        let frac = |r: &WebServiceRun| {
-            let t = ms / 1e3;
-            r.cdf.partition_point(|&(v, _)| v <= t) as f64 / r.cdf.len().max(1) as f64
-        };
-        cdf_table.row(&[
-            format!("{ms}"),
-            format!("{:.3}", frac(&runs[0])),
-            format!("{:.3}", frac(&runs[1])),
-            format!("{:.3}", frac(&runs[2])),
-        ]);
+    let mut c = Campaign::new("testbed", 0xBED);
+    for &s in &sizes {
+        for proto in ["cubic", "trim"] {
+            c.table_job_seeded(
+                format!("arct_{s}_{proto}"),
+                format!("arct_{s}"),
+                &[
+                    ("mean_bytes", s.to_string()),
+                    ("protocol", proto.to_string()),
+                ],
+                move |seed| {
+                    let cc = if proto == "trim" {
+                        CcKind::trim_with_capacity(100_000_000, 1460)
+                    } else {
+                        CcKind::Cubic
+                    };
+                    let mut t = Table::new("arct", &["mean"]);
+                    t.row(&[num(arct_100mbps(&cc, s, seed).mean)]);
+                    t
+                },
+            );
+        }
     }
-    let _ = cdf_table.write_csv(&results_dir(), "fig13e_cdf");
-    tables.push(fig13e);
-    tables.push(cdf_table);
-    tables
+    for (proto, cc) in [
+        ("cubic", CcKind::Cubic),
+        ("reno", CcKind::Reno),
+        ("trim", CcKind::trim_with_capacity(1_000_000_000, 1460)),
+    ] {
+        c.job_seeded(
+            format!("web_{proto}"),
+            "web",
+            &[
+                ("protocol", proto.to_string()),
+                ("n_per_server", n_per_server.to_string()),
+            ],
+            move |seed| web_service_job(&cc, n_per_server, seed),
+        );
+    }
+    c.reduce(move |records| {
+        let mut fig13a = Table::new(
+            "Fig. 13(a) — ARCT on 100 Mbps testbed (s)",
+            &["mean_size_kb", "cubic", "trim"],
+        );
+        for &s in &sizes {
+            fig13a.row(&[
+                format!("{}", s / 1024),
+                fmt_secs(
+                    record_for(records, &format!("arct_{s}_cubic"))
+                        .only()
+                        .f64_at(0, 0),
+                ),
+                fmt_secs(
+                    record_for(records, &format!("arct_{s}_trim"))
+                        .only()
+                        .f64_at(0, 0),
+                ),
+            ]);
+        }
+
+        let protos = ["cubic", "reno", "trim"];
+        let mut fig13e = Table::new(
+            "Fig. 13(b)-(e) — web-service completion times (4 servers)",
+            &[
+                "protocol",
+                "arct",
+                "p_under_25ms",
+                "max_mid_ct",
+                "responses",
+            ],
+        );
+        for proto in protos {
+            let summary = record_for(records, &format!("web_{proto}")).table("summary");
+            fig13e.row(&[
+                proto.to_string(),
+                fmt_secs(summary.f64_at(0, 0)),
+                format!("{:.3}", summary.f64_at(0, 1)),
+                fmt_secs(summary.f64_at(0, 2)),
+                summary.cell(0, 3).to_string(),
+            ]);
+        }
+
+        let mut cdf_table = Table::new(
+            "Fig. 13(e) — CDF of response completion time",
+            &["ct_ms", "cubic", "reno", "trim"],
+        );
+        let cdfs: Vec<&Table> = protos
+            .iter()
+            .map(|proto| record_for(records, &format!("web_{proto}")).table("cdf"))
+            .collect();
+        for row in 0..cdfs[0].len() {
+            cdf_table.row(&[
+                cdfs[0].cell(row, 0).to_string(),
+                format!("{:.3}", cdfs[0].f64_at(row, 1)),
+                format!("{:.3}", cdfs[1].f64_at(row, 1)),
+                format!("{:.3}", cdfs[2].f64_at(row, 1)),
+            ]);
+        }
+
+        vec![
+            ("fig13a_arct".to_string(), fig13a),
+            ("fig13e_web_service".to_string(), fig13e),
+            ("fig13e_cdf".to_string(), cdf_table),
+        ]
+    });
+    c
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]
@@ -218,6 +296,10 @@ mod tests {
             t.under_25ms,
             c.under_25ms
         );
-        assert!(t.under_25ms > 0.9, "paper: ~99% under 25 ms, got {}", t.under_25ms);
+        assert!(
+            t.under_25ms > 0.9,
+            "paper: ~99% under 25 ms, got {}",
+            t.under_25ms
+        );
     }
 }

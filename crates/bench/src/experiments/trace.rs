@@ -10,15 +10,16 @@
 use netsim::time::Dur;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use trim_harness::{Artifacts, Campaign};
 use trim_workload::trace::{extract_trains, synthesize_trace, train_intervals, TraceConfig};
 
-use crate::{results_dir, Effort, Table};
+use crate::{Effort, Table};
 
-/// Runs the experiment and returns its tables.
-pub fn run(effort: Effort) -> Vec<Table> {
-    let mut rng = StdRng::seed_from_u64(0x7217);
+/// Synthesizes one trace and derives all three figure tables from it.
+fn trace_job(seed: u64, trains: usize) -> Artifacts {
+    let mut rng = StdRng::seed_from_u64(seed);
     let cfg = TraceConfig {
-        trains: effort.pick(2_000, 20_000),
+        trains,
         ..TraceConfig::default()
     };
     let pkts = synthesize_trace(&mut rng, &cfg);
@@ -26,10 +27,7 @@ pub fn run(effort: Effort) -> Vec<Table> {
     let gaps = train_intervals(&trains);
 
     // Fig. 1: the first few trains as a sequence-number narrative.
-    let mut fig1 = Table::new(
-        "Fig. 1 — packet trains on one HTTP connection (first 10)",
-        &["train", "start", "pkts", "KB", "class"],
-    );
+    let mut fig1 = Table::new("fig1", &["train", "start", "pkts", "KB", "class"]);
     for (i, t) in trains.iter().take(10).enumerate() {
         fig1.row(&[
             format!("{i}"),
@@ -43,10 +41,7 @@ pub fn run(effort: Effort) -> Vec<Table> {
     // Fig. 2(a): CDF of train size.
     let mut sizes: Vec<f64> = trains.iter().map(|t| t.bytes as f64 / 1024.0).collect();
     sizes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let mut fig2a = Table::new(
-        "Fig. 2(a) — CDF of packet-train size",
-        &["size_kb", "cdf"],
-    );
+    let mut fig2a = Table::new("fig2a", &["size_kb", "cdf"]);
     for kb in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0] {
         let frac = sizes.partition_point(|&s| s <= kb) as f64 / sizes.len() as f64;
         fig2a.row(&[format!("{kb}"), format!("{frac:.3}")]);
@@ -55,20 +50,58 @@ pub fn run(effort: Effort) -> Vec<Table> {
     // Fig. 2(b): CDF of inter-train gap.
     let mut gap_us: Vec<f64> = gaps.iter().map(|g| g.as_secs_f64() * 1e6).collect();
     gap_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let mut fig2b = Table::new(
-        "Fig. 2(b) — CDF of inter-train interval",
-        &["gap_us", "cdf"],
-    );
+    let mut fig2b = Table::new("fig2b", &["gap_us", "cdf"]);
     for us in [100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0] {
         let frac = gap_us.partition_point(|&g| g <= us) as f64 / gap_us.len().max(1) as f64;
         fig2b.row(&[format!("{us}"), format!("{frac:.3}")]);
     }
 
-    let dir = results_dir();
-    let _ = fig1.write_csv(&dir, "fig1_trains");
-    let _ = fig2a.write_csv(&dir, "fig2a_size_cdf");
-    let _ = fig2b.write_csv(&dir, "fig2b_gap_cdf");
-    vec![fig1, fig2a, fig2b]
+    vec![
+        ("fig1".to_string(), fig1),
+        ("fig2a".to_string(), fig2a),
+        ("fig2b".to_string(), fig2b),
+    ]
+}
+
+/// Builds the trace-characterization campaign: one synthesis job, three
+/// figure tables reduced from its artifacts.
+pub fn campaign(effort: Effort) -> Campaign {
+    let trains = effort.pick(2_000, 20_000);
+    let mut c = Campaign::new("trace", 0x7217);
+    c.job(
+        "synthesize",
+        &[("trains", trains.to_string())],
+        move |seed| trace_job(seed, trains),
+    );
+    c.reduce(|records| {
+        let job = &records[0];
+        vec![
+            (
+                "fig1_trains".to_string(),
+                job.table("fig1")
+                    .clone()
+                    .with_title("Fig. 1 — packet trains on one HTTP connection (first 10)"),
+            ),
+            (
+                "fig2a_size_cdf".to_string(),
+                job.table("fig2a")
+                    .clone()
+                    .with_title("Fig. 2(a) — CDF of packet-train size"),
+            ),
+            (
+                "fig2b_gap_cdf".to_string(),
+                job.table("fig2b")
+                    .clone()
+                    .with_title("Fig. 2(b) — CDF of inter-train interval"),
+            ),
+        ]
+    });
+    c
+}
+
+/// Runs the experiment and returns its tables.
+pub fn run(effort: Effort) -> Vec<Table> {
+    crate::execute_quiet(campaign(effort))
 }
 
 #[cfg(test)]

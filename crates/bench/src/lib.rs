@@ -1,67 +1,123 @@
-//! # trim-experiments — the evaluation harness
+//! # trim-experiments — the evaluation suite
 //!
 //! One module per table/figure of the paper's evaluation (Section IV),
 //! each regenerating the corresponding result on the `netsim` + `trim-tcp`
-//! stack. Run them individually (`cargo run -p trim-experiments --bin
-//! exp_impairment --release`) or all together (`--bin run_all`). Every
-//! experiment prints paper-style tables and writes CSVs under `results/`.
+//! stack. Every experiment describes its sweep as a `trim-harness`
+//! [`Campaign`]: independent seeded jobs executed on a work-stealing
+//! pool, with per-job CSV artifacts, resume, and a run manifest under
+//! `results/`.
 //!
-//! Pass `--full` for paper-scale parameters; the default "quick" effort
-//! uses smaller sweeps and fewer repetitions so the whole suite finishes
-//! in minutes.
+//! Run everything with the unified CLI (`cargo run --release --bin
+//! trim-bench -- --only trace,kmodel --jobs 4`), or a single experiment
+//! with its dedicated binary (`--bin exp_impairment`). Pass `--full`
+//! for paper-scale parameters; the default "quick" effort uses smaller
+//! sweeps so the whole suite finishes in minutes.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::path::PathBuf;
 
+use trim_harness::{engine, Campaign, CliArgs, ExecConfig};
+
 pub mod experiments;
-pub mod table;
+pub mod registry;
 
-pub use table::Table;
-
-/// How much work an experiment should do.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Effort {
-    /// Reduced sweeps/repetitions: minutes for the whole suite.
-    Quick,
-    /// Paper-scale parameters.
-    Full,
-}
-
-impl Effort {
-    /// Parses the process arguments: `--full` selects [`Effort::Full`].
-    pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--full") {
-            Effort::Full
-        } else {
-            Effort::Quick
-        }
-    }
-
-    /// Whether this is the full effort.
-    pub fn is_full(self) -> bool {
-        self == Effort::Full
-    }
-
-    /// Picks `quick` or `full` by effort.
-    pub fn pick<T>(self, quick: T, full: T) -> T {
-        match self {
-            Effort::Quick => quick,
-            Effort::Full => full,
-        }
-    }
-}
+pub use trim_harness::table;
+pub use trim_harness::{Effort, Table};
 
 /// Directory where experiment CSVs are written.
 pub fn results_dir() -> PathBuf {
     PathBuf::from("results")
 }
 
+/// Executes a campaign with default settings (all cores, resume
+/// enabled, `results/`, no progress output) and returns its reduce
+/// tables. The `run(effort)` entry point of every experiment delegates
+/// here, so tests and legacy callers keep their one-call interface.
+pub(crate) fn execute_quiet(campaign: Campaign) -> Vec<Table> {
+    let cfg = ExecConfig {
+        results_dir: results_dir(),
+        quiet: true,
+        ..ExecConfig::default()
+    };
+    engine::execute(campaign, &cfg)
+        .expect("campaign execution failed")
+        .into_tables()
+}
+
+/// Drives a selection of experiments from parsed CLI options: the
+/// shared `main` of `trim-bench`, `run_all`, and the `exp_*` binaries.
+///
+/// # Errors
+///
+/// Returns a message naming any unknown experiment id; I/O errors from
+/// the result store are formatted into the message.
+pub fn drive(args: &CliArgs) -> Result<(), String> {
+    if args.list {
+        for spec in registry::ALL {
+            trim_harness::cli::emit(&format!("{:<16} {}", spec.id, spec.title));
+        }
+        return Ok(());
+    }
+    let selected: Vec<&registry::ExperimentSpec> = match &args.only {
+        None => registry::ALL.iter().collect(),
+        Some(ids) => ids
+            .iter()
+            .map(|id| {
+                registry::find(id).ok_or_else(|| format!("unknown experiment '{id}' (see --list)"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let cfg = ExecConfig {
+        jobs: args.jobs,
+        force: args.force,
+        results_dir: args.results_dir.clone(),
+        quiet: args.quiet,
+    };
+    for spec in selected {
+        let t0 = std::time::Instant::now();
+        trim_harness::cli::emit(&format!("\n########## {} ##########", spec.title));
+        let mut campaign = (spec.campaign)(args.effort);
+        if let Some(seed) = args.seed {
+            campaign = campaign.with_seed(seed);
+        }
+        let outcome = engine::execute(campaign, &cfg).map_err(|e| format!("{}: {e}", spec.id))?;
+        for table in outcome.into_tables() {
+            table.print();
+        }
+        trim_harness::cli::emit(&format!(
+            "[{}: {:.1}s]",
+            spec.id,
+            t0.elapsed().as_secs_f64()
+        ));
+    }
+    Ok(())
+}
+
+/// The `main` of a single-experiment binary: strict CLI parsing
+/// restricted to this experiment, then [`drive`].
+pub fn single_experiment_main(id: &str) {
+    let program = format!("exp_{id}");
+    let mut args = trim_harness::cli::parse_env_or_exit(&program, &[id]);
+    if let Some(only) = &args.only {
+        if only.iter().any(|o| o != id) {
+            eprintln!("{program}: this binary only runs '{id}' (use trim-bench --only for others)");
+            std::process::exit(2);
+        }
+    }
+    args.only = Some(vec![id.to_string()]);
+    if let Err(msg) = drive(&args) {
+        eprintln!("{program}: {msg}");
+        std::process::exit(1);
+    }
+}
+
 /// Runs `f` over `items` on worker threads, preserving input order.
 ///
-/// Simulations are single-threaded and independent, so sweeps and
-/// repetitions parallelize across cores.
+/// Simulations are single-threaded and independent; experiment
+/// *helpers* (ablations, cross-module sweeps that are not campaign
+/// jobs) use this to spread repetitions across cores.
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
@@ -73,12 +129,12 @@ where
         .unwrap_or(4);
     let n = items.len();
     let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = std::sync::Mutex::new(work);
-    crossbeam::thread::scope(|scope| {
+    let queue: std::sync::Mutex<Vec<(usize, T)>> =
+        std::sync::Mutex::new(items.into_iter().enumerate().collect());
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads.min(n.max(1)) {
-            handles.push(scope.spawn(|_| {
+            handles.push(scope.spawn(|| {
                 let mut done = Vec::new();
                 loop {
                     let item = queue.lock().expect("queue poisoned").pop();
@@ -95,25 +151,22 @@ where
                 slots[i] = Some(u);
             }
         }
-    })
-    .expect("scope panicked");
+    });
     slots
         .into_iter()
         .map(|s| s.expect("every slot filled"))
         .collect()
 }
 
+/// Formats an `f64` exactly (shortest round-trip); job artifacts use
+/// this so the reduce step recovers bit-identical values from CSV.
+pub(crate) fn num(x: f64) -> String {
+    table::num(x)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn effort_pick() {
-        assert_eq!(Effort::Quick.pick(1, 2), 1);
-        assert_eq!(Effort::Full.pick(1, 2), 2);
-        assert!(Effort::Full.is_full());
-        assert!(!Effort::Quick.is_full());
-    }
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -125,5 +178,25 @@ mod tests {
     fn parallel_map_empty() {
         let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        for spec in registry::ALL {
+            assert_eq!(registry::find(spec.id).unwrap().id, spec.id);
+        }
+        let mut ids: Vec<_> = registry::ALL.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), registry::ALL.len());
+    }
+
+    #[test]
+    fn drive_rejects_unknown_ids() {
+        let args = CliArgs {
+            only: Some(vec!["nope".into()]),
+            ..CliArgs::default()
+        };
+        assert!(drive(&args).unwrap_err().contains("nope"));
     }
 }

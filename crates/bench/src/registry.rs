@@ -1,0 +1,97 @@
+//! The experiment registry: every paper artifact as a named campaign.
+//!
+//! `trim-bench --list` prints this table; `--only <ids>` selects rows.
+
+use trim_harness::{Campaign, Effort};
+
+use crate::experiments;
+
+/// One registered experiment.
+#[derive(Debug)]
+pub struct ExperimentSpec {
+    /// Stable id used with `--only` and as the campaign id.
+    pub id: &'static str,
+    /// Human-readable title (paper artifact).
+    pub title: &'static str,
+    /// Builds the experiment's campaign at the given effort.
+    pub campaign: fn(Effort) -> Campaign,
+}
+
+/// Every experiment, in suite order.
+pub static ALL: &[ExperimentSpec] = &[
+    ExperimentSpec {
+        id: "trace",
+        title: "fig1-2 trace characterization",
+        campaign: experiments::trace::campaign,
+    },
+    ExperimentSpec {
+        id: "impairment",
+        title: "fig4/6 ON-OFF impairment",
+        campaign: experiments::impairment::campaign,
+    },
+    ExperimentSpec {
+        id: "concurrency",
+        title: "fig5/7 concurrent SPTs",
+        campaign: experiments::concurrency::campaign,
+    },
+    ExperimentSpec {
+        id: "large_scale",
+        title: "fig8 large-scale ACT",
+        campaign: experiments::large_scale::campaign,
+    },
+    ExperimentSpec {
+        id: "properties",
+        title: "fig9 queue/goodput properties",
+        campaign: experiments::properties::campaign,
+    },
+    ExperimentSpec {
+        id: "convergence",
+        title: "fig10 fairness/convergence",
+        campaign: experiments::convergence::campaign,
+    },
+    ExperimentSpec {
+        id: "multihop",
+        title: "fig11 multi-hop bottlenecks",
+        campaign: experiments::multihop::campaign,
+    },
+    ExperimentSpec {
+        id: "fat_tree",
+        title: "fig12/tab1 fat-tree comparison",
+        campaign: experiments::fat_tree::campaign,
+    },
+    ExperimentSpec {
+        id: "testbed",
+        title: "fig13 testbed ARCT/CDF",
+        campaign: experiments::testbed::campaign,
+    },
+    ExperimentSpec {
+        id: "kmodel",
+        title: "K-guideline analytical model",
+        campaign: experiments::kmodel::campaign,
+    },
+    ExperimentSpec {
+        id: "ablation",
+        title: "design-choice ablations",
+        campaign: experiments::ablation::campaign,
+    },
+    ExperimentSpec {
+        id: "incast",
+        title: "ext: incast query completion",
+        campaign: experiments::incast::campaign,
+    },
+    ExperimentSpec {
+        id: "rto_sensitivity",
+        title: "ext: RTO_min sweep",
+        campaign: experiments::rto_sensitivity::campaign,
+    },
+];
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<&'static ExperimentSpec> {
+    ALL.iter().find(|s| s.id == id)
+}
+
+/// Every experiment id, in suite order.
+pub fn ids() -> Vec<&'static str> {
+    ALL.iter().map(|s| s.id).collect()
+}

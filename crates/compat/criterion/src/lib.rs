@@ -1,0 +1,165 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, covering the subset this workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical engine it runs a short warm-up,
+//! then a fixed measurement phase, and prints mean/min per-iteration
+//! wall time. Good enough to compare orders of magnitude and spot
+//! regressions by eye; not a substitute for the real crate's rigor.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark driver handed to each registered function.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Times the closure under test.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing each call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            let t0 = Instant::now();
+            black_box(routine());
+            t0.elapsed()
+        });
+    }
+
+    /// Benchmarks `routine` over inputs built by `setup`, timing only
+    /// the routine.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            t0.elapsed()
+        });
+    }
+
+    fn run(&mut self, mut once: impl FnMut() -> Duration) {
+        let warm_end = Instant::now() + self.warmup;
+        while Instant::now() < warm_end {
+            once();
+        }
+        let measure_end = Instant::now() + self.measure;
+        while Instant::now() < measure_end {
+            self.samples.push(once());
+        }
+        if self.samples.is_empty() {
+            self.samples.push(once());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        let n = self.samples.len() as u32;
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / n.max(1);
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!("bench {name:<40} iters {n:>8}  mean {mean:>12?}  min {min:>12?}");
+    }
+}
+
+/// Groups benchmark functions under one runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        // The closure ran at least once during warm-up + measurement.
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -93,7 +93,12 @@ pub fn probe_overhead_secs(rtt_s: f64) -> f64 {
 pub fn restart_comparison_secs(n_pkts: u64, rtt_s: f64, c_pps: f64) -> (f64, f64) {
     let trim = probe_overhead_secs(rtt_s)
         + train_completion_secs(n_pkts, rtt_s, c_pps, WindowRegime::Burst);
-    let gip = train_completion_secs(n_pkts, rtt_s, c_pps, WindowRegime::SlowStart { initial: 2.0 });
+    let gip = train_completion_secs(
+        n_pkts,
+        rtt_s,
+        c_pps,
+        WindowRegime::SlowStart { initial: 2.0 },
+    );
     (trim, gip)
 }
 
@@ -120,8 +125,12 @@ mod tests {
     #[test]
     fn congestion_avoidance_is_slower_than_slow_start() {
         let ss = train_completion_secs(100, 1e-3, C, WindowRegime::SlowStart { initial: 2.0 });
-        let ca =
-            train_completion_secs(100, 1e-3, C, WindowRegime::CongestionAvoidance { initial: 2.0 });
+        let ca = train_completion_secs(
+            100,
+            1e-3,
+            C,
+            WindowRegime::CongestionAvoidance { initial: 2.0 },
+        );
         assert!(ca > ss);
     }
 

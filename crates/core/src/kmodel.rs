@@ -244,8 +244,8 @@ mod tests {
     #[test]
     fn approximation_close_to_exact_sum() {
         let st = steady_state(C, 200_000, 400_000, 50);
-        let rel = (st.total_decrement - st.total_decrement_approx).abs()
-            / st.total_decrement.max(1e-12);
+        let rel =
+            (st.total_decrement - st.total_decrement_approx).abs() / st.total_decrement.max(1e-12);
         assert!(rel < 0.1, "Eq. 13 approximation off by {rel}");
     }
 

@@ -256,7 +256,8 @@ impl Trim {
                     let min = self
                         .rtt
                         .min_ns()
-                        .expect("observe() above guarantees a minimum") as f64;
+                        .expect("observe() above guarantees a minimum")
+                        as f64;
                     // Eq. 1: cwnd = s_cwnd * (1 - (probe_RTT - min)/min),
                     // clamped to [min_cwnd, s_cwnd] per Section III.C.
                     let tuned = saved * (1.0 - (probe_rtt - min) / min);

@@ -151,7 +151,13 @@ impl<P: Payload> Core<P> {
         let delay = c.delay;
         let to = c.to;
         self.schedule(now + ser, Ev::TxDone { ch });
-        self.schedule(now + ser + delay, Ev::Arrival { node: to, pkt: head });
+        self.schedule(
+            now + ser + delay,
+            Ev::Arrival {
+                node: to,
+                pkt: head,
+            },
+        );
     }
 
     fn on_tx_done(&mut self, ch: ChannelId) {
@@ -402,10 +408,14 @@ impl<P: Payload> Simulator<P> {
     ) -> (ChannelId, ChannelId) {
         assert!(!self.started, "cannot modify topology after start");
         let ab = ChannelId(self.core.channels.len() as u32);
-        self.core.channels.push(Channel::new(b, bandwidth, delay, queue));
+        self.core
+            .channels
+            .push(Channel::new(b, bandwidth, delay, queue));
         self.core.adjacency[a.index()].push((b, ab));
         let ba = ChannelId(self.core.channels.len() as u32);
-        self.core.channels.push(Channel::new(a, bandwidth, delay, queue));
+        self.core
+            .channels
+            .push(Channel::new(a, bandwidth, delay, queue));
         self.core.adjacency[b.index()].push((a, ba));
         self.core.routes_built = false;
         (ab, ba)
@@ -579,11 +589,7 @@ impl<P: Payload> Simulator<P> {
         }
     }
 
-    fn dispatch(
-        &mut self,
-        node: NodeId,
-        f: impl FnOnce(&mut Box<dyn Agent<P>>, &mut Ctx<'_, P>),
-    ) {
+    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut Box<dyn Agent<P>>, &mut Ctx<'_, P>)) {
         let mut agent = self.agents[node.index()]
             .take()
             .expect("packet or timer delivered to switch");
@@ -690,7 +696,10 @@ mod tests {
         }
         for &s in &senders {
             for _ in 0..50 {
-                sim.inject(s, Packet::new(s, dst, FlowId(s.index() as u64), 1460, TagPayload(0)));
+                sim.inject(
+                    s,
+                    Packet::new(s, dst, FlowId(s.index() as u64), 1460, TagPayload(0)),
+                );
             }
         }
         sim.run();
@@ -745,7 +754,10 @@ mod tests {
         let cfg = QueueConfig::default();
         sim.connect(client, sw, Bandwidth::gbps(1), Dur::from_micros(50), cfg);
         sim.connect(server, sw, Bandwidth::gbps(1), Dur::from_micros(50), cfg);
-        sim.inject(client, Packet::new(client, server, FlowId(7), 1460, TagPayload(3)));
+        sim.inject(
+            client,
+            Packet::new(client, server, FlowId(7), 1460, TagPayload(3)),
+        );
         sim.run();
         assert_eq!(sim.host::<SinkAgent>(client).received, 1);
         assert_eq!(sim.host::<SinkAgent>(client).received_bytes, 40);
@@ -847,7 +859,10 @@ mod tests {
             let (mut sim, senders, dst, ch) = star(3);
             for (i, &s) in senders.iter().enumerate() {
                 for _ in 0..20 {
-                    sim.inject(s, Packet::new(s, dst, FlowId(i as u64), 1460, TagPayload(0)));
+                    sim.inject(
+                        s,
+                        Packet::new(s, dst, FlowId(i as u64), 1460, TagPayload(0)),
+                    );
                 }
             }
             sim.run();

@@ -272,7 +272,10 @@ mod tests {
         let b = SimTime::from_secs(2);
         assert_eq!(a.saturating_since(b), Dur::ZERO);
         assert_eq!(b.saturating_since(a), Dur::from_secs(1));
-        assert_eq!(Dur::from_nanos(5).saturating_sub(Dur::from_nanos(9)), Dur::ZERO);
+        assert_eq!(
+            Dur::from_nanos(5).saturating_sub(Dur::from_nanos(9)),
+            Dur::ZERO
+        );
     }
 
     #[test]

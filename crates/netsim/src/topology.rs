@@ -241,7 +241,11 @@ pub fn multi_hop<P: Payload>(
         bottleneck_link.delay,
         bottleneck_link.queue,
     );
-    let attach = |sim: &mut Simulator<P>, sw, role, i: usize, make: &mut dyn FnMut(Role) -> Box<dyn Agent<P>>| {
+    let attach = |sim: &mut Simulator<P>,
+                  sw,
+                  role,
+                  i: usize,
+                  make: &mut dyn FnMut(Role) -> Box<dyn Agent<P>>| {
         let h = sim.add_host(make(match role {
             0 => Role::Sender(i),
             _ => Role::Receiver(i),
@@ -301,7 +305,10 @@ pub fn fat_tree<P: Payload>(
     link: LinkSpec,
     mut make: impl FnMut(Role) -> Box<dyn Agent<P>>,
 ) -> FatTree {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree requires an even k >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree requires an even k >= 2"
+    );
     let half = k / 2;
     let core: Vec<_> = (0..half * half).map(|_| sim.add_switch()).collect();
     let mut hosts = Vec::new();
@@ -314,7 +321,13 @@ pub fn fat_tree<P: Payload>(
         for (g, &agg) in aggs.iter().enumerate() {
             // Aggregation switch g connects to core group g.
             for j in 0..half {
-                sim.connect(agg, core[g * half + j], link.bandwidth, link.delay, link.queue);
+                sim.connect(
+                    agg,
+                    core[g * half + j],
+                    link.bandwidth,
+                    link.delay,
+                    link.queue,
+                );
             }
             for &edge in &edges {
                 sim.connect(edge, agg, link.bandwidth, link.delay, link.queue);
@@ -364,7 +377,10 @@ mod tests {
         let net = many_to_one(&mut sim, 5, spec(), sink);
         assert_eq!(net.senders.len(), 5);
         for &s in &net.senders {
-            sim.inject(s, Packet::new(s, net.front_end, FlowId(0), 1000, TagPayload(0)));
+            sim.inject(
+                s,
+                Packet::new(s, net.front_end, FlowId(0), 1000, TagPayload(0)),
+            );
         }
         sim.run();
         assert_eq!(sim.host::<SinkAgent>(net.front_end).received, 5);
@@ -377,7 +393,16 @@ mod tests {
         assert_eq!(net.all_servers.len(), 12);
         assert_eq!(net.servers.len(), 3);
         for &s in &net.all_servers {
-            sim.inject(s, Packet::new(s, net.front_end, FlowId(s.index() as u64), 1000, TagPayload(0)));
+            sim.inject(
+                s,
+                Packet::new(
+                    s,
+                    net.front_end,
+                    FlowId(s.index() as u64),
+                    1000,
+                    TagPayload(0),
+                ),
+            );
         }
         sim.run();
         assert_eq!(sim.host::<SinkAgent>(net.front_end).received, 12);
@@ -389,14 +414,20 @@ mod tests {
         let net = multi_hop(&mut sim, 4, spec(), spec(), sink);
         // A -> front-end crosses both bottlenecks.
         let a = net.group_a[0];
-        sim.inject(a, Packet::new(a, net.front_end, FlowId(1), 1000, TagPayload(0)));
+        sim.inject(
+            a,
+            Packet::new(a, net.front_end, FlowId(1), 1000, TagPayload(0)),
+        );
         // C -> D crosses only bottleneck 1.
         let c = net.group_c[0];
         let d = net.group_d[0];
         sim.inject(c, Packet::new(c, d, FlowId(2), 1000, TagPayload(0)));
         // B -> front-end crosses only bottleneck 2.
         let b = net.group_b[0];
-        sim.inject(b, Packet::new(b, net.front_end, FlowId(3), 1000, TagPayload(0)));
+        sim.inject(
+            b,
+            Packet::new(b, net.front_end, FlowId(3), 1000, TagPayload(0)),
+        );
         sim.run();
         assert_eq!(sim.host::<SinkAgent>(net.front_end).received, 2);
         assert_eq!(sim.host::<SinkAgent>(d).received, 1);
@@ -423,7 +454,10 @@ mod tests {
         let n = net.hosts.len();
         for (i, &src) in net.hosts.iter().enumerate() {
             let dst = net.hosts[(i + n / 2 + 1) % n]; // cross-pod target
-            sim.inject(src, Packet::new(src, dst, FlowId(i as u64), 1000, TagPayload(0)));
+            sim.inject(
+                src,
+                Packet::new(src, dst, FlowId(i as u64), 1000, TagPayload(0)),
+            );
         }
         sim.run();
         let delivered: u64 = net

@@ -244,7 +244,9 @@ mod tests {
         assert!(!CcKind::Reno.build().uses_ecn());
         assert!(CcKind::Dctcp.build().uses_ecn());
         assert!(CcKind::L2dct.build().uses_ecn());
-        assert!(!CcKind::Trim(trim_core::TrimConfig::default()).build().uses_ecn());
+        assert!(!CcKind::Trim(trim_core::TrimConfig::default())
+            .build()
+            .uses_ecn());
     }
 
     #[test]

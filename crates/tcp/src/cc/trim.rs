@@ -72,7 +72,9 @@ impl CcAlgo for TrimCc {
             reno_increase(w, info.newly_acked);
         }
         if let Some(rtt) = info.rtt {
-            let action = self.trim.on_ack(info.now.as_nanos(), rtt.as_nanos(), info.probe_echo);
+            let action = self
+                .trim
+                .on_ack(info.now.as_nanos(), rtt.as_nanos(), info.probe_echo);
             self.apply(w, action);
         }
     }
@@ -94,8 +96,7 @@ impl CcAlgo for TrimCc {
                 probe_cwnd,
                 deadline_ns,
             } => {
-                let probes = (self.trim.config().probe_packets as u64)
-                    .min(available.max(1)) as u32;
+                let probes = (self.trim.config().probe_packets as u64).min(available.max(1)) as u32;
                 self.trim.begin_probe(w.cwnd, probes);
                 w.cwnd = probe_cwnd;
                 w.clamp_cwnd();
@@ -156,7 +157,7 @@ mod tests {
         let mut c = cc();
         w.cwnd = 500.0;
         w.ssthresh = 1.0; // avoid slow-start noise
-        // Seed the estimators.
+                          // Seed the estimators.
         c.on_ack(&mut w, &ack_at(100, 100, 0, false));
         c.note_sent(SimTime::from_nanos(200_000));
         // 10ms later: gap.
@@ -170,7 +171,7 @@ mod tests {
         }
         assert_eq!(w.cwnd, 2.0, "window shrunk for probing");
         w.suspended = true; // connection does this after sending the probes
-        // First probe ACK: still suspended.
+                            // First probe ACK: still suspended.
         c.on_ack(&mut w, &ack_at(10_400, 110, 1, true));
         assert!(w.suspended);
         // Second probe ACK: resumed with the tuned window (factor 0.9).

@@ -136,8 +136,15 @@ impl Connection {
     /// # Panics
     ///
     /// Panics if `cfg` fails validation.
-    pub fn new(flow: FlowId, dst: NodeId, cfg: TcpConfig, cc: Box<dyn CcAlgo>, local_idx: u64) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid TcpConfig: {e}"));
+    pub fn new(
+        flow: FlowId,
+        dst: NodeId,
+        cfg: TcpConfig,
+        cc: Box<dyn CcAlgo>,
+        local_idx: u64,
+    ) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid TcpConfig: {e}"));
         Connection {
             flow,
             dst,

@@ -305,9 +305,7 @@ impl Agent<Segment> for TcpHost {
                 AppEvent::Train {
                     sender_idx, bytes, ..
                 } => self.senders[sender_idx].enqueue_train(ctx, bytes),
-                AppEvent::Stop { sender_idx, .. } => {
-                    self.senders[sender_idx].truncate_unsent()
-                }
+                AppEvent::Stop { sender_idx, .. } => self.senders[sender_idx].truncate_unsent(),
             },
             KIND_DELACK => self.receivers[idx].on_delack_timer(ctx),
             KIND_SEQ => {

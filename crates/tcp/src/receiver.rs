@@ -176,7 +176,11 @@ impl Receiver {
         }
         // For the SACK blocks: the block containing this packet leads,
         // when the packet sits above the cumulative point.
-        let latest = if seq >= self.rcv_next { Some(seq) } else { None };
+        let latest = if seq >= self.rcv_next {
+            Some(seq)
+        } else {
+            None
+        };
 
         // Delayed-ACK policy (RFC 1122 + DCTCP/TRIM requirements):
         // immediate on out-of-order or duplicate data, CE marks, and TRIM
@@ -191,7 +195,15 @@ impl Receiver {
             if let Some(p) = self.pending.take() {
                 ctx.cancel_timer(p.timer);
             }
-            self.send_ack(ctx, pkt.src, ts, is_probe, is_rtx, pkt.payload.is_ce(), latest);
+            self.send_ack(
+                ctx,
+                pkt.src,
+                ts,
+                is_probe,
+                is_rtx,
+                pkt.payload.is_ce(),
+                latest,
+            );
         } else {
             let delay = self.delayed_ack.expect("immediate covers None");
             let timer = ctx.set_timer(delay, (self.local_idx << KIND_BITS) | KIND_DELACK);
@@ -209,7 +221,15 @@ impl Receiver {
     /// The delayed-ACK timer fired: flush the pending acknowledgment.
     pub fn on_delack_timer(&mut self, ctx: &mut Ctx<'_, Segment>) {
         if let Some(p) = self.pending.take() {
-            self.send_ack(ctx, p.peer, p.echo_ts, p.echo_probe, p.echo_rtx, p.ece, None);
+            self.send_ack(
+                ctx,
+                p.peer,
+                p.echo_ts,
+                p.echo_probe,
+                p.echo_rtx,
+                p.ece,
+                None,
+            );
         }
     }
 

@@ -74,7 +74,13 @@ impl Segment {
 
     /// Creates an ACK segment echoing the fields of a received data
     /// segment.
-    pub fn ack(ack_seq: u64, echo_ts: SimTime, echo_probe: bool, echo_rtx: bool, ece: bool) -> Self {
+    pub fn ack(
+        ack_seq: u64,
+        echo_ts: SimTime,
+        echo_probe: bool,
+        echo_rtx: bool,
+        ece: bool,
+    ) -> Self {
         Segment::ack_with_sack(ack_seq, echo_ts, echo_probe, echo_rtx, ece, [None; 3])
     }
 

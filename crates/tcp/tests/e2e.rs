@@ -67,7 +67,11 @@ fn single_flow_bulk_transfer_completes() {
     sim.run_until(SimTime::from_secs(2));
     let host: &TcpHost = sim.host(senders[0]);
     let conn = host.connection(0);
-    assert!(conn.is_idle(), "transfer incomplete: flight={}", conn.flight());
+    assert!(
+        conn.is_idle(),
+        "transfer incomplete: flight={}",
+        conn.flight()
+    );
     let rec = &conn.completed_trains()[0];
     assert_eq!(rec.bytes, 1_000_000);
     assert_eq!(rec.pkts, 1_000_000u64.div_ceil(MSS as u64));
@@ -133,7 +137,10 @@ fn incast_reno_suffers_drops_and_recovers_all_data() {
     }
     sim.run_until(SimTime::from_secs(5));
     let drops = sim.queue_stats(b).dropped;
-    assert!(drops > 0, "five synchronized slow-starts must overflow 100 pkts");
+    assert!(
+        drops > 0,
+        "five synchronized slow-starts must overflow 100 pkts"
+    );
     let rx: &TcpHost = sim.host(fe);
     for i in 0..5 {
         assert_eq!(
@@ -154,7 +161,8 @@ fn rto_fires_when_entire_window_is_lost() {
     let cfg = TcpConfig::default().with_min_rto(Dur::from_millis(20));
     let (mut sim, senders, _fe, _b) = incast(4, &CcKind::Reno, cfg, 2, None);
     for &s in &senders {
-        sim.host_mut::<TcpHost>(s).schedule_train(0, SimTime::ZERO, 300_000);
+        sim.host_mut::<TcpHost>(s)
+            .schedule_train(0, SimTime::ZERO, 300_000);
     }
     sim.run_until(SimTime::from_secs(10));
     let total_timeouts: u64 = senders
@@ -164,7 +172,10 @@ fn rto_fires_when_entire_window_is_lost() {
     assert!(total_timeouts > 0, "tiny buffer must force RTOs");
     for &s in &senders {
         let host: &TcpHost = sim.host(s);
-        assert!(host.connection(0).is_idle(), "all data eventually delivered");
+        assert!(
+            host.connection(0).is_idle(),
+            "all data eventually delivered"
+        );
     }
 }
 
@@ -174,7 +185,8 @@ fn dctcp_keeps_queue_short_with_ecn() {
     // DCTCP marking threshold ~20 pkts at 1 Gbps (per the DCTCP paper).
     let (mut sim, senders, _fe, b) = incast(5, &CcKind::Dctcp, cfg, 100, Some(20));
     for &s in &senders {
-        sim.host_mut::<TcpHost>(s).schedule_train(0, SimTime::ZERO, 1_000_000);
+        sim.host_mut::<TcpHost>(s)
+            .schedule_train(0, SimTime::ZERO, 1_000_000);
     }
     sim.run_until(SimTime::from_secs(2));
     let stats = sim.queue_stats(b);
@@ -200,11 +212,7 @@ fn trim_avoids_timeouts_in_onoff_incast() {
             let host = sim.host_mut::<TcpHost>(s);
             // 200 small responses, 1 ms apart, from t=0.1s...
             for r in 0..200 {
-                host.schedule_train(
-                    0,
-                    SimTime::from_secs_f64(0.1 + r as f64 * 0.001),
-                    6_000,
-                );
+                host.schedule_train(0, SimTime::from_secs_f64(0.1 + r as f64 * 0.001), 6_000);
             }
             // ...then a long train at t=0.5s.
             host.schedule_train(0, SimTime::from_secs_f64(0.5), 150_000);
@@ -286,7 +294,8 @@ fn gip_restarts_slow_next_train() {
 fn cubic_completes_and_competes() {
     let (mut sim, senders, _fe, _b) = incast(2, &CcKind::Cubic, TcpConfig::default(), 100, None);
     for &s in &senders {
-        sim.host_mut::<TcpHost>(s).schedule_train(0, SimTime::ZERO, 2_000_000);
+        sim.host_mut::<TcpHost>(s)
+            .schedule_train(0, SimTime::ZERO, 2_000_000);
     }
     sim.run_until(SimTime::from_secs(3));
     for &s in &senders {
@@ -299,12 +308,10 @@ fn cubic_completes_and_competes() {
 fn l2dct_short_flow_finishes_quicker_than_long_started_together() {
     let cfg = TcpConfig::default();
     let (mut sim, senders, _fe, _b) = incast(2, &CcKind::L2dct, cfg, 100, Some(20));
-    sim.host_mut::<TcpHost>(senders[0]).schedule_train(0, SimTime::ZERO, 5_000_000);
-    sim.host_mut::<TcpHost>(senders[1]).schedule_train(
-        0,
-        SimTime::from_secs_f64(0.02),
-        100_000,
-    );
+    sim.host_mut::<TcpHost>(senders[0])
+        .schedule_train(0, SimTime::ZERO, 5_000_000);
+    sim.host_mut::<TcpHost>(senders[1])
+        .schedule_train(0, SimTime::from_secs_f64(0.02), 100_000);
     sim.run_until(SimTime::from_secs(3));
     let long: &TcpHost = sim.host(senders[0]);
     let short: &TcpHost = sim.host(senders[1]);
@@ -344,14 +351,19 @@ fn deterministic_across_runs() {
     let run = || {
         let (mut sim, senders, _fe, b) = incast(5, &CcKind::Reno, TcpConfig::default(), 50, None);
         for &s in &senders {
-            sim.host_mut::<TcpHost>(s).schedule_train(0, SimTime::ZERO, 300_000);
+            sim.host_mut::<TcpHost>(s)
+                .schedule_train(0, SimTime::ZERO, 300_000);
         }
         sim.run_until(SimTime::from_secs(3));
         let timeouts: u64 = senders
             .iter()
             .map(|&s| sim.host::<TcpHost>(s).connection(0).stats().timeouts)
             .sum();
-        (timeouts, sim.queue_stats(b).dropped, sim.delivered_packets())
+        (
+            timeouts,
+            sim.queue_stats(b).dropped,
+            sim.delivered_packets(),
+        )
     };
     assert_eq!(run(), run());
 }

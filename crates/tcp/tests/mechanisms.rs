@@ -12,7 +12,11 @@ const MSS: u32 = 1460;
 /// One sender directly linked to one receiver; returns the simulator,
 /// the sender node, the data channel (tx -> rx) and the ACK channel
 /// (rx -> tx).
-fn pair(cc: &CcKind, cfg: TcpConfig, bytes: u64) -> (Simulator<Segment>, NodeId, ChannelId, ChannelId) {
+fn pair(
+    cc: &CcKind,
+    cfg: TcpConfig,
+    bytes: u64,
+) -> (Simulator<Segment>, NodeId, ChannelId, ChannelId) {
     let mut sim: Simulator<Segment> = Simulator::new();
     let mut rx = TcpHost::new();
     rx.add_receiver(FlowId(0), cfg);
@@ -186,7 +190,11 @@ fn one_burst(mut cfg: TcpConfig) -> TcpConfig {
 
 #[test]
 fn sack_repairs_many_holes_without_rto() {
-    let cfg = one_burst(TcpConfig::default().with_min_rto(Dur::from_millis(20)).with_sack());
+    let cfg = one_burst(
+        TcpConfig::default()
+            .with_min_rto(Dur::from_millis(20))
+            .with_sack(),
+    );
     let (mut sim, tx, data_ch, _) = pair(&CcKind::Reno, cfg, 60 * MSS as u64);
     // Five scattered losses in flight: NewReno would need one RTT per
     // hole (or an RTO); SACK repairs them all within recovery.
@@ -199,7 +207,11 @@ fn sack_repairs_many_holes_without_rto() {
 
 #[test]
 fn sack_never_retransmits_delivered_data() {
-    let cfg = one_burst(TcpConfig::default().with_min_rto(Dur::from_millis(20)).with_sack());
+    let cfg = one_burst(
+        TcpConfig::default()
+            .with_min_rto(Dur::from_millis(20))
+            .with_sack(),
+    );
     let (mut sim, tx, data_ch, _) = pair(&CcKind::Reno, cfg, 40 * MSS as u64);
     sim.inject_channel_drops(data_ch, [5, 6, 7]); // one contiguous hole
     let stats = finish(&mut sim, tx, 40);
@@ -219,20 +231,26 @@ fn sack_and_newreno_deliver_identical_data() {
         }
         let (mut sim, tx, data_ch, _) = pair(&CcKind::Reno, cfg, 80 * MSS as u64);
         sim.inject_channel_drops(data_ch, [4, 9, 14, 40, 41, 42, 70]);
-        let stats = finish(&mut sim, tx, 80);
-        stats
+        finish(&mut sim, tx, 80)
     };
     let newreno = run(false);
     let sack = run(true);
     // Same data delivered either way; SACK needs no more (usually fewer)
     // retransmissions and no more timeouts.
-    assert!(sack.rtx_sent <= newreno.rtx_sent + 1, "{sack:?} vs {newreno:?}");
+    assert!(
+        sack.rtx_sent <= newreno.rtx_sent + 1,
+        "{sack:?} vs {newreno:?}"
+    );
     assert!(sack.timeouts <= newreno.timeouts, "{sack:?} vs {newreno:?}");
 }
 
 #[test]
 fn trim_composes_with_sack() {
-    let cfg = one_burst(TcpConfig::default().with_min_rto(Dur::from_millis(20)).with_sack());
+    let cfg = one_burst(
+        TcpConfig::default()
+            .with_min_rto(Dur::from_millis(20))
+            .with_sack(),
+    );
     let trim = CcKind::trim_with_capacity(1_000_000_000, MSS);
     let (mut sim, tx, data_ch, _) = pair(&trim, cfg, 50 * MSS as u64);
     sim.inject_channel_drops(data_ch, [8, 9, 20]);

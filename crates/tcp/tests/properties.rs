@@ -51,10 +51,7 @@ fn reliability_case(
     }
     sim.run_until(SimTime::from_secs(30));
 
-    let total_pkts: u64 = trains
-        .iter()
-        .map(|&(_, b)| b.div_ceil(1460))
-        .sum();
+    let total_pkts: u64 = trains.iter().map(|&(_, b)| b.div_ceil(1460)).sum();
     for (i, &s) in senders.iter().enumerate() {
         let host: &TcpHost = sim.host(s);
         let conn = host.connection(0);

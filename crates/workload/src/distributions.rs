@@ -6,7 +6,7 @@
 //! log-linear interpolation between the published points;
 //! [`pt_size_bytes`] and [`pt_interval`] encode the paper's curves.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// An empirical distribution defined by `(value, cumulative probability)`
 /// points, sampled by inverse transform with log-linear interpolation
@@ -119,11 +119,11 @@ pub fn pt_size_bytes() -> EmpiricalCdf {
 /// to several milliseconds, in nanoseconds.
 pub fn pt_interval() -> EmpiricalCdf {
     EmpiricalCdf::new(vec![
-        (100_000.0, 0.0),     // 100 us
-        (500_000.0, 0.35),    // 500 us
-        (1_000_000.0, 0.60),  // 1 ms
-        (3_000_000.0, 0.85),  // 3 ms
-        (10_000_000.0, 1.0),  // 10 ms
+        (100_000.0, 0.0),    // 100 us
+        (500_000.0, 0.35),   // 500 us
+        (1_000_000.0, 0.60), // 1 ms
+        (3_000_000.0, 0.85), // 3 ms
+        (10_000_000.0, 1.0), // 10 ms
     ])
     .expect("static points are valid")
 }
@@ -159,7 +159,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..1000 {
             let v = cdf.sample(&mut rng);
-            assert!(v >= 512.0 && v <= 262_144.0, "sample {v}");
+            assert!((512.0..=262_144.0).contains(&v), "sample {v}");
         }
     }
 
@@ -182,7 +182,10 @@ mod tests {
         let tiny_frac = tiny as f64 / n as f64;
         let large_frac = large as f64 / n as f64;
         assert!((tiny_frac - 0.20).abs() < 0.02, "tiny fraction {tiny_frac}");
-        assert!((large_frac - 0.10).abs() < 0.02, "large fraction {large_frac}");
+        assert!(
+            (large_frac - 0.10).abs() < 0.02,
+            "large fraction {large_frac}"
+        );
     }
 
     #[test]
@@ -191,8 +194,7 @@ mod tests {
         assert_eq!(cdf.min_value(), 100_000.0);
         assert_eq!(cdf.max_value(), 10_000_000.0);
         let mut rng = StdRng::seed_from_u64(3);
-        let mean: f64 =
-            (0..5000).map(|_| cdf.sample(&mut rng)).sum::<f64>() / 5000.0;
+        let mean: f64 = (0..5000).map(|_| cdf.sample(&mut rng)).sum::<f64>() / 5000.0;
         // Mean gap on the order of a millisecond.
         assert!(mean > 500_000.0 && mean < 3_000_000.0, "mean {mean}");
     }

@@ -68,7 +68,11 @@ impl IncastReport {
 /// # Panics
 ///
 /// Panics if the scenario has fewer senders than `cfg.workers`.
-pub fn run_incast<R: Rng + ?Sized>(mut sc: Scenario, cfg: &QueryConfig, rng: &mut R) -> IncastReport {
+pub fn run_incast<R: Rng + ?Sized>(
+    mut sc: Scenario,
+    cfg: &QueryConfig,
+    rng: &mut R,
+) -> IncastReport {
     assert!(
         sc.net().senders.len() >= cfg.workers,
         "scenario has {} senders, need {}",

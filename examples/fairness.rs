@@ -72,7 +72,11 @@ fn main() {
                 shares[2],
                 shares[3],
                 shares[4],
-                if active > 0 { 1000.0 / active as f64 } else { 0.0 }
+                if active > 0 {
+                    1000.0 / active as f64
+                } else {
+                    0.0
+                }
             );
         }
         println!();

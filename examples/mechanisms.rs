@@ -5,7 +5,7 @@
 //! Run with `cargo run --example mechanisms --release`.
 
 use tcp_trim::prelude::*;
-use tcp_trim::tcp::{TcpHost, TcpConfig, Segment};
+use tcp_trim::tcp::{Segment, TcpConfig, TcpHost};
 
 fn transfer(cfg: TcpConfig, label: &str) {
     let mut sim: Simulator<Segment> = Simulator::new();

@@ -42,7 +42,11 @@ fn impairment_reproduces_fig4_and_fig6() {
     // Fig. 6: TRIM never times out, never drops, queue stays under ~20.
     assert_eq!(trim.total_timeouts(), 0);
     assert_eq!(trim.bottleneck.dropped, 0);
-    assert!(trim.bottleneck.max_len <= 25, "queue {}", trim.bottleneck.max_len);
+    assert!(
+        trim.bottleneck.max_len <= 25,
+        "queue {}",
+        trim.bottleneck.max_len
+    );
     let trim_peak_cwnd = trim.senders[4]
         .cwnd
         .as_ref()

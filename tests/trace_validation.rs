@@ -9,9 +9,7 @@ use tcp_trim::workload::trace::{extract_trains, packets_from_events, train_inter
 
 #[test]
 fn extracted_trains_match_the_application_schedule() {
-    let mut sc = ScenarioBuilder::many_to_one(1)
-        .trim()
-        .build();
+    let mut sc = ScenarioBuilder::many_to_one(1).trim().build();
     // Five trains with distinct sizes, 5 ms apart: far beyond the RTT, so
     // the extractor's smoothed-RTT-scale threshold separates them.
     let sizes = [4_000u64, 20_000, 60_000, 8_000, 30_000];
@@ -32,7 +30,11 @@ fn extracted_trains_match_the_application_schedule() {
 
     // Gap threshold of 1 ms (>> intra-train spacing, << 5 ms schedule).
     let trains = extract_trains(&pkts, Dur::from_millis(1));
-    assert_eq!(trains.len(), sizes.len(), "one extracted train per response");
+    assert_eq!(
+        trains.len(),
+        sizes.len(),
+        "one extracted train per response"
+    );
     for (t, &bytes) in trains.iter().zip(&sizes) {
         assert_eq!(t.pkts, bytes.div_ceil(1460), "train size recovered");
     }

@@ -12,6 +12,7 @@
 use netsim::prelude::*;
 use netsim::time::{Dur, SimTime};
 use netsim::topology::LinkSpec;
+use trim_harness::table::fmt_f64;
 use trim_harness::{Artifacts, Campaign, JobRecord};
 use trim_tcp::{CcKind, TcpHost};
 use trim_workload::scenario::ScenarioBuilder;
@@ -95,7 +96,7 @@ fn protocol_job(cc: &CcKind) -> Artifacts {
     while ts < 22.0 {
         let mut row = vec![format!("{ts:.1}")];
         for s in &series {
-            row.push(format!("{:.0}", value_at(s, ts)));
+            row.push(fmt_f64(value_at(s, ts)));
         }
         grid.row(&row);
         ts += 1.0;
@@ -118,7 +119,7 @@ fn protocol_job(cc: &CcKind) -> Artifacts {
         fairness.row(&[
             format!("{t:.1}"),
             format!("{active}"),
-            format!("{:.3}", jain_index(&shares)),
+            fmt_f64(jain_index(&shares)),
         ]);
     }
 

@@ -17,6 +17,7 @@ use trim_workload::http::lpt;
 use trim_workload::scenario::ScenarioBuilder;
 
 use netsim::time::{Dur, SimTime};
+use trim_harness::table::fmt_f64;
 use trim_harness::{Campaign, JobRecord};
 
 use crate::num;
@@ -47,10 +48,10 @@ fn guideline_table() -> Table {
         let st = steady_state(c, d, k.max(d), 5);
         guideline.row(&[
             format!("{d_us}"),
-            format!("{ns:.2}"),
-            format!("{:.1}", f_max / 1000.0),
-            format!("{:.1}", k as f64 / 1000.0),
-            format!("{:.1}", st.target_queue),
+            fmt_f64(ns),
+            fmt_f64(f_max / 1000.0),
+            fmt_f64(k as f64 / 1000.0),
+            fmt_f64(st.target_queue),
         ]);
     }
     guideline
@@ -74,9 +75,9 @@ fn steady_state_table() -> Table {
         let st = steady_state(c, d, k, n);
         steady.row(&[
             format!("{n}"),
-            format!("{:.2}", st.window),
-            format!("{:.1}", st.max_queue),
-            format!("{:.2}", st.total_decrement),
+            fmt_f64(st.window),
+            fmt_f64(st.max_queue),
+            fmt_f64(st.total_decrement),
             format!("{}", st.full_utilization),
         ]);
     }
@@ -128,8 +129,8 @@ pub fn campaign(_effort: Effort) -> Campaign {
             let run = record_for(records, &format!("validation_n{n}")).only();
             validation.row(&[
                 format!("{n}"),
-                format!("{:.0}", run.f64_at(0, 0)),
-                format!("{:.0}", run.f64_at(0, 1)),
+                fmt_f64(run.f64_at(0, 0)),
+                fmt_f64(run.f64_at(0, 1)),
             ]);
         }
         vec![

@@ -9,6 +9,7 @@
 use netsim::prelude::*;
 use netsim::time::SimTime;
 use netsim::topology::{self, LinkSpec};
+use trim_harness::table::fmt_f64;
 use trim_harness::Campaign;
 use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
 use trim_workload::scenario::{schedule_train, wire_flow};
@@ -114,10 +115,10 @@ pub fn campaign(_effort: Effort) -> Campaign {
             let (a, b, g_c) = (row.f64_at(0, 0), row.f64_at(0, 1), row.f64_at(0, 2));
             t.row(&[
                 job.key.clone(),
-                format!("{a:.0}"),
-                format!("{b:.0}"),
-                format!("{g_c:.0}"),
-                format!("{:.2}", (a + b) * GROUP as f64 / 1000.0),
+                fmt_f64(a),
+                fmt_f64(b),
+                fmt_f64(g_c),
+                fmt_f64((a + b) * GROUP as f64 / 1000.0),
             ]);
         }
         vec![("fig11_multihop".to_string(), t)]

@@ -15,6 +15,7 @@ use trim_workload::http::lpt;
 use trim_workload::scenario::ScenarioBuilder;
 
 use crate::num;
+use crate::table::fmt_f64;
 use crate::{Effort, Table};
 
 const END: f64 = 0.9;
@@ -190,8 +191,8 @@ pub fn campaign(effort: Effort) -> Campaign {
             let trm = record_for(records, &format!("sweep_n{n}_trim")).only();
             fig9b.row(&[
                 format!("{n}"),
-                format!("{:.1}", tcp.f64_at(0, 0)),
-                format!("{:.1}", trm.f64_at(0, 0)),
+                fmt_f64(tcp.f64_at(0, 0)),
+                fmt_f64(trm.f64_at(0, 0)),
             ]);
             fig9c.row(&[
                 format!("{n}"),
@@ -200,9 +201,9 @@ pub fn campaign(effort: Effort) -> Campaign {
             ]);
             fig9d.row(&[
                 format!("{n}"),
-                format!("{:.0}", tcp.f64_at(0, 3)),
-                format!("{:.0}", trm.f64_at(0, 3)),
-                format!("{:.1}%", trm.f64_at(0, 3) / 10.0),
+                fmt_f64(tcp.f64_at(0, 3)),
+                fmt_f64(trm.f64_at(0, 3)),
+                format!("{}%", fmt_f64(trm.f64_at(0, 3) / 10.0)),
             ]);
         }
         vec![

@@ -23,7 +23,7 @@ use rand::SeedableRng;
 use trim_harness::{Artifacts, Campaign, JobRecord};
 
 use crate::num;
-use crate::table::fmt_secs;
+use crate::table::{fmt_f64, fmt_secs};
 use crate::{Effort, Table};
 
 /// Fig. 13(a): ARCT of 100 responses of mean size `mean_bytes` while two
@@ -230,7 +230,7 @@ pub fn campaign(effort: Effort) -> Campaign {
             fig13e.row(&[
                 proto.to_string(),
                 fmt_secs(summary.f64_at(0, 0)),
-                format!("{:.3}", summary.f64_at(0, 1)),
+                fmt_f64(summary.f64_at(0, 1)),
                 fmt_secs(summary.f64_at(0, 2)),
                 summary.cell(0, 3).to_string(),
             ]);
@@ -247,9 +247,9 @@ pub fn campaign(effort: Effort) -> Campaign {
         for row in 0..cdfs[0].len() {
             cdf_table.row(&[
                 cdfs[0].cell(row, 0).to_string(),
-                format!("{:.3}", cdfs[0].f64_at(row, 1)),
-                format!("{:.3}", cdfs[1].f64_at(row, 1)),
-                format!("{:.3}", cdfs[2].f64_at(row, 1)),
+                fmt_f64(cdfs[0].f64_at(row, 1)),
+                fmt_f64(cdfs[1].f64_at(row, 1)),
+                fmt_f64(cdfs[2].f64_at(row, 1)),
             ]);
         }
 

@@ -10,6 +10,7 @@
 use netsim::time::Dur;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use trim_harness::table::fmt_f64;
 use trim_harness::{Artifacts, Campaign};
 use trim_workload::trace::{extract_trains, synthesize_trace, train_intervals, TraceConfig};
 
@@ -33,7 +34,7 @@ fn trace_job(seed: u64, trains: usize) -> Artifacts {
             format!("{i}"),
             format!("{}", t.start),
             format!("{}", t.pkts),
-            format!("{:.1}", t.bytes as f64 / 1024.0),
+            fmt_f64(t.bytes as f64 / 1024.0),
             if t.is_long() { "LPT" } else { "SPT" }.to_string(),
         ]);
     }
@@ -44,7 +45,7 @@ fn trace_job(seed: u64, trains: usize) -> Artifacts {
     let mut fig2a = Table::new("fig2a", &["size_kb", "cdf"]);
     for kb in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0] {
         let frac = sizes.partition_point(|&s| s <= kb) as f64 / sizes.len() as f64;
-        fig2a.row(&[format!("{kb}"), format!("{frac:.3}")]);
+        fig2a.row(&[fmt_f64(kb), fmt_f64(frac)]);
     }
 
     // Fig. 2(b): CDF of inter-train gap.
@@ -53,7 +54,7 @@ fn trace_job(seed: u64, trains: usize) -> Artifacts {
     let mut fig2b = Table::new("fig2b", &["gap_us", "cdf"]);
     for us in [100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0] {
         let frac = gap_us.partition_point(|&g| g <= us) as f64 / gap_us.len().max(1) as f64;
-        fig2b.row(&[format!("{us}"), format!("{frac:.3}")]);
+        fig2b.row(&[fmt_f64(us), fmt_f64(frac)]);
     }
 
     vec![

@@ -1,0 +1,50 @@
+//! Golden-trace regression: a canonical campaign re-runs
+//! deterministically, independent of worker count, and reproduces the
+//! committed CSVs under `results/` within the documented tolerance.
+
+use std::path::{Path, PathBuf};
+
+use trim_check::golden::{compare_csv_files, Tolerance};
+use trim_experiments::{registry, Effort};
+use trim_harness::{engine, ExecConfig};
+
+fn run_trace_into(dir: &Path, jobs: usize) -> Vec<String> {
+    let spec = registry::find("trace").expect("trace is registered");
+    let cfg = ExecConfig {
+        jobs,
+        force: true,
+        results_dir: dir.to_path_buf(),
+        quiet: true,
+    };
+    let outcome = engine::execute((spec.campaign)(Effort::Quick), &cfg).expect("campaign runs");
+    outcome.reduced.iter().map(|(n, _)| n.clone()).collect()
+}
+
+#[test]
+fn trace_campaign_is_jobs_invariant_and_matches_committed_goldens() {
+    let scratch = std::env::temp_dir().join(format!("trim-golden-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let d1 = scratch.join("jobs1");
+    let d2 = scratch.join("jobs2");
+    let names = run_trace_into(&d1, 1);
+    assert_eq!(
+        names,
+        run_trace_into(&d2, 2),
+        "artifact set differs by jobs"
+    );
+    assert!(!names.is_empty(), "trace produces reduce artifacts");
+
+    let golden_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    for name in &names {
+        let f1 = d1.join(format!("{name}.csv"));
+        let f2 = d2.join(format!("{name}.csv"));
+        // Worker count must not leak into artifacts at all: byte-equal.
+        let m = compare_csv_files(&f1, &f2, Tolerance::EXACT).expect("both re-runs wrote CSVs");
+        assert!(m.is_empty(), "jobs=1 vs jobs=2 differ: {m:?}");
+        // And the re-run must reproduce the committed golden.
+        let g = golden_root.join(format!("{name}.csv"));
+        let m = compare_csv_files(&g, &f1, Tolerance::GOLDEN).expect("committed golden exists");
+        assert!(m.is_empty(), "{name} drifted from committed golden: {m:?}");
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -1,0 +1,200 @@
+//! # trim-check — correctness layer for the TCP-TRIM reproduction
+//!
+//! Two independent facilities:
+//!
+//! - [`monitors`]: the built-in runtime [`InvariantMonitor`]s for the
+//!   `netsim` engine — packet conservation, queue bounds, per-port FIFO
+//!   order, clock monotonicity, congestion-window range, and TRIM
+//!   probe state-machine legality — plus [`attach_standard`] and the
+//!   [`monitors_enabled`] policy used by the scenario builders.
+//! - [`golden`]: field-by-field CSV comparison with explicit tolerances,
+//!   used by the golden-trace regression suite (`trim-check` binary in
+//!   `trim-experiments`) to prove that re-running the canonical
+//!   campaigns reproduces the CSVs committed under `results/`.
+//!
+//! Monitoring policy: monitors are attached when the
+//! `TRIM_CHECK_MONITORS` environment variable says so (`1`/`true`/`yes`/
+//! `on` to force on, `0`/`false`/`no`/`off` to force off), and default
+//! to on in debug builds and off in release builds. Every tier-1
+//! simulation test therefore runs fully monitored, while release-mode
+//! experiment campaigns pay only a disabled-check branch per event.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod golden;
+pub mod monitors;
+
+pub use golden::{compare_csv_files, compare_csv_text, Mismatch, Tolerance};
+pub use monitors::{
+    standard_monitors, CwndRange, FifoOrder, MonotonicTime, PacketConservation, ProbeLegality,
+    QueueBound,
+};
+
+use netsim::{InvariantMonitor, Payload, Simulator};
+
+/// Whether the standard monitors should be attached, per the
+/// `TRIM_CHECK_MONITORS` policy: the environment variable wins when set
+/// (`1`/`true`/`yes`/`on` vs `0`/`false`/`no`/`off`); otherwise debug
+/// builds monitor and release builds do not.
+pub fn monitors_enabled() -> bool {
+    match std::env::var("TRIM_CHECK_MONITORS") {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "1" | "true" | "yes" | "on"
+        ),
+        Err(_) => cfg!(debug_assertions),
+    }
+}
+
+/// Attaches every [`standard_monitors`] instance to `sim`.
+/// Attach before the first `run_until`: the monitors assume they see
+/// the event stream from the beginning of the simulation.
+pub fn attach_standard<P: Payload>(sim: &mut Simulator<P>) {
+    for m in standard_monitors() {
+        sim.attach_monitor(m);
+    }
+}
+
+/// [`attach_standard`] gated by [`monitors_enabled`]; returns whether
+/// monitors were attached. This is the one-liner scenario builders call.
+pub fn attach_standard_if_enabled<P: Payload>(sim: &mut Simulator<P>) -> bool {
+    let enabled = monitors_enabled();
+    if enabled {
+        attach_standard(sim);
+    }
+    enabled
+}
+
+/// A boxed monitor list's total violation count — convenience for tests
+/// that drive monitors directly rather than through a simulator.
+pub fn violation_count(monitors: &[Box<dyn InvariantMonitor>]) -> usize {
+    monitors.iter().map(|m| m.violations().len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::prelude::*;
+
+    #[test]
+    fn standard_monitors_cover_the_documented_invariants() {
+        let names: Vec<&str> = standard_monitors().iter().map(|m| m.name()).collect();
+        for expected in [
+            "packet-conservation",
+            "queue-bound",
+            "fifo-order",
+            "monotonic-time",
+            "cwnd-range",
+            "probe-legality",
+        ] {
+            assert!(names.contains(&expected), "missing monitor {expected}");
+        }
+    }
+
+    #[test]
+    fn attach_standard_monitors_a_clean_sim_without_violations() {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let sw = sim.add_switch();
+        let dst = sim.add_host(Box::new(SinkAgent::default()));
+        sim.connect(
+            dst,
+            sw,
+            Bandwidth::gbps(1),
+            Dur::from_micros(50),
+            QueueConfig::drop_tail(10),
+        );
+        let mut senders = Vec::new();
+        for _ in 0..4 {
+            let h = sim.add_host(Box::new(SinkAgent::default()));
+            sim.connect(
+                h,
+                sw,
+                Bandwidth::gbps(1),
+                Dur::from_micros(50),
+                QueueConfig::default(),
+            );
+            senders.push(h);
+        }
+        attach_standard(&mut sim);
+        assert!(sim.monitors_enabled());
+        for (i, &s) in senders.iter().enumerate() {
+            for _ in 0..25 {
+                sim.inject(
+                    s,
+                    Packet::new(s, dst, FlowId(i as u64), 1460, TagPayload(0)),
+                );
+            }
+        }
+        sim.run();
+        // The 10-packet bottleneck drops traffic; conservation and FIFO
+        // must still hold exactly.
+        assert!(sim.audit_stats().dropped > 0);
+        sim.assert_no_violations();
+    }
+
+    #[test]
+    fn overadmit_fault_is_caught_with_time_and_flow() {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let sw = sim.add_switch();
+        let dst = sim.add_host(Box::new(SinkAgent::default()));
+        let (_, sw_to_dst) = sim.connect(
+            dst,
+            sw,
+            Bandwidth::gbps(1),
+            Dur::from_micros(50),
+            QueueConfig::drop_tail(5),
+        );
+        let mut senders = Vec::new();
+        for _ in 0..4 {
+            let h = sim.add_host(Box::new(SinkAgent::default()));
+            sim.connect(
+                h,
+                sw,
+                Bandwidth::gbps(1),
+                Dur::from_micros(50),
+                QueueConfig::default(),
+            );
+            senders.push(h);
+        }
+        attach_standard(&mut sim);
+        sim.inject_queue_overadmit(sw_to_dst, 3);
+        for (i, &s) in senders.iter().enumerate() {
+            for _ in 0..25 {
+                sim.inject(
+                    s,
+                    Packet::new(s, dst, FlowId(i as u64), 1460, TagPayload(0)),
+                );
+            }
+        }
+        sim.run();
+        let violations = sim.violations();
+        assert!(
+            !violations.is_empty(),
+            "queue-bound monitor must catch the injected over-admission"
+        );
+        let v = violations
+            .iter()
+            .find(|v| v.monitor == "queue-bound")
+            .expect("violation attributed to the queue-bound monitor");
+        assert!(v.at > SimTime::ZERO, "violation carries simulation time");
+        assert!(v.flow.is_some(), "violation carries the offending flow");
+        assert!(v.detail.contains("cap"), "detail names the capacity: {v}");
+    }
+
+    #[test]
+    fn env_policy_parses_common_spellings() {
+        // Can't set the process environment safely in a parallel test
+        // run; exercise the default path only.
+        let default = monitors_enabled();
+        assert_eq!(
+            default,
+            std::env::var("TRIM_CHECK_MONITORS")
+                .map(|v| matches!(
+                    v.trim().to_ascii_lowercase().as_str(),
+                    "1" | "true" | "yes" | "on"
+                ))
+                .unwrap_or(cfg!(debug_assertions))
+        );
+    }
+}

@@ -1,0 +1,584 @@
+//! The built-in invariant monitors.
+//!
+//! Each monitor derives its own view of the world from the
+//! [`MonitorEvent`] stream and records a [`Violation`] — never panics —
+//! when an invariant breaks, so a single run surfaces every problem at
+//! once. See the crate docs for the attach policy.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use netsim::monitor::{AuditStats, InvariantMonitor, MonitorEvent, ProbeTransition, Violation};
+use netsim::{ChannelId, FlowId, SimTime};
+
+/// Slack for floating-point window comparisons: windows are `f64`
+/// arithmetic, so equality at the clamp boundaries is approximate.
+const CWND_EPS: f64 = 1e-9;
+
+/// Every built-in monitor, freshly constructed.
+pub fn standard_monitors() -> Vec<Box<dyn InvariantMonitor>> {
+    vec![
+        Box::new(PacketConservation::new()),
+        Box::new(QueueBound::new()),
+        Box::new(FifoOrder::new()),
+        Box::new(MonotonicTime::new()),
+        Box::new(CwndRange::new()),
+        Box::new(ProbeLegality::new()),
+    ]
+}
+
+/// Checks packet conservation: at every instant
+/// `delivered + dropped <= injected`, and at the end of each run
+/// `injected == delivered + dropped + in_flight` — cross-checked
+/// against the engine's own [`AuditStats`], so a miscounted event
+/// stream and a miscounting engine are both caught.
+#[derive(Debug, Default)]
+pub struct PacketConservation {
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+    violations: Vec<Violation>,
+}
+
+impl PacketConservation {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn violate(&mut self, at: SimTime, flow: Option<FlowId>, detail: String) {
+        self.violations.push(Violation {
+            at,
+            monitor: "packet-conservation",
+            flow,
+            detail,
+        });
+    }
+}
+
+impl InvariantMonitor for PacketConservation {
+    fn name(&self) -> &'static str {
+        "packet-conservation"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        let (flow, accounted) = match ev {
+            MonitorEvent::Injected { flow, .. } => {
+                self.injected += 1;
+                (*flow, false)
+            }
+            MonitorEvent::Delivered { flow, .. } => {
+                self.delivered += 1;
+                (*flow, true)
+            }
+            MonitorEvent::Dropped { flow, .. } => {
+                self.dropped += 1;
+                (*flow, true)
+            }
+            _ => return,
+        };
+        if accounted && self.delivered + self.dropped > self.injected {
+            let (i, d, x) = (self.injected, self.delivered, self.dropped);
+            self.violate(
+                at,
+                Some(flow),
+                format!("delivered {d} + dropped {x} exceeds injected {i}"),
+            );
+        }
+    }
+
+    fn finalize(&mut self, at: SimTime, audit: &AuditStats) {
+        if self.injected != audit.injected
+            || self.delivered != audit.delivered
+            || self.dropped != audit.dropped
+        {
+            let (i, d, x) = (self.injected, self.delivered, self.dropped);
+            self.violate(
+                at,
+                None,
+                format!(
+                    "event stream tallies (injected {i}, delivered {d}, dropped {x}) \
+                     disagree with engine counters {audit:?}"
+                ),
+            );
+        }
+        if audit.injected != audit.delivered + audit.dropped + audit.in_flight() {
+            self.violate(
+                at,
+                None,
+                format!(
+                    "injected {} != delivered {} + dropped {} + in-flight {}",
+                    audit.injected,
+                    audit.delivered,
+                    audit.dropped,
+                    audit.in_flight()
+                ),
+            );
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Checks that no packet-capacity queue ever holds more packets than
+/// its configured capacity (byte-capacity queues carry no packet cap
+/// and are skipped).
+#[derive(Debug, Default)]
+pub struct QueueBound {
+    violations: Vec<Violation>,
+}
+
+impl QueueBound {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantMonitor for QueueBound {
+    fn name(&self) -> &'static str {
+        "queue-bound"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        if let MonitorEvent::Enqueued {
+            channel,
+            flow,
+            len_after,
+            cap_pkts: Some(cap),
+            ..
+        } = ev
+        {
+            if len_after > cap {
+                self.violations.push(Violation {
+                    at,
+                    monitor: "queue-bound",
+                    flow: Some(*flow),
+                    detail: format!("{channel} occupancy {len_after} exceeds cap {cap}"),
+                });
+            }
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Checks per-port FIFO order: each channel must dequeue packets in
+/// exactly the order it enqueued them, tracked by engine-unique packet
+/// ids.
+#[derive(Debug, Default)]
+pub struct FifoOrder {
+    queues: HashMap<ChannelId, VecDeque<(u64, FlowId)>>,
+    violations: Vec<Violation>,
+}
+
+impl FifoOrder {
+    /// Creates the monitor. Attach before the first run: a queue that
+    /// already holds packets would make every later dequeue look
+    /// out of order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantMonitor for FifoOrder {
+    fn name(&self) -> &'static str {
+        "fifo-order"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        match ev {
+            MonitorEvent::Enqueued {
+                channel, flow, uid, ..
+            } => {
+                self.queues
+                    .entry(*channel)
+                    .or_default()
+                    .push_back((*uid, *flow));
+            }
+            MonitorEvent::Dequeued { channel, flow, uid } => {
+                match self.queues.entry(*channel).or_default().pop_front() {
+                    Some((head_uid, _)) if head_uid == *uid => {}
+                    Some((head_uid, head_flow)) => self.violations.push(Violation {
+                        at,
+                        monitor: "fifo-order",
+                        flow: Some(*flow),
+                        detail: format!(
+                            "{channel} dequeued pkt#{uid} but head of queue \
+                             is pkt#{head_uid} ({head_flow})"
+                        ),
+                    }),
+                    None => self.violations.push(Violation {
+                        at,
+                        monitor: "fifo-order",
+                        flow: Some(*flow),
+                        detail: format!("{channel} dequeued pkt#{uid} from an empty queue"),
+                    }),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Checks that the event clock never runs backwards.
+///
+/// Note on "strictly monotonic": distinct events legitimately share a
+/// timestamp (the engine breaks ties by insertion sequence), so the
+/// enforceable invariant is *non-decreasing* event time; a strictly
+/// decreasing step is a scheduler bug.
+#[derive(Debug, Default)]
+pub struct MonotonicTime {
+    last: Option<SimTime>,
+    violations: Vec<Violation>,
+}
+
+impl MonotonicTime {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantMonitor for MonotonicTime {
+    fn name(&self) -> &'static str {
+        "monotonic-time"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        if let MonitorEvent::Clock { to } = ev {
+            if let Some(last) = self.last {
+                if *to < last {
+                    self.violations.push(Violation {
+                        at,
+                        monitor: "monotonic-time",
+                        flow: None,
+                        detail: format!(
+                            "clock stepped backwards: {}ns after {}ns",
+                            to.as_nanos(),
+                            last.as_nanos()
+                        ),
+                    });
+                }
+            }
+            self.last = Some(*to);
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Checks that every reported congestion window stays within the
+/// connection's configured `[min_cwnd, max_cwnd]` segment range (the
+/// paper's `[2, cwnd_max]`) and is a finite number.
+#[derive(Debug, Default)]
+pub struct CwndRange {
+    violations: Vec<Violation>,
+}
+
+impl CwndRange {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantMonitor for CwndRange {
+    fn name(&self) -> &'static str {
+        "cwnd-range"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        if let MonitorEvent::CwndUpdate {
+            flow,
+            cwnd,
+            min_cwnd,
+            max_cwnd,
+        } = ev
+        {
+            if !cwnd.is_finite() || *cwnd < min_cwnd - CWND_EPS || *cwnd > max_cwnd + CWND_EPS {
+                self.violations.push(Violation {
+                    at,
+                    monitor: "cwnd-range",
+                    flow: Some(*flow),
+                    detail: format!("cwnd {cwnd} outside [{min_cwnd}, {max_cwnd}]"),
+                });
+            }
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProbePhase {
+    Idle,
+    Probing,
+    Suspended,
+}
+
+/// Checks TCP-TRIM's Algorithm-1 probe state machine per flow: `Start`
+/// only from idle, `Suspend` only while probing, and `Resolve` /
+/// `Timeout` / `Abort` only while a probe is outstanding.
+#[derive(Debug, Default)]
+pub struct ProbeLegality {
+    phases: HashMap<FlowId, ProbePhase>,
+    violations: Vec<Violation>,
+}
+
+impl ProbeLegality {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantMonitor for ProbeLegality {
+    fn name(&self) -> &'static str {
+        "probe-legality"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        let MonitorEvent::ProbeTransition { flow, transition } = ev else {
+            return;
+        };
+        let phase = self.phases.entry(*flow).or_insert(ProbePhase::Idle);
+        let next = match (*phase, transition) {
+            (ProbePhase::Idle, ProbeTransition::Start) => Some(ProbePhase::Probing),
+            (ProbePhase::Probing, ProbeTransition::Suspend) => Some(ProbePhase::Suspended),
+            (
+                ProbePhase::Probing | ProbePhase::Suspended,
+                ProbeTransition::Resolve | ProbeTransition::Timeout | ProbeTransition::Abort,
+            ) => Some(ProbePhase::Idle),
+            _ => None,
+        };
+        match next {
+            Some(next) => *phase = next,
+            None => {
+                let detail = format!("illegal transition {transition} in phase {phase:?}");
+                self.violations.push(Violation {
+                    at,
+                    monitor: "probe-legality",
+                    flow: Some(*flow),
+                    detail,
+                });
+            }
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::prelude::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    /// Real (node, channel) ids out of a throwaway two-host network —
+    /// the id types are deliberately opaque outside `netsim`.
+    fn ids() -> (NodeId, ChannelId) {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let a = sim.add_host(Box::new(SinkAgent::default()));
+        let b = sim.add_host(Box::new(SinkAgent::default()));
+        let (ab, _) = sim.connect(
+            a,
+            b,
+            Bandwidth::gbps(1),
+            Dur::from_micros(1),
+            QueueConfig::default(),
+        );
+        (a, ab)
+    }
+
+    #[test]
+    fn conservation_flags_excess_delivery() {
+        let (node, _) = ids();
+        let mut m = PacketConservation::new();
+        m.observe(
+            t(1),
+            &MonitorEvent::Injected {
+                node,
+                flow: FlowId(1),
+                uid: 1,
+                size: 100,
+            },
+        );
+        m.observe(
+            t(2),
+            &MonitorEvent::Delivered {
+                node,
+                flow: FlowId(1),
+                uid: 1,
+                size: 100,
+            },
+        );
+        assert!(m.violations().is_empty());
+        // A second delivery of a never-injected packet breaks the running
+        // inequality.
+        m.observe(
+            t(3),
+            &MonitorEvent::Delivered {
+                node,
+                flow: FlowId(1),
+                uid: 99,
+                size: 100,
+            },
+        );
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(m.violations()[0].flow, Some(FlowId(1)));
+    }
+
+    #[test]
+    fn conservation_finalize_cross_checks_the_engine() {
+        let mut m = PacketConservation::new();
+        let bad = AuditStats {
+            injected: 5,
+            delivered: 2,
+            dropped: 1,
+            queued_pkts: 1,
+            pending_arrivals: 0,
+        };
+        // Event tallies are all zero, so both finalize checks fire: the
+        // engine disagreement and (5 != 2+1+1) the identity itself.
+        m.finalize(t(10), &bad);
+        assert_eq!(m.violations().len(), 2);
+    }
+
+    #[test]
+    fn queue_bound_flags_over_capacity() {
+        let (_, ch) = ids();
+        let mut m = QueueBound::new();
+        m.observe(
+            t(5),
+            &MonitorEvent::Enqueued {
+                channel: ch,
+                flow: FlowId(3),
+                uid: 1,
+                len_after: 101,
+                cap_pkts: Some(100),
+            },
+        );
+        assert_eq!(m.violations().len(), 1);
+        let v = &m.violations()[0];
+        assert_eq!(v.at, t(5));
+        assert_eq!(v.flow, Some(FlowId(3)));
+    }
+
+    #[test]
+    fn fifo_flags_out_of_order_dequeue() {
+        let (_, ch) = ids();
+        let mut m = FifoOrder::new();
+        for uid in [1u64, 2] {
+            m.observe(
+                t(1),
+                &MonitorEvent::Enqueued {
+                    channel: ch,
+                    flow: FlowId(0),
+                    uid,
+                    len_after: uid as usize,
+                    cap_pkts: Some(10),
+                },
+            );
+        }
+        m.observe(
+            t(2),
+            &MonitorEvent::Dequeued {
+                channel: ch,
+                flow: FlowId(0),
+                uid: 2,
+            },
+        );
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].detail.contains("pkt#2"));
+    }
+
+    #[test]
+    fn monotonic_time_flags_backwards_clock() {
+        let mut m = MonotonicTime::new();
+        m.observe(t(5), &MonitorEvent::Clock { to: t(10) });
+        m.observe(t(10), &MonitorEvent::Clock { to: t(10) }); // equal: fine
+        m.observe(t(10), &MonitorEvent::Clock { to: t(9) });
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn cwnd_range_flags_out_of_band_windows() {
+        let mut m = CwndRange::new();
+        let ev = |cwnd: f64| MonitorEvent::CwndUpdate {
+            flow: FlowId(1),
+            cwnd,
+            min_cwnd: 2.0,
+            max_cwnd: 900.0,
+        };
+        m.observe(t(1), &ev(2.0));
+        m.observe(t(2), &ev(900.0));
+        m.observe(t(3), &ev(450.5));
+        assert!(m.violations().is_empty());
+        m.observe(t(4), &ev(1.5));
+        m.observe(t(5), &ev(901.0));
+        m.observe(t(6), &ev(f64::NAN));
+        assert_eq!(m.violations().len(), 3);
+    }
+
+    #[test]
+    fn probe_machine_accepts_the_legal_lifecycles() {
+        let mut m = ProbeLegality::new();
+        let ev = |tr| MonitorEvent::ProbeTransition {
+            flow: FlowId(1),
+            transition: tr,
+        };
+        // Full lifecycle with suspension, then resolve-before-suspend,
+        // then timeout and abort endings.
+        for tr in [
+            ProbeTransition::Start,
+            ProbeTransition::Suspend,
+            ProbeTransition::Resolve,
+            ProbeTransition::Start,
+            ProbeTransition::Resolve,
+            ProbeTransition::Start,
+            ProbeTransition::Suspend,
+            ProbeTransition::Timeout,
+            ProbeTransition::Start,
+            ProbeTransition::Abort,
+        ] {
+            m.observe(t(1), &ev(tr));
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn probe_machine_flags_illegal_transitions() {
+        let mut m = ProbeLegality::new();
+        let ev = |flow, tr| MonitorEvent::ProbeTransition {
+            flow: FlowId(flow),
+            transition: tr,
+        };
+        // Suspend without a probe outstanding.
+        m.observe(t(1), &ev(1, ProbeTransition::Suspend));
+        // Double start.
+        m.observe(t(2), &ev(2, ProbeTransition::Start));
+        m.observe(t(3), &ev(2, ProbeTransition::Start));
+        // Resolve when idle.
+        m.observe(t(4), &ev(3, ProbeTransition::Resolve));
+        assert_eq!(m.violations().len(), 3);
+        assert!(m.violations().iter().all(|v| v.flow.is_some()));
+    }
+}

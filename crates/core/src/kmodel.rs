@@ -274,4 +274,33 @@ mod tests {
     fn negative_capacity_rejected() {
         let _ = f_of_n(1.0, -5.0, 100);
     }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Eq. 22 as a property over the whole operating range: for a
+        /// randomized link capacity (10 Mbps – 40 Gbps at 1460 B) and
+        /// base RTT (20 µs – 2 ms), the guideline `K` sustains full
+        /// utilization at every sampled concurrency level, and so does
+        /// any larger threshold (utilization is monotone in `K`).
+        #[test]
+        fn guideline_k_holds_for_random_capacity_and_delay(
+            mbps in 10u64..40_000,
+            d_us in 20u64..2_000,
+            n in 1u32..500,
+        ) {
+            let c = mbps as f64 * 1e6 / (1460.0 * 8.0);
+            let d = d_us * 1_000;
+            let k = k_lower_bound_ns(c, d);
+            proptest::prop_assert!(k >= d, "K below the base RTT");
+            let st = steady_state(c, d, k, n);
+            proptest::prop_assert!(
+                st.full_utilization,
+                "underflow at C={} pps, D={}ns, K={}ns, N={}: Qmax={} dec={}",
+                c, d, k, n, st.max_queue, st.total_decrement
+            );
+            let wider = steady_state(c, d, 2 * k, n);
+            proptest::prop_assert!(wider.full_utilization);
+        }
+    }
 }

@@ -207,10 +207,18 @@ impl Table {
 }
 
 /// Formats an `f64` with Rust's shortest-roundtrip representation, so
-/// `parse::<f64>()` recovers the exact value. Use for job artifacts
-/// that the reduce step aggregates.
-pub fn num(x: f64) -> String {
+/// `parse::<f64>()` recovers the exact value. Every numeric cell in a
+/// figure or artifact CSV routes through this single helper: the
+/// golden-trace regression suite compares CSVs field by field, and one
+/// formatting policy keeps re-runs bit-identical to the committed
+/// goldens.
+pub fn fmt_f64(x: f64) -> String {
     format!("{x}")
+}
+
+/// Alias of [`fmt_f64`], kept for the job-artifact call sites.
+pub fn num(x: f64) -> String {
+    fmt_f64(x)
 }
 
 /// Formats a duration in seconds adaptively (ms below 1 s).
@@ -276,6 +284,16 @@ mod tests {
             t
         };
         assert_eq!(t.f64_at(0, 0), 0.30000000000000004);
+    }
+
+    #[test]
+    fn fmt_f64_is_the_num_policy() {
+        for x in [0.5, 97.3, 1.0 / 3.0, -2.25e-9] {
+            assert_eq!(fmt_f64(x), num(x));
+            assert_eq!(fmt_f64(x).parse::<f64>().unwrap(), x);
+        }
+        assert_eq!(fmt_f64(1.0), "1");
+        assert_eq!(fmt_f64(0.5), "0.5");
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub mod agent;
 pub mod channel;
+pub mod monitor;
 pub mod packet;
 pub mod queue;
 pub mod sim;
@@ -55,6 +56,7 @@ pub mod trace;
 pub mod units;
 
 pub use agent::{Agent, SinkAgent};
+pub use monitor::{AuditStats, InvariantMonitor, MonitorEvent, ProbeTransition, Violation};
 pub use packet::{ChannelId, FlowId, NodeId, Packet, Payload, TagPayload};
 pub use queue::{Aqm, QueueConfig, QueueSample, QueueStats, RedConfig};
 pub use sim::{Ctx, Simulator, TimerId};
@@ -65,6 +67,9 @@ pub use units::{Bandwidth, QueueCapacity};
 /// Convenient glob import for simulator users.
 pub mod prelude {
     pub use crate::agent::{Agent, SinkAgent};
+    pub use crate::monitor::{
+        AuditStats, InvariantMonitor, MonitorEvent, ProbeTransition, Violation,
+    };
     pub use crate::packet::{ChannelId, FlowId, NodeId, Packet, Payload, TagPayload};
     pub use crate::queue::{Aqm, QueueConfig, QueueStats, RedConfig};
     pub use crate::sim::{Ctx, Simulator, TimerId};

@@ -93,6 +93,11 @@ pub struct Packet<P> {
     /// Time the packet was handed to the source's outgoing channel; set by
     /// the simulator when the packet is first sent.
     pub sent_at: SimTime,
+    /// Engine-unique packet id, assigned by the simulator at injection
+    /// (`0` until then). Invariant monitors use it to track individual
+    /// packets — e.g. per-port FIFO order — across hops, which the
+    /// `(src, dst, flow, size)` tuple cannot do unambiguously.
+    pub uid: u64,
     /// Transport payload.
     pub payload: P,
 }
@@ -106,6 +111,7 @@ impl<P: Payload> Packet<P> {
             flow,
             size,
             sent_at: SimTime::ZERO,
+            uid: 0,
             payload,
         }
     }

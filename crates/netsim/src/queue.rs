@@ -151,6 +151,9 @@ pub struct DropTailQueue<P> {
     /// Fault injection: 0-based indices (in arrival order) of packets to
     /// drop deterministically, regardless of occupancy.
     forced_drops: std::collections::HashSet<u64>,
+    /// Fault injection: packets that may still be admitted beyond the
+    /// configured capacity.
+    overadmit_budget: u64,
     arrivals: u64,
     /// RED state: EWMA of the queue length and the PRNG stream position.
     red_avg: f64,
@@ -177,6 +180,7 @@ impl<P: Payload> DropTailQueue<P> {
             last_change: SimTime::ZERO,
             recorder: None,
             forced_drops: std::collections::HashSet::new(),
+            overadmit_budget: 0,
             arrivals: 0,
             red_avg: 0.0,
             red_rng: match config.aqm {
@@ -193,6 +197,20 @@ impl<P: Payload> DropTailQueue<P> {
     /// force an RTO rather than a fast retransmit.
     pub fn inject_drops(&mut self, indices: impl IntoIterator<Item = u64>) {
         self.forced_drops.extend(indices);
+    }
+
+    /// Fault injection: lets the queue admit up to `extra` packets beyond
+    /// its configured capacity (each over-capacity admission consumes one
+    /// unit of the budget). This deliberately *breaks* the queue-bound
+    /// invariant; it exists so the invariant monitors can be shown to
+    /// catch a real over-admission, and has no other legitimate use.
+    pub fn inject_overadmit(&mut self, extra: u64) {
+        self.overadmit_budget += extra;
+    }
+
+    /// The queue's configuration.
+    pub fn config(&self) -> QueueConfig {
+        self.config
     }
 
     /// Starts recording a (time, length) sample on every length change.
@@ -252,6 +270,18 @@ impl<P: Payload> DropTailQueue<P> {
             .capacity
             .admits(self.items.len(), self.bytes, pkt.size)
         {
+            if self.overadmit_budget > 0 {
+                // Injected fault: admit beyond capacity (skipping the AQM
+                // and ECN steps) so the queue-bound monitor has something
+                // real to catch.
+                self.overadmit_budget -= 1;
+                self.bytes += pkt.size as u64;
+                self.items.push_back(pkt);
+                self.stats.enqueued += 1;
+                self.stats.max_len = self.stats.max_len.max(self.items.len());
+                self.record(now);
+                return EnqueueOutcome::Accepted;
+            }
             self.stats.dropped += 1;
             return EnqueueOutcome::Dropped;
         }

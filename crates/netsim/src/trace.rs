@@ -48,7 +48,7 @@ pub struct PacketEvent {
 pub struct PacketTrace {
     events: Vec<PacketEvent>,
     cap: usize,
-    truncated: bool,
+    dropped_events: u64,
 }
 
 impl PacketTrace {
@@ -56,7 +56,7 @@ impl PacketTrace {
         PacketTrace {
             events: Vec::new(),
             cap,
-            truncated: false,
+            dropped_events: 0,
         }
     }
 
@@ -64,7 +64,7 @@ impl PacketTrace {
         if self.events.len() < self.cap {
             self.events.push(ev);
         } else {
-            self.truncated = true;
+            self.dropped_events += 1;
         }
     }
 
@@ -75,7 +75,16 @@ impl PacketTrace {
 
     /// Whether the capacity was reached and later events were discarded.
     pub fn is_truncated(&self) -> bool {
-        self.truncated
+        self.dropped_events > 0
+    }
+
+    /// How many events were discarded after the capacity was reached.
+    /// `events().len() + dropped_events()` is the number of packet
+    /// events the simulation actually produced, so a test can assert
+    /// that a trace captured everything (`dropped_events() == 0`) or
+    /// size the gap when it did not.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
     }
 
     /// Events of one flow, filtered by kind.

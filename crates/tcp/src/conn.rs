@@ -193,6 +193,12 @@ impl Connection {
         self.win.cwnd
     }
 
+    /// The smoothed RTT estimate, if any Karn-valid sample has arrived
+    /// (echoes of retransmitted packets never contribute samples).
+    pub fn srtt(&self) -> Option<Dur> {
+        self.rto_est.srtt()
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> ConnStats {
         self.stats
@@ -228,6 +234,30 @@ impl Connection {
     fn record_cwnd(&mut self, now: SimTime) {
         if let Some(s) = &mut self.cwnd_series {
             s.push(now, self.win.cwnd);
+        }
+    }
+
+    /// Reports the current window to any attached invariant monitors
+    /// (`cwnd-range` checks it stays within `[min_cwnd, max_cwnd]`).
+    fn emit_cwnd(&self, ctx: &mut Ctx<'_, Segment>) {
+        if ctx.monitoring() {
+            ctx.emit_monitor(MonitorEvent::CwndUpdate {
+                flow: self.flow,
+                cwnd: self.win.cwnd,
+                min_cwnd: self.win.min_cwnd,
+                max_cwnd: self.win.max_cwnd,
+            });
+        }
+    }
+
+    /// Reports an Algorithm-1 probe state-machine transition to any
+    /// attached invariant monitors (`probe-legality` checks ordering).
+    fn emit_probe(&self, ctx: &mut Ctx<'_, Segment>, transition: ProbeTransition) {
+        if ctx.monitoring() {
+            ctx.emit_monitor(MonitorEvent::ProbeTransition {
+                flow: self.flow,
+                transition,
+            });
         }
     }
 
@@ -304,7 +334,9 @@ impl Connection {
                             remaining: probes,
                             timer,
                         });
+                        self.emit_probe(ctx, ProbeTransition::Start);
                         self.record_cwnd(ctx.now());
+                        self.emit_cwnd(ctx);
                         continue; // window changed; re-evaluate
                     }
                 }
@@ -320,6 +352,13 @@ impl Connection {
                 if p.remaining == 0 {
                     // Algorithm 1 line 6: suspend until the probe result.
                     self.win.suspended = true;
+                    let flow = self.flow;
+                    if ctx.monitoring() {
+                        ctx.emit_monitor(MonitorEvent::ProbeTransition {
+                            flow,
+                            transition: ProbeTransition::Suspend,
+                        });
+                    }
                 }
             }
         }
@@ -499,9 +538,11 @@ impl Connection {
                 let timer = p.timer;
                 ctx.cancel_timer(timer);
                 self.probe = None;
+                self.emit_probe(ctx, ProbeTransition::Resolve);
             }
         }
         self.record_cwnd(now);
+        self.emit_cwnd(ctx);
         self.try_send(ctx);
     }
 
@@ -568,6 +609,7 @@ impl Connection {
         self.win.clamp_cwnd();
         if let Some(p) = self.probe.take() {
             ctx.cancel_timer(p.timer);
+            self.emit_probe(ctx, ProbeTransition::Abort);
         }
         self.in_recovery = false;
         self.dup_acks = 0;
@@ -577,6 +619,7 @@ impl Connection {
         // Go-back-N: resume from the last cumulative ACK.
         self.next_seq = self.high_ack;
         self.record_cwnd(now);
+        self.emit_cwnd(ctx);
         self.try_send(ctx);
         if self.rto_timer.is_none() && self.flight() > 0 {
             self.arm_rto(ctx);
@@ -586,8 +629,10 @@ impl Connection {
     /// The TRIM probe deadline fired without all probe ACKs.
     pub fn on_probe_deadline_fire(&mut self, ctx: &mut Ctx<'_, Segment>) {
         if self.probe.take().is_some() {
+            self.emit_probe(ctx, ProbeTransition::Timeout);
             self.cc.on_probe_deadline(&mut self.win);
             self.record_cwnd(ctx.now());
+            self.emit_cwnd(ctx);
             self.try_send(ctx);
         }
     }

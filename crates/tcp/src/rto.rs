@@ -121,4 +121,79 @@ mod tests {
     fn zero_floor_rejected() {
         let _ = RtoEstimator::new(Dur::ZERO, Dur::from_secs(1));
     }
+
+    /// The RFC 6298 recurrence, hand-computed: first sample sets
+    /// `SRTT = R, RTTVAR = R/2`; later samples use gains 1/8 and 1/4;
+    /// RTO = SRTT + 4*RTTVAR clamped to `[min, max]`. All inputs are
+    /// dyadic, so the f64 arithmetic is exact.
+    #[test]
+    fn rfc6298_recurrence_table() {
+        struct Case {
+            name: &'static str,
+            min_ns: u64,
+            max_ns: u64,
+            samples: &'static [u64],
+            srtt_ns: u64,
+            rto_ns: u64,
+        }
+        const MS: u64 = 1_000_000;
+        let cases = [
+            Case {
+                name: "first sample: srtt = R, rttvar = R/2",
+                min_ns: MS,
+                max_ns: 60_000 * MS,
+                samples: &[10 * MS],
+                srtt_ns: 10 * MS,
+                rto_ns: 30 * MS,
+            },
+            Case {
+                name: "steady input decays the variance",
+                min_ns: MS,
+                max_ns: 60_000 * MS,
+                samples: &[10 * MS, 10 * MS],
+                srtt_ns: 10 * MS,
+                rto_ns: 25 * MS, // rttvar = 0.75 * 5 ms
+            },
+            Case {
+                name: "one jump: gains 1/8 (srtt) and 1/4 (rttvar)",
+                min_ns: MS,
+                max_ns: 60_000 * MS,
+                samples: &[10 * MS, 20 * MS],
+                srtt_ns: 11_250_000,
+                rto_ns: 36_250_000,
+            },
+            Case {
+                name: "two jumps",
+                min_ns: MS,
+                max_ns: 60_000 * MS,
+                samples: &[10 * MS, 20 * MS, 20 * MS],
+                srtt_ns: 12_343_750,
+                rto_ns: 39_843_750,
+            },
+            Case {
+                name: "floor clamps a small raw RTO",
+                min_ns: MS,
+                max_ns: 60_000 * MS,
+                samples: &[100_000],
+                srtt_ns: 100_000,
+                rto_ns: MS, // raw 300 us < 1 ms floor
+            },
+            Case {
+                name: "ceiling clamps a large raw RTO",
+                min_ns: MS,
+                max_ns: 5 * MS,
+                samples: &[10_000 * MS],
+                srtt_ns: 10_000 * MS,
+                rto_ns: 5 * MS,
+            },
+        ];
+        for c in &cases {
+            let mut e = RtoEstimator::new(Dur::from_nanos(c.min_ns), Dur::from_nanos(c.max_ns));
+            for &s in c.samples {
+                e.observe(Dur::from_nanos(s));
+            }
+            assert_eq!(e.srtt(), Some(Dur::from_nanos(c.srtt_ns)), "{}", c.name);
+            assert_eq!(e.rto(), Dur::from_nanos(c.rto_ns), "{}", c.name);
+        }
+    }
 }

@@ -160,6 +160,51 @@ fn lost_trim_probes_fall_back_and_recover() {
 }
 
 #[test]
+fn karns_rule_takes_no_sample_from_a_retransmit_echo() {
+    // A one-packet train whose only packet is lost: the retransmission's
+    // echo is the sole ACK, and Karn's rule forbids sampling it — the
+    // estimator must end the transfer with no RTT estimate at all.
+    let cfg = TcpConfig::default().with_min_rto(Dur::from_millis(20));
+    let (mut sim, tx, data_ch, _) = pair(&CcKind::Reno, cfg, MSS as u64);
+    sim.inject_channel_drops(data_ch, [0]);
+    let stats = finish(&mut sim, tx, 1);
+    assert_eq!(stats.timeouts, 1, "{stats:?}");
+    assert_eq!(stats.rtx_sent, 1, "{stats:?}");
+    let host: &TcpHost = sim.host(tx);
+    assert_eq!(
+        host.connection(0).srtt(),
+        None,
+        "retransmit echo must not produce an RTT sample"
+    );
+    // Control: the clean transfer does sample.
+    let (mut sim, tx, _, _) = pair(&CcKind::Reno, TcpConfig::default(), MSS as u64);
+    finish(&mut sim, tx, 1);
+    let host: &TcpHost = sim.host(tx);
+    assert!(host.connection(0).srtt().is_some());
+}
+
+#[test]
+fn rto_backoff_doubles_and_caps_at_64() {
+    // Lose the first 10 transmissions of a one-packet train. With a 2 ms
+    // base RTO the successive timeouts fire after 2, 4, 8, 16, 32, 64,
+    // 128, 128, 128, 128 ms (the exponential backoff caps at 64x), so
+    // the packet finally lands ~638 ms in. Without the cap the total
+    // would exceed 2 s; without doubling it would be ~20 ms.
+    let cfg = TcpConfig::default().with_min_rto(Dur::from_millis(2));
+    let (mut sim, tx, data_ch, _) = pair(&CcKind::Reno, cfg, MSS as u64);
+    sim.inject_channel_drops(data_ch, 0..10);
+    let stats = finish(&mut sim, tx, 1);
+    assert_eq!(stats.timeouts, 10, "{stats:?}");
+    assert_eq!(stats.rtx_sent, 10, "{stats:?}");
+    let host: &TcpHost = sim.host(tx);
+    let ct = host.connection(0).completed_trains()[0]
+        .completion_time()
+        .as_secs_f64();
+    assert!(ct > 0.6, "backoff must grow exponentially: {ct}s");
+    assert!(ct < 0.8, "backoff must cap at 64x: {ct}s");
+}
+
+#[test]
 fn loss_patterns_are_reproducible() {
     let run = || {
         let cfg = TcpConfig::default().with_min_rto(Dur::from_millis(20));

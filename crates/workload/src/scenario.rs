@@ -210,6 +210,11 @@ impl ScenarioBuilder {
         if self.record_queue {
             sim.enable_queue_recording(net.bottleneck);
         }
+        // Runtime invariant monitors, per the TRIM_CHECK_MONITORS policy
+        // (default: on in debug builds, off in release). Observe-only, so
+        // the event stream — and therefore every artifact — is identical
+        // either way.
+        trim_check::attach_standard_if_enabled(&mut sim);
         Scenario { sim, net }
     }
 }
@@ -266,7 +271,13 @@ impl Scenario {
 
     /// Collects the report at the current simulated time without running
     /// further.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any attached invariant monitor recorded a violation —
+    /// a monitored run must be clean before its results are read.
     pub fn report(&mut self) -> Report {
+        self.sim.assert_no_violations();
         let bottleneck = self.sim.queue_stats(self.net.bottleneck);
         let queue_series = self
             .sim

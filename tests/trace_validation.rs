@@ -23,6 +23,7 @@ fn extracted_trains_match_the_application_schedule() {
 
     let trace = sc.sim_mut().packet_trace().cloned().expect("enabled");
     assert!(!trace.is_truncated());
+    assert_eq!(trace.dropped_events(), 0, "capacity 100k was never hit");
     // Data packets are MSS-sized; ACKs (40 B) are filtered out.
     let pkts = packets_from_events(trace.events(), FlowId(0), 1000);
     let expected_pkts: u64 = sizes.iter().map(|b| b.div_ceil(1460)).sum();
@@ -43,6 +44,32 @@ fn extracted_trains_match_the_application_schedule() {
         assert!(gap <= Dur::from_millis(5));
         assert!(gap >= Dur::from_millis(1));
     }
+}
+
+#[test]
+fn trace_overflow_counts_every_dropped_event() {
+    let run = |cap: usize| {
+        let mut sc = ScenarioBuilder::many_to_one(2).build();
+        sc.send_train(0, TrainSpec::at_secs(0.001, 100_000));
+        sc.send_train(1, TrainSpec::at_secs(0.001, 100_000));
+        sc.sim_mut().enable_packet_trace(cap);
+        sc.run_for_secs(1.0);
+        sc.sim_mut().packet_trace().cloned().expect("enabled")
+    };
+    let full = run(1_000_000);
+    assert!(!full.is_truncated());
+    assert_eq!(full.dropped_events(), 0);
+
+    // The identical (deterministic) run with a tiny buffer: the counter
+    // accounts for exactly the events that no longer fit.
+    let capped = run(50);
+    assert!(capped.is_truncated());
+    assert_eq!(capped.events().len(), 50);
+    assert_eq!(
+        capped.events().len() as u64 + capped.dropped_events(),
+        full.events().len() as u64,
+        "dropped_events counts, not just flags, the overflow"
+    );
 }
 
 #[test]

@@ -84,6 +84,11 @@ pub static ALL: &[ExperimentSpec] = &[
         title: "ext: RTO_min sweep",
         campaign: experiments::rto_sensitivity::campaign,
     },
+    ExperimentSpec {
+        id: "large_scale_100k",
+        title: "ext: engine-scale incast (100k flows at --full)",
+        campaign: experiments::large_scale::campaign_100k,
+    },
 ];
 
 /// Looks an experiment up by id.

@@ -1,6 +1,13 @@
-//! Golden-trace regression: a canonical campaign re-runs
-//! deterministically, independent of worker count, and reproduces the
+//! Golden-trace regression: canonical campaigns re-run
+//! deterministically, independent of worker count, and reproduce the
 //! committed CSVs under `results/` within the documented tolerance.
+//!
+//! Two campaigns cover the two artifact families: `trace` (simulation
+//! driven — exercises the event engine end to end, so any ordering or
+//! arithmetic drift in the engine shows up here) and `kmodel`
+//! (analytical — exercises the harness/reduce path without a
+//! simulator). Each runs at `--jobs 1` and `--jobs 8`; worker count
+//! must not leak into artifacts at all.
 
 use std::path::{Path, PathBuf};
 
@@ -8,8 +15,8 @@ use trim_check::golden::{compare_csv_files, Tolerance};
 use trim_experiments::{registry, Effort};
 use trim_harness::{engine, ExecConfig};
 
-fn run_trace_into(dir: &Path, jobs: usize) -> Vec<String> {
-    let spec = registry::find("trace").expect("trace is registered");
+fn run_campaign_into(id: &str, dir: &Path, jobs: usize) -> Vec<String> {
+    let spec = registry::find(id).unwrap_or_else(|| panic!("{id} is registered"));
     let cfg = ExecConfig {
         jobs,
         force: true,
@@ -20,31 +27,40 @@ fn run_trace_into(dir: &Path, jobs: usize) -> Vec<String> {
     outcome.reduced.iter().map(|(n, _)| n.clone()).collect()
 }
 
-#[test]
-fn trace_campaign_is_jobs_invariant_and_matches_committed_goldens() {
-    let scratch = std::env::temp_dir().join(format!("trim-golden-test-{}", std::process::id()));
+fn assert_campaign_reproduces_goldens(id: &str) {
+    let scratch = std::env::temp_dir().join(format!("trim-golden-{id}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
-    let d1 = scratch.join("jobs1");
-    let d2 = scratch.join("jobs2");
-    let names = run_trace_into(&d1, 1);
+    let serial = scratch.join("jobs1");
+    let parallel = scratch.join("jobs8");
+    let names = run_campaign_into(id, &serial, 1);
     assert_eq!(
         names,
-        run_trace_into(&d2, 2),
-        "artifact set differs by jobs"
+        run_campaign_into(id, &parallel, 8),
+        "{id}: artifact set differs by jobs"
     );
-    assert!(!names.is_empty(), "trace produces reduce artifacts");
+    assert!(!names.is_empty(), "{id} produces reduce artifacts");
 
     let golden_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     for name in &names {
-        let f1 = d1.join(format!("{name}.csv"));
-        let f2 = d2.join(format!("{name}.csv"));
+        let f1 = serial.join(format!("{name}.csv"));
+        let f8 = parallel.join(format!("{name}.csv"));
         // Worker count must not leak into artifacts at all: byte-equal.
-        let m = compare_csv_files(&f1, &f2, Tolerance::EXACT).expect("both re-runs wrote CSVs");
-        assert!(m.is_empty(), "jobs=1 vs jobs=2 differ: {m:?}");
+        let m = compare_csv_files(&f1, &f8, Tolerance::EXACT).expect("both re-runs wrote CSVs");
+        assert!(m.is_empty(), "{id}/{name}: jobs=1 vs jobs=8 differ: {m:?}");
         // And the re-run must reproduce the committed golden.
         let g = golden_root.join(format!("{name}.csv"));
         let m = compare_csv_files(&g, &f1, Tolerance::GOLDEN).expect("committed golden exists");
         assert!(m.is_empty(), "{name} drifted from committed golden: {m:?}");
     }
     let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn trace_campaign_is_jobs_invariant_and_matches_committed_goldens() {
+    assert_campaign_reproduces_goldens("trace");
+}
+
+#[test]
+fn kmodel_campaign_is_jobs_invariant_and_matches_committed_goldens() {
+    assert_campaign_reproduces_goldens("kmodel");
 }

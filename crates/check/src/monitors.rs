@@ -115,6 +115,21 @@ impl InvariantMonitor for PacketConservation {
                 ),
             );
         }
+        // Arena leak check: the engine's packet arena holds exactly the
+        // packets with a pending Arrival event, so any difference is a
+        // leaked (or double-freed) slab slot. In particular a drained
+        // run (pending_arrivals == 0) must leave the arena empty.
+        if audit.arena_live != audit.pending_arrivals {
+            self.violate(
+                at,
+                None,
+                format!(
+                    "packet arena holds {} packet(s) but {} arrival(s) are pending \
+                     — the engine leaked arena slots",
+                    audit.arena_live, audit.pending_arrivals
+                ),
+            );
+        }
     }
 
     fn violations(&self) -> &[Violation] {
@@ -455,11 +470,52 @@ mod tests {
             dropped: 1,
             queued_pkts: 1,
             pending_arrivals: 0,
+            arena_live: 0,
         };
         // Event tallies are all zero, so both finalize checks fire: the
         // engine disagreement and (5 != 2+1+1) the identity itself.
         m.finalize(t(10), &bad);
         assert_eq!(m.violations().len(), 2);
+    }
+
+    #[test]
+    fn conservation_finalize_flags_arena_leaks() {
+        // Counters and the conservation identity are consistent, but the
+        // arena still holds a packet with no pending arrival: a leak.
+        let leaked = AuditStats {
+            injected: 4,
+            delivered: 4,
+            dropped: 0,
+            queued_pkts: 0,
+            pending_arrivals: 0,
+            arena_live: 1,
+        };
+        // Align the event tallies with the engine counters so only the
+        // arena check can fire.
+        let mut m = PacketConservation::new();
+        for uid in 1..=4u64 {
+            m.observe(
+                t(1),
+                &MonitorEvent::Injected {
+                    node: ids().0,
+                    flow: FlowId(1),
+                    uid,
+                    size: 100,
+                },
+            );
+            m.observe(
+                t(2),
+                &MonitorEvent::Delivered {
+                    node: ids().0,
+                    flow: FlowId(1),
+                    uid,
+                    size: 100,
+                },
+            );
+        }
+        m.finalize(t(10), &leaked);
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].detail.contains("leaked arena slots"));
     }
 
     #[test]

@@ -141,6 +141,11 @@ impl Campaign {
         self.jobs.is_empty()
     }
 
+    /// The submitted job keys, in submission order.
+    pub fn job_keys(&self) -> Vec<&str> {
+        self.jobs.iter().map(|j| j.key.as_str()).collect()
+    }
+
     /// Replaces the campaign seed (the `--seed` override), re-deriving
     /// every job seed.
     pub fn with_seed(mut self, seed: u64) -> Self {

@@ -127,6 +127,31 @@ impl ResultStore {
         }
     }
 
+    /// Atomically writes `contents` to `rel` (a path relative to the
+    /// results root, e.g. `perf/incast_1k.json`), creating parent
+    /// directories. Same temp-file + rename discipline as every other
+    /// artifact, so a concurrent reader never observes a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel` has no file name (e.g. ends in `/`).
+    pub fn write_text_artifact(&self, rel: &str, contents: &str) -> io::Result<()> {
+        let path = self.root.join(rel);
+        let dir = path.parent().expect("artifact path has a parent");
+        fs::create_dir_all(dir)?;
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("artifact path has a file name");
+        let tmp = dir.join(format!(".{name}.tmp"));
+        fs::write(&tmp, contents)?;
+        fs::rename(&tmp, &path)
+    }
+
     /// Writes a reduce artifact to the results root.
     ///
     /// # Errors
@@ -343,6 +368,22 @@ mod tests {
         // Clearing removes them.
         store.clear_job("camp", "k/1").unwrap();
         assert!(store.load_job("camp", "k/1", 42).is_none());
+    }
+
+    #[test]
+    fn text_artifact_round_trips_and_creates_dirs() {
+        let store = tmp_store("text_artifact");
+        store
+            .write_text_artifact("perf/incast_1k.json", "{\"a\": 1}\n")
+            .unwrap();
+        let read = fs::read_to_string(store.root().join("perf/incast_1k.json")).unwrap();
+        assert_eq!(read, "{\"a\": 1}\n");
+        // Overwrite is atomic (rename), not append.
+        store
+            .write_text_artifact("perf/incast_1k.json", "{}\n")
+            .unwrap();
+        let read = fs::read_to_string(store.root().join("perf/incast_1k.json")).unwrap();
+        assert_eq!(read, "{}\n");
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! The engine's event queue: an indexed 4-ary min-heap.
+//!
+//! The discrete-event hot path is dominated by `push`/`pop` of
+//! near-future events. `std::collections::BinaryHeap` works, but a
+//! 4-ary heap laid out in one flat `Vec` halves the tree depth, keeps
+//! four children in one cache line of keys, and avoids the max-heap
+//! key inversion dance ([`std::cmp::Reverse`] wrappers or reversed
+//! `Ord`). Entries are stored by value — no per-event boxing — and
+//! sifts move small `(time, seq, value)` triples.
+//!
+//! Ordering contract (identical to the `BinaryHeap<EvEntry>` it
+//! replaced): events pop in ascending `(time, seq)` order, where `seq`
+//! is the queue's own insertion counter. Two events scheduled for the
+//! same instant therefore pop in insertion order, which is what makes
+//! simulations a pure function of their inputs. The property tests in
+//! `tests/eventq_props.rs` pin this equivalence against a
+//! `BinaryHeap` reference model.
+
+use crate::time::SimTime;
+
+const ARITY: usize = 4;
+
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    value: T,
+}
+
+impl<T> Entry<T> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+/// A stable priority queue of timestamped events.
+///
+/// ```
+/// use netsim::eventq::EventQueue;
+/// use netsim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// q.push(SimTime::from_nanos(10), "early");
+/// q.push(SimTime::from_nanos(10), "early-second");
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<T> {
+    heap: Vec<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub const fn new() -> Self {
+        EventQueue {
+            heap: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(cap),
+            seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Events pushed over the queue's lifetime (the insertion-sequence
+    /// counter).
+    #[inline]
+    pub fn pushed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Schedules `value` at `at`. Amortized O(1) when `at` sorts after
+    /// most pending events (the common append-to-the-future case costs
+    /// one comparison per tree level actually climbed, usually zero);
+    /// O(log₄ n) worst case.
+    #[inline]
+    pub fn push(&mut self, at: SimTime, value: T) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.heap.push(Entry { at, seq, value });
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Timestamp of the earliest pending event.
+    #[inline]
+    pub fn peek_at(&self) -> Option<SimTime> {
+        self.heap.first().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest event (ties in insertion
+    /// order).
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let last = self.heap.len().checked_sub(1)?;
+        self.heap.swap(0, last);
+        let entry = self.heap.pop().expect("len checked above");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((entry.at, entry.value))
+    }
+
+    /// Iterates over pending events in arbitrary (heap) order. For
+    /// inspection only — never let this order influence simulation
+    /// state.
+    pub fn iter_unordered(&self) -> impl Iterator<Item = (SimTime, &T)> {
+        self.heap.iter().map(|e| (e.at, &e.value))
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.heap[parent].key() <= self.heap[i].key() {
+                break;
+            }
+            self.heap.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= n {
+                break;
+            }
+            let last_child = (first_child + ARITY).min(n);
+            let mut best = first_child;
+            for c in first_child + 1..last_child {
+                if self.heap[c].key() < self.heap[best].key() {
+                    best = c;
+                }
+            }
+            if self.heap[i].key() <= self.heap[best].key() {
+                break;
+            }
+            self.heap.swap(i, best);
+            i = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &ns in &[50u64, 10, 40, 20, 30, 0, 60] {
+            q.push(t(ns), ns);
+        }
+        let mut out = Vec::new();
+        while let Some((at, v)) = q.pop() {
+            assert_eq!(at.as_nanos(), v);
+            out.push(v);
+        }
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn same_timestamp_pops_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.push(t(7), i);
+        }
+        for i in 0..100u64 {
+            assert_eq!(q.pop(), Some((t(7), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(t(5), 5u64);
+        q.push(t(1), 1);
+        assert_eq!(q.pop(), Some((t(1), 1)));
+        q.push(t(3), 3);
+        q.push(t(2), 2);
+        assert_eq!(q.pop(), Some((t(2), 2)));
+        assert_eq!(q.pop(), Some((t(3), 3)));
+        assert_eq!(q.pop(), Some((t(5), 5)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_at(), None);
+        q.push(t(9), ());
+        q.push(t(4), ());
+        assert_eq!(q.peek_at(), Some(t(4)));
+        q.pop();
+        assert_eq!(q.peek_at(), Some(t(9)));
+    }
+
+    #[test]
+    fn len_and_pushed_track_operations() {
+        let mut q = EventQueue::new();
+        q.push(t(1), ());
+        q.push(t(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pushed(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pushed(), 2, "pushed counts lifetime insertions");
+    }
+
+    #[test]
+    fn iter_unordered_sees_every_pending_event() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(t(i), i);
+        }
+        q.pop();
+        let mut seen: Vec<u64> = q.iter_unordered().map(|(_, &v)| v).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (1..10).collect::<Vec<_>>());
+    }
+}

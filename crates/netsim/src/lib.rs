@@ -45,7 +45,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod agent;
+pub mod arena;
 pub mod channel;
+pub mod eventq;
+pub mod hash;
 pub mod monitor;
 pub mod packet;
 pub mod queue;
@@ -56,6 +59,9 @@ pub mod trace;
 pub mod units;
 
 pub use agent::{Agent, SinkAgent};
+pub use arena::{PacketArena, PacketRef};
+pub use eventq::EventQueue;
+pub use hash::{mix64, FastHashMap, FastHashSet};
 pub use monitor::{AuditStats, InvariantMonitor, MonitorEvent, ProbeTransition, Violation};
 pub use packet::{ChannelId, FlowId, NodeId, Packet, Payload, TagPayload};
 pub use queue::{Aqm, QueueConfig, QueueSample, QueueStats, RedConfig};

@@ -195,6 +195,12 @@ pub struct AuditStats {
     /// Packets currently on the wire or in a transmitter (pending
     /// `Arrival` events).
     pub pending_arrivals: u64,
+    /// Packets currently resident in the engine's packet arena. The
+    /// arena holds exactly the packets with a pending `Arrival`, so this
+    /// must equal `pending_arrivals` at every instant and zero once a
+    /// run drains — anything else is a leak (or double-free) in the
+    /// engine's slab accounting.
+    pub arena_live: u64,
 }
 
 impl AuditStats {
@@ -269,6 +275,7 @@ mod tests {
             dropped: 2,
             queued_pkts: 2,
             pending_arrivals: 1,
+            arena_live: 1,
         };
         assert_eq!(a.in_flight(), 3);
         assert_eq!(a.delivered + a.dropped + a.in_flight(), a.injected);

@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use crate::hash::FastHashSet;
 use crate::packet::{Packet, Payload};
 use crate::time::{Dur, SimTime};
 use crate::units::QueueCapacity;
@@ -150,7 +151,7 @@ pub struct DropTailQueue<P> {
     recorder: Option<Vec<QueueSample>>,
     /// Fault injection: 0-based indices (in arrival order) of packets to
     /// drop deterministically, regardless of occupancy.
-    forced_drops: std::collections::HashSet<u64>,
+    forced_drops: FastHashSet<u64>,
     /// Fault injection: packets that may still be admitted beyond the
     /// configured capacity.
     overadmit_budget: u64,
@@ -179,7 +180,7 @@ impl<P: Payload> DropTailQueue<P> {
             stats: QueueStats::default(),
             last_change: SimTime::ZERO,
             recorder: None,
-            forced_drops: std::collections::HashSet::new(),
+            forced_drops: FastHashSet::default(),
             overadmit_budget: 0,
             arrivals: 0,
             red_avg: 0.0,
@@ -261,7 +262,7 @@ impl<P: Payload> DropTailQueue<P> {
         self.advance_clock(now);
         let arrival = self.arrivals;
         self.arrivals += 1;
-        if self.forced_drops.remove(&arrival) {
+        if !self.forced_drops.is_empty() && self.forced_drops.remove(&arrival) {
             self.stats.dropped += 1;
             return EnqueueOutcome::Dropped;
         }

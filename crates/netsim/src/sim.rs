@@ -7,15 +7,31 @@
 //!
 //! Determinism: events are ordered by `(time, insertion sequence)`, so two
 //! runs of the same program produce identical schedules.
+//!
+//! Hot-path layout (the engine sustains 100k-flow incasts):
+//!
+//! - events live in an indexed 4-ary min-heap ([`crate::eventq`]) of small
+//!   `Copy` records — packets are *not* stored in the heap;
+//! - in-flight packets live in a slab [`crate::arena::PacketArena`] and
+//!   events carry a 4-byte [`PacketRef`], so steady-state simulation
+//!   allocates zero per-packet heap memory;
+//! - routing is O(1) per hop for direct-neighbor destinations (every hop
+//!   of the paper's incast topologies) and O(switch-degree) otherwise,
+//!   with per-switch distance tables instead of the former
+//!   O(nodes²) next-hop matrix;
+//! - monitor emission is a single branch on a cached flag when detached
+//!   ([`Ctx::emit_monitor_with`] defers event construction entirely).
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::VecDeque;
 
 use crate::agent::Agent;
+use crate::arena::{PacketArena, PacketRef};
 use crate::channel::Channel;
+use crate::eventq::EventQueue;
+use crate::hash::{FastHashMap, FastHashSet};
 use crate::monitor::{AuditStats, InvariantMonitor, MonitorEvent, Violation};
-use crate::packet::{ChannelId, NodeId, Packet, Payload};
+use crate::packet::{ChannelId, FlowId, NodeId, Packet, Payload};
 use crate::queue::{QueueConfig, QueueSample, QueueStats};
 use crate::time::{Dur, SimTime};
 use crate::trace::{PacketEvent, PacketEventKind, PacketTrace};
@@ -25,38 +41,17 @@ use crate::units::{Bandwidth, QueueCapacity};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TimerId(u64);
 
-#[derive(Debug)]
-enum Ev<P> {
+/// An engine event. Deliberately small and `Copy`: packets referenced by
+/// `Arrival` live in the packet arena, not in the event queue, so heap
+/// sifts move 24-byte records regardless of the payload type.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
     /// Packet finishes propagation and arrives at a node.
-    Arrival { node: NodeId, pkt: Packet<P> },
+    Arrival { node: NodeId, pkt: PacketRef },
     /// A channel's transmitter finishes serializing a packet.
     TxDone { ch: ChannelId },
     /// A timer set by an agent fires.
     Timer { node: NodeId, token: u64, id: u64 },
-}
-
-struct EvEntry<P> {
-    at: SimTime,
-    seq: u64,
-    ev: Ev<P>,
-}
-
-impl<P> PartialEq for EvEntry<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<P> Eq for EvEntry<P> {}
-impl<P> PartialOrd for EvEntry<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P> Ord for EvEntry<P> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,38 +60,80 @@ enum NodeKind {
     Switch,
 }
 
+/// Precomputed forwarding state.
+///
+/// The former implementation materialized `routes[node][dst]` — an
+/// O(nodes²) matrix that is prohibitive at 100k hosts. Instead we keep:
+///
+/// - `dist[switch_row][node]`: hop distance from each *switch* to every
+///   node (switches × nodes, and real topologies have few switches);
+/// - `neighbor_edges[node]`: direct neighbor → parallel edges to it, in
+///   adjacency order. A one-hop route is always strictly shorter than any
+///   route via a switch, so when the destination is a direct neighbor the
+///   equal-cost set is exactly these edges — one hash lookup. This covers
+///   every hop of a star/incast topology.
+/// - `switch_neighbors[node]`: the node's switch neighbors in adjacency
+///   order, scanned (typically a handful) for remote destinations.
+///
+/// Paths never transit a host: hosts terminate packets. (The old BFS
+/// nominally permitted host transit, but hosts are degree-1 leaves in
+/// every topology this crate builds, so no such path was ever a shortest
+/// path.) Equal-cost sets come out in adjacency order either way, so
+/// per-flow ECMP selection is unchanged and simulations reproduce the
+/// previous engine's schedules exactly.
+#[derive(Debug, Default)]
+struct RouteTable {
+    /// Node index → dense switch row; `u32::MAX` for hosts.
+    switch_row: Vec<u32>,
+    /// Per switch row: hop distance to every node (`u32::MAX` if
+    /// unreachable).
+    dist: Vec<Vec<u32>>,
+    /// Per node: direct neighbor → every parallel edge to it, in
+    /// adjacency order.
+    neighbor_edges: Vec<FastHashMap<u32, Vec<ChannelId>>>,
+    /// Per node: switch neighbors `(node index, edge)` in adjacency order.
+    switch_neighbors: Vec<Vec<(u32, ChannelId)>>,
+}
+
 /// Everything the engine owns except the agents. Splitting this out lets an
 /// agent hold `&mut self` while the engine hands it a [`Ctx`] borrowing the
 /// rest of the simulator.
 struct Core<P: Payload> {
     now: SimTime,
-    seq: u64,
-    events: BinaryHeap<EvEntry<P>>,
+    events: EventQueue<Ev>,
+    arena: PacketArena<P>,
     kinds: Vec<NodeKind>,
     channels: Vec<Channel<P>>,
     /// Outgoing edges per node, for route computation.
     adjacency: Vec<Vec<(NodeId, ChannelId)>>,
-    /// Per switch-node: for each destination node index, the set of
-    /// equal-cost next-hop channels. Hosts use their single uplink instead.
-    routes: Vec<Vec<Vec<ChannelId>>>,
+    routes: RouteTable,
     routes_built: bool,
-    cancelled: HashSet<u64>,
+    cancelled: FastHashSet<u64>,
     next_timer: u64,
     delivered_pkts: u64,
     delivered_bytes: u64,
     injected_pkts: u64,
     dropped_pkts: u64,
+    /// Scheduled-but-not-yet-popped `Arrival` events; kept as a counter so
+    /// audits are O(1) instead of scanning the event heap.
+    pending_arrivals: u64,
+    /// Events dispatched since the start of the simulation (the basis of
+    /// events/sec throughput metrics).
+    events_processed: u64,
     next_uid: u64,
+    /// Cached `!monitors.is_empty()`; the one branch every emission site
+    /// pays when monitoring is detached.
+    monitors_on: bool,
     ptrace: Option<PacketTrace>,
     monitors: Vec<Box<dyn InvariantMonitor>>,
 }
 
 impl<P: Payload> Core<P> {
-    /// Hands an event to every attached monitor. The empty-vector check
+    /// Hands an event to every attached monitor. The cached flag check
     /// is the "cheap enable flag": with no monitors attached this is a
     /// single branch.
     fn emit(&mut self, ev: MonitorEvent) {
-        if self.monitors.is_empty() {
+        if !self.monitors_on {
             return;
         }
         let at = self.now;
@@ -114,21 +151,36 @@ impl<P: Payload> Core<P> {
             delivered: self.delivered_pkts,
             dropped: self.dropped_pkts,
             queued_pkts: self.channels.iter().map(|c| c.queue.len() as u64).sum(),
-            pending_arrivals: self
-                .events
-                .iter()
-                .filter(|e| matches!(e.ev, Ev::Arrival { .. }))
-                .count() as u64,
+            pending_arrivals: self.pending_arrivals,
+            arena_live: self.arena.live() as u64,
         }
     }
 
-    fn schedule(&mut self, at: SimTime, ev: Ev<P>) {
+    #[inline]
+    fn schedule(&mut self, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.now, "scheduling into the past");
-        self.seq += 1;
-        self.events.push(EvEntry {
-            at,
-            seq: self.seq,
-            ev,
+        self.events.push(at, ev);
+    }
+
+    /// Takes a packet off a queue's head and puts it on the wire:
+    /// transmitter busy for the serialization time, arrival at the far end
+    /// after serialization + propagation. The packet parks in the arena
+    /// until its `Arrival` pops.
+    #[inline]
+    fn transmit(&mut self, ch: ChannelId, now: SimTime, pkt: Packet<P>) {
+        let c = &self.channels[ch.index()];
+        let ser = c.bandwidth.serialization_time(pkt.size);
+        let delay = c.delay;
+        let to = c.to;
+        let (flow, uid) = (pkt.flow, pkt.uid);
+        let pkt = self.arena.alloc(pkt);
+        self.pending_arrivals += 1;
+        self.schedule(now + ser, Ev::TxDone { ch });
+        self.schedule(now + ser + delay, Ev::Arrival { node: to, pkt });
+        self.emit(MonitorEvent::Dequeued {
+            channel: ch,
+            flow,
+            uid,
         });
     }
 
@@ -171,7 +223,7 @@ impl<P: Payload> Core<P> {
                     uid,
                     size,
                 });
-            } else if !self.monitors.is_empty() {
+            } else if self.monitors_on {
                 let len_after = self.channels[ch.index()].queue.len();
                 self.emit(MonitorEvent::Enqueued {
                     channel: ch,
@@ -206,7 +258,7 @@ impl<P: Payload> Core<P> {
             });
             return;
         }
-        if !self.monitors.is_empty() {
+        if self.monitors_on {
             let len_after = self.channels[ch.index()].queue.len();
             self.emit(MonitorEvent::Enqueued {
                 channel: ch,
@@ -219,42 +271,14 @@ impl<P: Payload> Core<P> {
         let c = &mut self.channels[ch.index()];
         c.busy = true;
         let head = c.queue.dequeue(now).expect("just enqueued");
-        let (h_flow, h_uid) = (head.flow, head.uid);
-        let ser = c.bandwidth.serialization_time(head.size);
-        let delay = c.delay;
-        let to = c.to;
-        self.schedule(now + ser, Ev::TxDone { ch });
-        self.schedule(
-            now + ser + delay,
-            Ev::Arrival {
-                node: to,
-                pkt: head,
-            },
-        );
-        self.emit(MonitorEvent::Dequeued {
-            channel: ch,
-            flow: h_flow,
-            uid: h_uid,
-        });
+        self.transmit(ch, now, head);
     }
 
     fn on_tx_done(&mut self, ch: ChannelId) {
         let now = self.now;
         let c = &mut self.channels[ch.index()];
         match c.queue.dequeue(now) {
-            Some(pkt) => {
-                let (flow, uid) = (pkt.flow, pkt.uid);
-                let ser = c.bandwidth.serialization_time(pkt.size);
-                let delay = c.delay;
-                let to = c.to;
-                self.schedule(now + ser, Ev::TxDone { ch });
-                self.schedule(now + ser + delay, Ev::Arrival { node: to, pkt });
-                self.emit(MonitorEvent::Dequeued {
-                    channel: ch,
-                    flow,
-                    uid,
-                });
-            }
+            Some(pkt) => self.transmit(ch, now, pkt),
             None => c.busy = false,
         }
     }
@@ -265,71 +289,138 @@ impl<P: Payload> Core<P> {
     ///
     /// Panics if the destination is unreachable from `node`.
     fn forward(&mut self, node: NodeId, pkt: Packet<P>) {
-        let set = &self.routes[node.index()][pkt.dst.index()];
-        let ch = match set.len() {
-            0 => panic!("no route from {node} to {}", pkt.dst),
-            1 => set[0],
-            n => {
-                // Deterministic per-flow ECMP: hash the flow label.
-                let h = splitmix64(pkt.flow.0 ^ 0x9e37_79b9_7f4a_7c15);
-                set[(h % n as u64) as usize]
-            }
-        };
+        let ch = self.route_out(node, pkt.dst, pkt.flow);
         self.channel_send(ch, self.now, pkt);
+    }
+
+    /// Picks the outgoing channel for `(node → dst)`, applying
+    /// deterministic per-flow ECMP over the equal-cost set.
+    fn route_out(&self, node: NodeId, dst: NodeId, flow: FlowId) -> ChannelId {
+        if self.kinds[dst.index()] != NodeKind::Host {
+            panic!("no route from {node} to {dst}");
+        }
+        let r = &self.routes;
+        let u = node.index();
+        // Direct-neighbor fast path: a one-hop route is strictly shorter
+        // than anything via a switch, so the equal-cost set is exactly
+        // the parallel edges to dst.
+        if let Some(set) = r.neighbor_edges[u].get(&dst.index_u32()) {
+            return match set.len() {
+                1 => set[0],
+                n => set[(ecmp_hash(flow) % n as u64) as usize],
+            };
+        }
+        // Remote destination: equal-cost next hops are the switch
+        // neighbors whose distance to dst is minimal. (A host neighbor
+        // can only be on a shortest path as the destination itself,
+        // which the fast path already handled.)
+        let sn = &r.switch_neighbors[u];
+        let mut best = u32::MAX;
+        let mut count = 0u64;
+        for &(v, _) in sn {
+            let d = r.dist[r.switch_row[v as usize] as usize][dst.index()];
+            if d < best {
+                best = d;
+                count = 1;
+            } else if d == best {
+                count += 1;
+            }
+        }
+        if best == u32::MAX {
+            panic!("no route from {node} to {dst}");
+        }
+        let choice = if count == 1 {
+            0
+        } else {
+            ecmp_hash(flow) % count
+        };
+        let mut seen = 0u64;
+        for &(v, ch) in sn {
+            if r.dist[r.switch_row[v as usize] as usize][dst.index()] == best {
+                if seen == choice {
+                    return ch;
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("equal-cost set smaller than counted")
     }
 
     fn build_routes(&mut self) {
         let n = self.kinds.len();
-        self.routes = vec![vec![Vec::new(); n]; n];
-        // BFS from every destination over reversed edges gives, for each
-        // node, the distance to the destination; next hops are the outgoing
-        // edges whose head is one step closer.
-        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (u, edges) in self.adjacency.iter().enumerate() {
-            for (v, _) in edges {
-                rev[v.index()].push(u);
+        let mut switch_row = vec![u32::MAX; n];
+        let mut rows = 0u32;
+        for (i, k) in self.kinds.iter().enumerate() {
+            if *k == NodeKind::Switch {
+                switch_row[i] = rows;
+                rows += 1;
             }
         }
-        let mut dist = vec![u32::MAX; n];
-        let mut queue = std::collections::VecDeque::new();
-        for dst in 0..n {
-            if self.kinds[dst] != NodeKind::Host {
+        // BFS from every switch over the topology, never expanding a
+        // host: hosts are reachable endpoints but cannot be transited.
+        let mut dist = Vec::with_capacity(rows as usize);
+        let mut queue = VecDeque::new();
+        for s in 0..n {
+            if switch_row[s] == u32::MAX {
                 continue;
             }
-            dist.iter_mut().for_each(|d| *d = u32::MAX);
-            dist[dst] = 0;
+            let mut d = vec![u32::MAX; n];
+            d[s] = 0;
             queue.clear();
-            queue.push_back(dst);
-            while let Some(u) = queue.pop_front() {
-                for &p in &rev[u] {
-                    if dist[p] == u32::MAX {
-                        dist[p] = dist[u] + 1;
-                        queue.push_back(p);
-                    }
-                }
-            }
-            for u in 0..n {
-                if u == dst || dist[u] == u32::MAX {
+            queue.push_back(s);
+            while let Some(x) = queue.pop_front() {
+                if self.kinds[x] == NodeKind::Host {
                     continue;
                 }
-                let mut set = Vec::new();
-                for &(v, ch) in &self.adjacency[u] {
-                    if dist[v.index()] != u32::MAX && dist[v.index()] + 1 == dist[u] {
-                        set.push(ch);
+                for &(v, _) in &self.adjacency[x] {
+                    let vi = v.index();
+                    if d[vi] == u32::MAX {
+                        d[vi] = d[x] + 1;
+                        queue.push_back(vi);
                     }
                 }
-                self.routes[u][dst] = set;
             }
+            dist.push(d);
         }
+        let mut neighbor_edges = Vec::with_capacity(n);
+        let mut switch_neighbors = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut ne: FastHashMap<u32, Vec<ChannelId>> = FastHashMap::default();
+            let mut sn = Vec::new();
+            for &(v, ch) in &self.adjacency[u] {
+                ne.entry(v.index_u32()).or_default().push(ch);
+                if self.kinds[v.index()] == NodeKind::Switch {
+                    sn.push((v.index_u32(), ch));
+                }
+            }
+            neighbor_edges.push(ne);
+            switch_neighbors.push(sn);
+        }
+        self.routes = RouteTable {
+            switch_row,
+            dist,
+            neighbor_edges,
+            switch_neighbors,
+        };
         self.routes_built = true;
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
+/// Deterministic per-flow ECMP hash: splitmix64 of the flow label.
+#[inline]
+fn ecmp_hash(flow: FlowId) -> u64 {
+    splitmix64(flow.0 ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+fn splitmix64(x: u64) -> u64 {
+    crate::hash::mix64(x)
+}
+
+impl NodeId {
+    #[inline]
+    fn index_u32(self) -> u32 {
+        self.0
+    }
 }
 
 /// The agent's view of the simulator during a callback: clock, packet
@@ -380,26 +471,41 @@ impl<P: Payload> Ctx<'_, P> {
                 size: pkt.size,
             });
         }
-        self.core.emit(MonitorEvent::Injected {
-            node: self.node,
-            flow: pkt.flow,
-            uid: pkt.uid,
-            size: pkt.size,
-        });
+        if self.core.monitors_on {
+            self.core.emit(MonitorEvent::Injected {
+                node: self.node,
+                flow: pkt.flow,
+                uid: pkt.uid,
+                size: pkt.size,
+            });
+        }
         self.core.forward(self.node, pkt);
     }
 
     /// Reports a protocol-level event (window update, probe transition)
     /// to any attached invariant monitors. A no-op — one branch — when
-    /// no monitor is attached; see [`Ctx::monitoring`].
+    /// no monitor is attached; see [`Ctx::monitoring`]. Prefer
+    /// [`Ctx::emit_monitor_with`] when building the event costs anything.
     pub fn emit_monitor(&mut self, ev: MonitorEvent) {
         self.core.emit(ev);
+    }
+
+    /// Reports a protocol-level event, constructing it only when a
+    /// monitor is attached. When monitoring is detached this is exactly
+    /// one branch: the closure is never called, so its captures are
+    /// never read and its event is never built.
+    #[inline]
+    pub fn emit_monitor_with(&mut self, f: impl FnOnce() -> MonitorEvent) {
+        if self.core.monitors_on {
+            let ev = f();
+            self.core.emit(ev);
+        }
     }
 
     /// Whether any invariant monitor is attached. Protocol code can use
     /// this to skip building expensive event payloads.
     pub fn monitoring(&self) -> bool {
-        !self.core.monitors.is_empty()
+        self.core.monitors_on
     }
 
     /// Schedules `on_timer(token)` after `delay`. Returns a handle for
@@ -461,20 +567,23 @@ impl<P: Payload> Simulator<P> {
         Simulator {
             core: Core {
                 now: SimTime::ZERO,
-                seq: 0,
-                events: BinaryHeap::new(),
+                events: EventQueue::new(),
+                arena: PacketArena::new(),
                 kinds: Vec::new(),
                 channels: Vec::new(),
                 adjacency: Vec::new(),
-                routes: Vec::new(),
+                routes: RouteTable::default(),
                 routes_built: false,
-                cancelled: HashSet::new(),
+                cancelled: FastHashSet::default(),
                 next_timer: 0,
                 delivered_pkts: 0,
                 delivered_bytes: 0,
                 injected_pkts: 0,
                 dropped_pkts: 0,
+                pending_arrivals: 0,
+                events_processed: 0,
                 next_uid: 0,
+                monitors_on: false,
                 ptrace: None,
                 monitors: Vec::new(),
             },
@@ -551,12 +660,14 @@ impl<P: Payload> Simulator<P> {
                 size: pkt.size,
             });
         }
-        self.core.emit(MonitorEvent::Injected {
-            node: src,
-            flow: pkt.flow,
-            uid: pkt.uid,
-            size: pkt.size,
-        });
+        if self.core.monitors_on {
+            self.core.emit(MonitorEvent::Injected {
+                node: src,
+                flow: pkt.flow,
+                uid: pkt.uid,
+                size: pkt.size,
+            });
+        }
         self.core.forward(src, pkt);
     }
 
@@ -573,6 +684,26 @@ impl<P: Payload> Simulator<P> {
     /// Total bytes delivered to host agents so far.
     pub fn delivered_bytes(&self) -> u64 {
         self.core.delivered_bytes
+    }
+
+    /// Events dispatched since the start of the simulation. Divided by
+    /// wall time this is the engine's events/sec throughput, the metric
+    /// the perf-regression layer tracks.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Packets currently resident in the packet arena (on the wire or in
+    /// a transmitter). Equals `pending_arrivals` at all times and zero
+    /// after a drained run; see [`crate::arena::PacketArena`].
+    pub fn arena_live(&self) -> usize {
+        self.core.arena.live()
+    }
+
+    /// Peak concurrent arena population over the run, i.e. the maximum
+    /// number of packets simultaneously on the wire.
+    pub fn arena_high_water(&self) -> usize {
+        self.core.arena.high_water()
     }
 
     /// Statistics of a channel's queue, with the occupancy integral settled
@@ -610,11 +741,12 @@ impl<P: Payload> Simulator<P> {
     /// cannot change simulation results.
     pub fn attach_monitor(&mut self, monitor: Box<dyn InvariantMonitor>) {
         self.core.monitors.push(monitor);
+        self.core.monitors_on = true;
     }
 
     /// Whether any invariant monitor is attached.
     pub fn monitors_enabled(&self) -> bool {
-        !self.core.monitors.is_empty()
+        self.core.monitors_on
     }
 
     /// All violations recorded so far, across every attached monitor.
@@ -728,41 +860,50 @@ impl<P: Payload> Simulator<P> {
     /// clock to `horizon` (when finite) so statistics settle consistently.
     pub fn run_until(&mut self, horizon: SimTime) {
         self.ensure_ready();
-        while let Some(entry) = self.core.events.peek() {
-            if entry.at > horizon {
+        while let Some(at) = self.core.events.peek_at() {
+            if at > horizon {
                 break;
             }
-            let entry = self.core.events.pop().expect("peeked");
-            self.core.emit(MonitorEvent::Clock { to: entry.at });
-            self.core.now = entry.at;
-            match entry.ev {
+            let (at, ev) = self.core.events.pop().expect("peeked");
+            if self.core.monitors_on {
+                self.core.emit(MonitorEvent::Clock { to: at });
+            }
+            self.core.now = at;
+            self.core.events_processed += 1;
+            match ev {
                 Ev::TxDone { ch } => self.core.on_tx_done(ch),
-                Ev::Arrival { node, pkt } => match self.core.kinds[node.index()] {
-                    NodeKind::Switch => self.core.forward(node, pkt),
-                    NodeKind::Host => {
-                        self.core.delivered_pkts += 1;
-                        self.core.delivered_bytes += pkt.size as u64;
-                        if let Some(t) = &mut self.core.ptrace {
-                            t.record(PacketEvent {
-                                at: self.core.now,
-                                kind: PacketEventKind::Delivered { node },
-                                src: pkt.src,
-                                dst: pkt.dst,
-                                flow: pkt.flow,
-                                size: pkt.size,
-                            });
+                Ev::Arrival { node, pkt } => {
+                    self.core.pending_arrivals -= 1;
+                    let pkt = self.core.arena.free(pkt);
+                    match self.core.kinds[node.index()] {
+                        NodeKind::Switch => self.core.forward(node, pkt),
+                        NodeKind::Host => {
+                            self.core.delivered_pkts += 1;
+                            self.core.delivered_bytes += pkt.size as u64;
+                            if let Some(t) = &mut self.core.ptrace {
+                                t.record(PacketEvent {
+                                    at: self.core.now,
+                                    kind: PacketEventKind::Delivered { node },
+                                    src: pkt.src,
+                                    dst: pkt.dst,
+                                    flow: pkt.flow,
+                                    size: pkt.size,
+                                });
+                            }
+                            if self.core.monitors_on {
+                                self.core.emit(MonitorEvent::Delivered {
+                                    node,
+                                    flow: pkt.flow,
+                                    uid: pkt.uid,
+                                    size: pkt.size,
+                                });
+                            }
+                            self.dispatch(node, |agent, ctx| agent.on_packet(ctx, pkt));
                         }
-                        self.core.emit(MonitorEvent::Delivered {
-                            node,
-                            flow: pkt.flow,
-                            uid: pkt.uid,
-                            size: pkt.size,
-                        });
-                        self.dispatch(node, |agent, ctx| agent.on_packet(ctx, pkt));
                     }
-                },
+                }
                 Ev::Timer { node, token, id } => {
-                    if self.core.cancelled.remove(&id) {
+                    if !self.core.cancelled.is_empty() && self.core.cancelled.remove(&id) {
                         continue;
                     }
                     self.dispatch(node, |agent, ctx| agent.on_timer(ctx, token));
@@ -772,7 +913,7 @@ impl<P: Payload> Simulator<P> {
         if horizon != SimTime::MAX && horizon > self.core.now {
             self.core.now = horizon;
         }
-        if !self.core.monitors.is_empty() {
+        if self.core.monitors_on {
             let audit = self.core.audit();
             let at = self.core.now;
             let mut monitors = std::mem::take(&mut self.core.monitors);
@@ -1046,6 +1187,23 @@ mod tests {
         sim.inject(h0, Packet::new(h0, h1, FlowId(0), 100, TagPayload(0)));
     }
 
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn switch_destination_panics() {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let h0 = sim.add_host(Box::new(SinkAgent::default()));
+        let sw = sim.add_switch();
+        sim.connect(
+            h0,
+            sw,
+            Bandwidth::gbps(1),
+            Dur::from_micros(1),
+            QueueConfig::default(),
+        );
+        // Switches terminate nothing: only hosts are valid destinations.
+        sim.inject(h0, Packet::new(h0, sw, FlowId(0), 100, TagPayload(0)));
+    }
+
     /// Counts monitor events and records violations on demand; used to
     /// test the emission hooks themselves.
     #[derive(Debug, Default)]
@@ -1164,6 +1322,50 @@ mod tests {
     }
 
     #[test]
+    fn arena_is_empty_after_a_drained_run() {
+        let (mut sim, dst, _) = congested_star(5, 10, 20);
+        sim.run();
+        assert_eq!(sim.arena_live(), 0, "every in-flight packet was freed");
+        let audit = sim.audit_stats();
+        assert_eq!(audit.arena_live, 0);
+        assert_eq!(audit.pending_arrivals, 0);
+        assert!(sim.arena_high_water() > 0, "packets did traverse the wire");
+        assert_eq!(sim.host::<SinkAgent>(dst).received, audit.delivered);
+    }
+
+    #[test]
+    fn arena_live_equals_pending_arrivals_mid_run() {
+        let (mut sim, senders, dst, _) = star(3);
+        for (i, &s) in senders.iter().enumerate() {
+            for _ in 0..10 {
+                sim.inject(
+                    s,
+                    Packet::new(s, dst, FlowId(i as u64), 1460, TagPayload(0)),
+                );
+            }
+        }
+        // Stop mid-flight: packets are on the wire at this instant.
+        sim.run_until(SimTime::from_nanos(60_000));
+        let audit = sim.audit_stats();
+        assert_eq!(audit.arena_live, audit.pending_arrivals);
+        assert!(audit.arena_live > 0, "horizon chosen mid-flight");
+        sim.run();
+        assert_eq!(sim.audit_stats().arena_live, 0);
+    }
+
+    #[test]
+    fn events_processed_counts_dispatches() {
+        let (mut sim, senders, dst, _) = star(1);
+        sim.inject(
+            senders[0],
+            Packet::new(senders[0], dst, FlowId(1), 1460, TagPayload(0)),
+        );
+        sim.run();
+        // One packet over two hops: 2 arrivals + 2 tx-done events.
+        assert_eq!(sim.events_processed(), 4);
+    }
+
+    #[test]
     fn overadmit_fault_exceeds_capacity() {
         let (mut sim, dst, sw_to_dst) = congested_star(5, 3, 10);
         sim.inject_queue_overadmit(sw_to_dst, 2);
@@ -1219,5 +1421,56 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// An agent that reports through `emit_monitor_with`, counting how
+    /// many times its closure actually ran.
+    #[derive(Debug, Default)]
+    struct ClosureCountingAgent {
+        closures_run: u64,
+    }
+    impl Agent<TagPayload> for ClosureCountingAgent {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, TagPayload>, pkt: Packet<TagPayload>) {
+            let runs = &mut self.closures_run;
+            ctx.emit_monitor_with(|| {
+                *runs += 1;
+                MonitorEvent::CwndUpdate {
+                    flow: pkt.flow,
+                    cwnd: 1.0,
+                    min_cwnd: 1.0,
+                    max_cwnd: 64.0,
+                }
+            });
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, TagPayload>, _token: u64) {}
+    }
+
+    #[test]
+    fn emit_monitor_with_skips_closure_when_detached() {
+        let run = |monitored: bool| {
+            let mut sim: Simulator<TagPayload> = Simulator::new();
+            let sw = sim.add_switch();
+            let src = sim.add_host(Box::new(SinkAgent::default()));
+            let dst = sim.add_host(Box::new(ClosureCountingAgent::default()));
+            let cfg = QueueConfig::default();
+            sim.connect(src, sw, Bandwidth::gbps(1), Dur::from_micros(5), cfg);
+            sim.connect(dst, sw, Bandwidth::gbps(1), Dur::from_micros(5), cfg);
+            if monitored {
+                sim.attach_monitor(Box::new(CountingMonitor::default()));
+            }
+            for i in 0..7 {
+                sim.inject(src, Packet::new(src, dst, FlowId(i), 1000, TagPayload(0)));
+            }
+            sim.run();
+            (
+                sim.host::<ClosureCountingAgent>(dst).closures_run,
+                sim.now(),
+            )
+        };
+        let (unmon_closures, unmon_now) = run(false);
+        let (mon_closures, mon_now) = run(true);
+        assert_eq!(unmon_closures, 0, "detached run must build zero events");
+        assert_eq!(mon_closures, 7, "monitored run builds one per packet");
+        assert_eq!(unmon_now, mon_now, "monitoring never perturbs the run");
     }
 }

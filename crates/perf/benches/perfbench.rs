@@ -1,0 +1,111 @@
+//! Criterion benchmarks for the event engine: the same hot paths the
+//! `trim-perf` binary baselines, under the offline criterion shim.
+//!
+//! Micro: event schedule/pop, drop-tail enqueue/dequeue, RTT estimator
+//! update. Macro: the 1k/10k/100k-flow incasts and persistent-connection
+//! churn (the large scales take tens of seconds per iteration — this is
+//! a manual `cargo bench` target, not part of `cargo test`).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use netsim::queue::DropTailQueue;
+use netsim::time::{Dur, SimTime};
+use netsim::{EventQueue, FlowId, Packet, QueueConfig, Simulator, SinkAgent, TagPayload};
+use trim_perf::churn_macro;
+use trim_tcp::rto::RtoEstimator;
+use trim_workload::scale::{run_scale_incast, ScaleConfig};
+
+/// Steady-state schedule/pop churn on a pre-filled event queue.
+fn bench_eventq(c: &mut Criterion) {
+    c.bench_function("eventq/push_pop_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut q: EventQueue<u64> = EventQueue::with_capacity(4096);
+                for i in 0..4096u64 {
+                    q.push(SimTime::from_nanos(i * 7), i);
+                }
+                q
+            },
+            |mut q| {
+                let mut t = 4096u64 * 7;
+                for i in 0..1000u64 {
+                    t += 13 + (i % 29);
+                    q.push(SimTime::from_nanos(t), i);
+                    black_box(q.pop());
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Drop-tail enqueue/dequeue throughput.
+fn bench_queue(c: &mut Criterion) {
+    let mut sim: Simulator<TagPayload> = Simulator::new();
+    let a = sim.add_host(Box::new(SinkAgent::default()));
+    let z = sim.add_host(Box::new(SinkAgent::default()));
+    c.bench_function("queue/enqueue_dequeue_1k", |b| {
+        b.iter_batched(
+            || DropTailQueue::<TagPayload>::new(QueueConfig::drop_tail(512)),
+            |mut q| {
+                for i in 0..1000u64 {
+                    let t = SimTime::from_nanos(i * 100);
+                    q.enqueue(t, Packet::new(a, z, FlowId(0), 1460, TagPayload(i)));
+                    if i % 2 == 1 {
+                        black_box(q.dequeue(t));
+                    }
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// RFC 6298 estimator update (per-ACK hot path).
+fn bench_rto(c: &mut Criterion) {
+    c.bench_function("rto/observe_1k", |b| {
+        b.iter_batched(
+            || RtoEstimator::new(Dur::from_millis(1), Dur::from_secs(60)),
+            |mut e| {
+                for i in 0..1000u64 {
+                    e.observe(Dur::from_micros(100 + (i % 50)));
+                    black_box(e.rto());
+                }
+                e
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// End-to-end incast at each scale point.
+fn bench_incast(c: &mut Criterion) {
+    for (name, flows) in [
+        ("sim/incast_1k", 1_000usize),
+        ("sim/incast_10k", 10_000),
+        ("sim/incast_100k", 100_000),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(run_scale_incast(&ScaleConfig::with_flows(flows))).events)
+        });
+    }
+}
+
+/// Persistent-connection churn (timer-heavy steady state).
+fn bench_churn(c: &mut Criterion) {
+    c.bench_function("sim/churn_200x25", |b| {
+        b.iter(|| black_box(churn_macro(200, 25, 8_000)).events)
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_eventq,
+    bench_queue,
+    bench_rto,
+    bench_incast,
+    bench_churn
+);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! `trim-perf` — measure the event engine and maintain its committed
+//! performance baselines.
+//!
+//! ```text
+//! trim-perf                  # micro suite + incast 1k/10k/100k + churn
+//! trim-perf --quick          # micro suite + incast 1k + churn
+//! trim-perf --smoke          # re-measure the 1k incast, compare vs the
+//!                            # committed baseline, exit 1 on >5x regression
+//! trim-perf --out DIR        # results root (default results/)
+//! trim-perf --baseline FILE  # smoke baseline
+//!                            # (default results/perf/incast_1k.json)
+//! ```
+//!
+//! Full runs write one JSON per benchmark under `<out>/perf/`; `--smoke`
+//! writes nothing. Wall-clock numbers live only in these files, never in
+//! campaign CSVs, so the golden artifacts stay byte-identical.
+
+use std::process::ExitCode;
+
+use trim_harness::ResultStore;
+use trim_perf::{
+    baseline_events_per_sec, churn_macro, incast_macro, macro_json, micro_json, micro_suite,
+    smoke_verdict, SmokeVerdict, INCAST_POINTS, REGRESSION_FACTOR,
+};
+use trim_workload::scale::ScaleConfig;
+
+struct Options {
+    smoke: bool,
+    quick: bool,
+    out: String,
+    baseline: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        smoke: false,
+        quick: false,
+        out: "results".to_string(),
+        baseline: "results/perf/incast_1k.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = args.next().ok_or("--out needs a directory")?,
+            "--baseline" => opts.baseline = args.next().ok_or("--baseline needs a file")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: trim-perf [--smoke] [--quick] [--out DIR] [--baseline FILE]\n\
+                     Measures the event engine; writes JSON baselines under <out>/perf/."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}' (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_macro(r: &trim_perf::MacroResult) {
+    println!(
+        "perf {:<12} flows {:>7}  events {:>10}  wall {:>7.2}s  {:>12.0} events/s  \
+         completed {}  drops {}  rtos {}",
+        r.name, r.flows, r.events, r.wall_s, r.events_per_sec, r.completed, r.dropped, r.timeouts,
+    );
+}
+
+fn smoke(opts: &Options) -> ExitCode {
+    let baseline = match std::fs::read_to_string(&opts.baseline) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "trim-perf: cannot read baseline {}: {e}\n\
+                 (run `trim-perf` once and commit results/perf/ to create it)",
+                opts.baseline
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(base_eps) = baseline_events_per_sec(&baseline) else {
+        eprintln!(
+            "trim-perf: baseline {} has no events_per_sec field",
+            opts.baseline
+        );
+        return ExitCode::FAILURE;
+    };
+    let r = incast_macro("incast_1k", &ScaleConfig::with_flows(1_000));
+    print_macro(&r);
+    let ratio = r.events_per_sec / base_eps;
+    println!(
+        "smoke: {:.0} events/s vs baseline {base_eps:.0} ({:.2}x); \
+         hard floor is baseline/{REGRESSION_FACTOR}",
+        r.events_per_sec, ratio,
+    );
+    match smoke_verdict(r.events_per_sec, base_eps) {
+        SmokeVerdict::Ok => {
+            if ratio < 1.0 {
+                println!("smoke: slower than baseline but within the informational threshold");
+            }
+            ExitCode::SUCCESS
+        }
+        SmokeVerdict::Regressed => {
+            eprintln!(
+                "trim-perf: PERF REGRESSION — 1k-flow incast runs {:.1}x slower than the \
+                 committed baseline",
+                1.0 / ratio
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn full(opts: &Options) -> ExitCode {
+    let store = ResultStore::new(&opts.out);
+    let mut failures = 0;
+    let mut write = |rel: String, contents: String| {
+        if let Err(e) = store.write_text_artifact(&rel, &contents) {
+            eprintln!("trim-perf: writing {rel}: {e}");
+            failures += 1;
+        }
+    };
+
+    let micro = micro_suite(2_000_000);
+    for m in &micro {
+        println!(
+            "perf micro/{:<22} ops {:>9}  wall {:>6.2}s  {:>12.0} ops/s",
+            m.name, m.ops, m.wall_s, m.ops_per_sec
+        );
+    }
+    write("perf/micro.json".into(), micro_json(&micro));
+
+    for &(name, flows) in INCAST_POINTS {
+        if opts.quick && flows > 1_000 {
+            continue;
+        }
+        let r = incast_macro(name, &ScaleConfig::with_flows(flows));
+        print_macro(&r);
+        write(format!("perf/{name}.json"), macro_json(&r));
+    }
+
+    let churn = churn_macro(200, 25, 8_000);
+    print_macro(&churn);
+    write("perf/churn.json".into(), macro_json(&churn));
+
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("trim-perf: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.smoke {
+        smoke(&opts)
+    } else {
+        full(&opts)
+    }
+}

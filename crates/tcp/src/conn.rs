@@ -240,25 +240,20 @@ impl Connection {
     /// Reports the current window to any attached invariant monitors
     /// (`cwnd-range` checks it stays within `[min_cwnd, max_cwnd]`).
     fn emit_cwnd(&self, ctx: &mut Ctx<'_, Segment>) {
-        if ctx.monitoring() {
-            ctx.emit_monitor(MonitorEvent::CwndUpdate {
-                flow: self.flow,
-                cwnd: self.win.cwnd,
-                min_cwnd: self.win.min_cwnd,
-                max_cwnd: self.win.max_cwnd,
-            });
-        }
+        let (flow, win) = (self.flow, &self.win);
+        ctx.emit_monitor_with(|| MonitorEvent::CwndUpdate {
+            flow,
+            cwnd: win.cwnd,
+            min_cwnd: win.min_cwnd,
+            max_cwnd: win.max_cwnd,
+        });
     }
 
     /// Reports an Algorithm-1 probe state-machine transition to any
     /// attached invariant monitors (`probe-legality` checks ordering).
     fn emit_probe(&self, ctx: &mut Ctx<'_, Segment>, transition: ProbeTransition) {
-        if ctx.monitoring() {
-            ctx.emit_monitor(MonitorEvent::ProbeTransition {
-                flow: self.flow,
-                transition,
-            });
-        }
+        let flow = self.flow;
+        ctx.emit_monitor_with(|| MonitorEvent::ProbeTransition { flow, transition });
     }
 
     fn token(&self, kind: u64) -> u64 {
@@ -353,12 +348,10 @@ impl Connection {
                     // Algorithm 1 line 6: suspend until the probe result.
                     self.win.suspended = true;
                     let flow = self.flow;
-                    if ctx.monitoring() {
-                        ctx.emit_monitor(MonitorEvent::ProbeTransition {
-                            flow,
-                            transition: ProbeTransition::Suspend,
-                        });
-                    }
+                    ctx.emit_monitor_with(|| MonitorEvent::ProbeTransition {
+                        flow,
+                        transition: ProbeTransition::Suspend,
+                    });
                 }
             }
         }

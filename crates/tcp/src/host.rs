@@ -2,8 +2,7 @@
 //! connections and receivers living on one simulated host, and injects
 //! scheduled application trains.
 
-use std::collections::HashMap;
-
+use netsim::hash::FastHashMap;
 use netsim::prelude::*;
 use netsim::time::SimTime;
 
@@ -82,12 +81,14 @@ struct ResponseSequence {
 pub struct TcpHost {
     senders: Vec<Connection>,
     receivers: Vec<Receiver>,
-    recv_by_flow: HashMap<u64, usize>,
-    send_by_flow: HashMap<u64, usize>,
+    // Flow demux maps are on the per-packet hot path; FastHashMap keeps
+    // the lookups cheap and deterministic. Neither map is ever iterated.
+    recv_by_flow: FastHashMap<u64, usize>,
+    send_by_flow: FastHashMap<u64, usize>,
     schedule: Vec<AppEvent>,
     sequences: Vec<ResponseSequence>,
     /// sender_idx -> sequence index, for completion-driven advance.
-    seq_by_sender: HashMap<usize, usize>,
+    seq_by_sender: FastHashMap<usize, usize>,
 }
 
 impl TcpHost {

@@ -13,6 +13,8 @@
 //!   generic flow-wiring helpers for arbitrary topologies;
 //! - [`incast`] — partition/aggregate query fan-in with query-completion
 //!   metrics (an extension beyond the paper's figures);
+//! - [`scale`] — engine-scale incast (up to 100k flows) backing the
+//!   `trim-perf` macro-benchmarks and the `large_scale_100k` campaign;
 //! - [`metrics`] — completion-time summaries (ACT/ARCT, tails, CDFs).
 //!
 //! ```
@@ -34,6 +36,7 @@ pub mod distributions;
 pub mod http;
 pub mod incast;
 pub mod metrics;
+pub mod scale;
 pub mod scenario;
 pub mod trace;
 

@@ -1,0 +1,157 @@
+//! Engine-scale incast: N senders (up to 100 000) fanning into one
+//! front-end through a single switch.
+//!
+//! This is the stress workload behind the `trim-perf` macro-benchmarks
+//! and the `large_scale_100k` campaign: it exists to exercise the event
+//! engine at flow counts far beyond the paper's figures, so the
+//! topology is the plain star and every knob lives in [`ScaleConfig`].
+//! The report carries only deterministic quantities (completions,
+//! packet audit, event count) — wall-clock timing is layered on top by
+//! `trim-perf` and never enters campaign artifacts.
+
+use netsim::prelude::*;
+use netsim::time::SimTime;
+use netsim::topology::{self, LinkSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
+
+use crate::metrics::Summary;
+use crate::scenario::{schedule_train, wire_flow};
+
+/// Parameters of one scale-incast run.
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// Number of senders (= flows), each on its own host.
+    pub flows: usize,
+    /// Application bytes per flow (one train per sender).
+    pub bytes_per_flow: u64,
+    /// Train starts are drawn uniformly from `[0, start_window)` so the
+    /// first round-trip is not one synchronized 100k-packet burst.
+    pub start_window: Dur,
+    /// Hard simulation horizon; stragglers past it count as incomplete.
+    pub horizon: Dur,
+    /// RTO floor (the paper's datacenter tuning, not the 200 ms WAN
+    /// default, so loss recovery does not dominate the run).
+    pub min_rto: Dur,
+    /// Seed for the start-time draw.
+    pub seed: u64,
+    /// Congestion control on every sender.
+    pub cc: CcKind,
+}
+
+impl ScaleConfig {
+    /// A scale point with the benchmark defaults: per-flow bytes shrink
+    /// as the flow count grows so every point moves a comparable total
+    /// volume (~146 MB) through the 1 Gbps bottleneck.
+    pub fn with_flows(flows: usize) -> Self {
+        ScaleConfig {
+            flows,
+            bytes_per_flow: (146_000_000 / flows.max(1) as u64).max(1_460),
+            start_window: Dur::from_millis(100),
+            horizon: Dur::from_secs(10),
+            min_rto: Dur::from_millis(20),
+            seed: 0x5ca1e,
+            cc: CcKind::Reno,
+        }
+    }
+}
+
+/// Deterministic outcome of one scale-incast run.
+#[derive(Clone, Debug)]
+pub struct ScaleReport {
+    /// Flows whose train completed within the horizon.
+    pub completed: usize,
+    /// Packet audit at the horizon (injected/delivered/dropped/...).
+    pub audit: AuditStats,
+    /// Retransmission timeouts fired across all senders.
+    pub timeouts: u64,
+    /// Events the engine dispatched.
+    pub events: u64,
+    /// Peak concurrent on-the-wire packets (arena high-water mark).
+    pub arena_high_water: usize,
+    /// Completion-time summary of the finished trains (seconds).
+    pub act: Summary,
+}
+
+/// Runs the scale incast: `cfg.flows` senders each push one train to
+/// the front-end of a 1 Gbps star.
+///
+/// Deterministic: a pure function of `cfg`.
+pub fn run_scale_incast(cfg: &ScaleConfig) -> ScaleReport {
+    let mut sim: Simulator<Segment> = Simulator::new();
+    let link = LinkSpec::new(
+        Bandwidth::gbps(1),
+        Dur::from_micros(50),
+        QueueConfig::drop_tail(100),
+    );
+    let net = topology::many_to_one(&mut sim, cfg.flows, link, |_| Box::new(TcpHost::new()));
+    let tcp = TcpConfig::default().with_min_rto(cfg.min_rto);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let window = cfg.start_window.as_nanos();
+    for (i, &s) in net.senders.iter().enumerate() {
+        let idx = wire_flow(&mut sim, FlowId(i as u64), s, net.front_end, tcp, &cfg.cc);
+        let at = SimTime::from_nanos(rng.random_range(0..window.max(1)));
+        schedule_train(
+            &mut sim,
+            s,
+            idx,
+            crate::TrainSpec {
+                at,
+                bytes: cfg.bytes_per_flow,
+            },
+        );
+    }
+    sim.run_until(SimTime::ZERO + cfg.horizon);
+
+    let mut times: Vec<Dur> = Vec::new();
+    let mut timeouts = 0u64;
+    for &s in &net.senders {
+        let conn = sim.host::<TcpHost>(s).connection(0);
+        timeouts += conn.stats().timeouts;
+        times.extend(conn.completed_trains().iter().map(|t| t.completion_time()));
+    }
+    ScaleReport {
+        completed: times.len(),
+        audit: sim.audit_stats(),
+        timeouts,
+        events: sim.events_processed(),
+        arena_high_water: sim.arena_high_water(),
+        act: Summary::of(&times),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_incast_completes_every_flow() {
+        let mut cfg = ScaleConfig::with_flows(50);
+        cfg.bytes_per_flow = 10_000;
+        let r = run_scale_incast(&cfg);
+        assert_eq!(r.completed, 50, "all 50 trains finish: {r:?}");
+        assert!(r.events > 0);
+        assert!(r.arena_high_water > 0);
+        assert_eq!(r.audit.arena_live, 0, "arena drains with the run");
+        assert!(r.act.mean > 0.0);
+    }
+
+    #[test]
+    fn scale_incast_is_deterministic() {
+        let cfg = ScaleConfig::with_flows(120);
+        let a = run_scale_incast(&cfg);
+        let b = run_scale_incast(&cfg);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.audit.delivered, b.audit.delivered);
+        assert_eq!(a.audit.dropped, b.audit.dropped);
+        assert_eq!(a.act.mean, b.act.mean);
+    }
+
+    #[test]
+    fn per_flow_bytes_shrink_with_scale() {
+        assert_eq!(ScaleConfig::with_flows(1_000).bytes_per_flow, 146_000);
+        assert_eq!(ScaleConfig::with_flows(100_000).bytes_per_flow, 1_460);
+    }
+}

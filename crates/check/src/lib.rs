@@ -27,8 +27,8 @@ pub mod monitors;
 
 pub use golden::{compare_csv_files, compare_csv_text, Mismatch, Tolerance};
 pub use monitors::{
-    standard_monitors, CwndRange, FifoOrder, MonotonicTime, PacketConservation, ProbeLegality,
-    QueueBound,
+    standard_monitors, AckReductionBound, CwndRange, FifoOrder, MonotonicTime, PacketConservation,
+    ProbeLegality, ProbeWindow, QueueBound,
 };
 
 use netsim::{InvariantMonitor, Payload, Simulator};
@@ -72,6 +72,44 @@ pub fn violation_count(monitors: &[Box<dyn InvariantMonitor>]) -> usize {
     monitors.iter().map(|m| m.violations().len()).sum()
 }
 
+/// One failed oracle check: which oracle, and what it saw.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OracleFailure {
+    /// Name of the oracle that failed.
+    pub oracle: &'static str,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// A post-run differential oracle: where an [`InvariantMonitor`] watches
+/// the live event stream, an oracle inspects a finished run's summary
+/// (`S` is whatever the caller can produce — a scenario report, a trace,
+/// a measured utilization) and reports every disagreement with the
+/// model's predictions. Oracles must not panic; return one
+/// [`OracleFailure`] per independent problem so a single run surfaces
+/// them all.
+pub trait Oracle<S> {
+    /// A short stable name, used in failure reports.
+    fn name(&self) -> &'static str;
+    /// Checks `subject`, appending one failure per disagreement.
+    fn check(&self, subject: &S, failures: &mut Vec<OracleFailure>);
+}
+
+/// Runs every oracle against `subject` and collects the failures.
+pub fn run_oracles<S>(subject: &S, oracles: &[&dyn Oracle<S>]) -> Vec<OracleFailure> {
+    let mut failures = Vec::new();
+    for o in oracles {
+        o.check(subject, &mut failures);
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,9 +125,35 @@ mod tests {
             "monotonic-time",
             "cwnd-range",
             "probe-legality",
+            "ack-reduction-bound",
+            "probe-window",
         ] {
             assert!(names.contains(&expected), "missing monitor {expected}");
         }
+    }
+
+    #[test]
+    fn run_oracles_collects_failures_from_every_oracle() {
+        struct AtMost(u32);
+        impl Oracle<u32> for AtMost {
+            fn name(&self) -> &'static str {
+                "at-most"
+            }
+            fn check(&self, subject: &u32, failures: &mut Vec<OracleFailure>) {
+                if *subject > self.0 {
+                    failures.push(OracleFailure {
+                        oracle: self.name(),
+                        detail: format!("{subject} > {}", self.0),
+                    });
+                }
+            }
+        }
+        let (lo, hi) = (AtMost(3), AtMost(100));
+        assert!(run_oracles(&2, &[&lo, &hi]).is_empty());
+        let failures = run_oracles(&7, &[&lo, &hi]);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].oracle, "at-most");
+        assert!(failures[0].to_string().contains("7 > 3"));
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub fn standard_monitors() -> Vec<Box<dyn InvariantMonitor>> {
         Box::new(MonotonicTime::new()),
         Box::new(CwndRange::new()),
         Box::new(ProbeLegality::new()),
+        Box::new(AckReductionBound::new()),
+        Box::new(ProbeWindow::new()),
     ]
 }
 
@@ -398,6 +400,124 @@ impl InvariantMonitor for ProbeLegality {
     }
 }
 
+/// Differential bound on per-ACK window reductions (paper Eq. 2–3):
+/// processing a single ACK may never cut the congestion window below
+/// legacy TCP's halving of the pre-ACK window.
+///
+/// TRIM's delay-based scale factor `1 - ep/2` is strictly greater than
+/// 1/2 for any finite RTT, DCTCP cuts by at most `alpha/2 <= 1/2`, and
+/// L2DCT by at most `alpha * b_c / 2 <= 1/2`, so `after >= before / 2`
+/// holds for every controller in the workspace. Probe-echo ACKs are
+/// exempt: Algorithm-1 probe resolution *restores* an inherited window
+/// from the suspended floor, which is not a congestion reduction.
+#[derive(Debug, Default)]
+pub struct AckReductionBound {
+    violations: Vec<Violation>,
+}
+
+impl AckReductionBound {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantMonitor for AckReductionBound {
+    fn name(&self) -> &'static str {
+        "ack-reduction-bound"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        if let MonitorEvent::AckWindow {
+            flow,
+            before,
+            after,
+            probe_echo: false,
+        } = ev
+        {
+            if !after.is_finite() || *after < before / 2.0 - CWND_EPS {
+                self.violations.push(Violation {
+                    at,
+                    monitor: "ack-reduction-bound",
+                    flow: Some(*flow),
+                    detail: format!(
+                        "one ACK cut cwnd {before} -> {after}, below the \
+                         legacy-TCP halving floor {}",
+                        before / 2.0
+                    ),
+                });
+            }
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Checks Algorithm 1's probe window: when a flow enters the probe
+/// phase (`ProbeTransition::Start`), the very next window report from
+/// that flow must sit at the configured floor (`cwnd == min_cwnd`, the
+/// paper's 2 segments) — probing is done with the minimum window, never
+/// with leftover congestion window.
+///
+/// Only the first `CwndUpdate` after `Start` is checked: the transport
+/// reports the collapsed window synchronously with the transition, while
+/// later updates during the probing/suspended phases may legitimately
+/// reflect ACKs for pre-probe data.
+#[derive(Debug, Default)]
+pub struct ProbeWindow {
+    awaiting: HashMap<FlowId, bool>,
+    violations: Vec<Violation>,
+}
+
+impl ProbeWindow {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InvariantMonitor for ProbeWindow {
+    fn name(&self) -> &'static str {
+        "probe-window"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        match ev {
+            MonitorEvent::ProbeTransition {
+                flow,
+                transition: ProbeTransition::Start,
+            } => {
+                self.awaiting.insert(*flow, true);
+            }
+            MonitorEvent::CwndUpdate {
+                flow,
+                cwnd,
+                min_cwnd,
+                ..
+            } if self.awaiting.remove(flow) == Some(true)
+                && (*cwnd - min_cwnd).abs() > CWND_EPS =>
+            {
+                self.violations.push(Violation {
+                    at,
+                    monitor: "probe-window",
+                    flow: Some(*flow),
+                    detail: format!(
+                        "probe started with cwnd {cwnd}, expected the \
+                         window floor {min_cwnd}"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,6 +738,54 @@ mod tests {
             m.observe(t(1), &ev(tr));
         }
         assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn ack_reduction_bound_allows_halving_but_not_deeper_cuts() {
+        let mut m = AckReductionBound::new();
+        let ev = |before: f64, after: f64, probe_echo: bool| MonitorEvent::AckWindow {
+            flow: FlowId(1),
+            before,
+            after,
+            probe_echo,
+        };
+        m.observe(t(1), &ev(10.0, 11.0, false)); // growth
+        m.observe(t(2), &ev(10.0, 5.0, false)); // exact halving (DCTCP alpha=1)
+        m.observe(t(3), &ev(10.0, 7.5, false)); // TRIM-style partial cut
+        m.observe(t(4), &ev(64.0, 2.0, true)); // probe resolution is exempt
+        assert!(m.violations().is_empty());
+        m.observe(t(5), &ev(10.0, 4.9, false));
+        m.observe(t(6), &ev(10.0, f64::NAN, false));
+        assert_eq!(m.violations().len(), 2);
+        assert!(m.violations()[0].detail.contains("halving floor"));
+    }
+
+    #[test]
+    fn probe_window_requires_the_floor_at_probe_start() {
+        let mut m = ProbeWindow::new();
+        let start = MonitorEvent::ProbeTransition {
+            flow: FlowId(1),
+            transition: ProbeTransition::Start,
+        };
+        let cwnd = |cwnd: f64| MonitorEvent::CwndUpdate {
+            flow: FlowId(1),
+            cwnd,
+            min_cwnd: 2.0,
+            max_cwnd: 900.0,
+        };
+        // Normal updates while idle are never checked.
+        m.observe(t(1), &cwnd(64.0));
+        // Probe start followed by the collapsed window: clean.
+        m.observe(t(2), &start);
+        m.observe(t(2), &cwnd(2.0));
+        // Later updates (stray ACKs for pre-probe data) are exempt.
+        m.observe(t(3), &cwnd(3.0));
+        assert!(m.violations().is_empty());
+        // A probe that keeps its old window is a violation.
+        m.observe(t(4), &start);
+        m.observe(t(4), &cwnd(64.0));
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].detail.contains("window floor"));
     }
 
     #[test]

@@ -275,6 +275,48 @@ mod tests {
         let _ = f_of_n(1.0, -5.0, 100);
     }
 
+    /// Eq. 22 against values worked out by hand from
+    /// `K = max(((sqrt(2CD) - 1)^2) / C, D)` with `C = mbps * 1e6 / (1460 * 8)`
+    /// packets per second. The first five rows are F-term dominated and
+    /// checked to 0.2% relative tolerance (hand arithmetic carries a few
+    /// rounded digits); the last two are D-dominated — for 10 Mbps at
+    /// 1 ms the F-term falls below D, and at 1 Mbps / 100 µs we have
+    /// 2CD < 1 so the F-term is vacuous — and must equal D exactly.
+    #[test]
+    fn k_guideline_matches_hand_computed_table() {
+        // (link Mbps, D µs, expected K ns, F-term dominated?)
+        const TABLE: &[(u64, u64, u64, bool)] = &[
+            (1_000, 100, 115_016, true),
+            (1_000, 200, 274_976, true),
+            (1_000, 500, 795_532, true),
+            (100, 1_000, 1_150_156, true),
+            (10_000, 50, 79_553, true),
+            (10, 1_000, 1_000_000, false),
+            (1, 100, 100_000, false),
+        ];
+        for &(mbps, d_us, want_ns, f_dominated) in TABLE {
+            let c = mbps as f64 * 1e6 / (1460.0 * 8.0);
+            let d_ns = d_us * 1_000;
+            let got = k_lower_bound_ns(c, d_ns);
+            if f_dominated {
+                let rel = (got as f64 - want_ns as f64).abs() / want_ns as f64;
+                assert!(
+                    rel < 2e-3,
+                    "{mbps} Mbps / {d_us}us: K = {got}ns, hand value {want_ns}ns (rel {rel:.2e})"
+                );
+                assert!(
+                    got > d_ns,
+                    "{mbps} Mbps / {d_us}us: expected F-term to dominate D"
+                );
+            } else {
+                assert_eq!(
+                    got, d_ns,
+                    "{mbps} Mbps / {d_us}us: K must fall back to D exactly"
+                );
+            }
+        }
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
 
@@ -301,6 +343,23 @@ mod tests {
             );
             let wider = steady_state(c, d, 2 * k, n);
             proptest::prop_assert!(wider.full_utilization);
+        }
+
+        /// The Eq. 22 closed form is monotone in the base RTT: a longer
+        /// path never calls for a smaller threshold. (Both branches of
+        /// the max are non-decreasing in D, so the bound is too.)
+        #[test]
+        fn guideline_k_is_monotone_in_base_rtt(
+            mbps in 1u64..40_000,
+            d1_us in 1u64..5_000,
+            d2_us in 1u64..5_000,
+        ) {
+            let c = mbps as f64 * 1e6 / (1460.0 * 8.0);
+            let (lo, hi) = (d1_us.min(d2_us), d1_us.max(d2_us));
+            proptest::prop_assert!(
+                k_lower_bound_ns(c, lo * 1_000) <= k_lower_bound_ns(c, hi * 1_000),
+                "K decreased when D grew from {lo}us to {hi}us at {mbps} Mbps"
+            );
         }
     }
 }

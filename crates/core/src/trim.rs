@@ -557,4 +557,56 @@ mod tests {
         t.begin_probe(10.0, 2);
         t.begin_probe(10.0, 2);
     }
+
+    fn trim_with_k(k_ns: u64) -> Trim {
+        Trim::new(TrimConfig {
+            k_override_ns: Some(k_ns),
+            ..TrimConfig::default()
+        })
+        .unwrap()
+    }
+
+    /// Eq. 2-3 boundary: at RTT == K the backpressure term ep is exactly
+    /// zero, so the "reduction" is a no-op Scale(1.0); one nanosecond
+    /// below K the delay branch must not fire at all.
+    #[test]
+    fn rtt_equal_to_k_is_the_zero_reduction_boundary() {
+        const K: u64 = 200_000;
+        let mut t = trim_with_k(K);
+        t.on_ack(0, 100_000, false); // seed min_RTT, below K
+        assert_eq!(t.on_ack(0, K - 1, false), WindowAction::None);
+        match t.on_ack(0, K, false) {
+            WindowAction::Scale(f) => assert_eq!(f, 1.0, "ep must be exactly 0 at RTT == K"),
+            other => panic!("expected Scale at the boundary, got {other:?}"),
+        }
+        // The boundary hit still consumes the once-per-RTT backoff budget.
+        assert_eq!(t.queue_backoffs(), 1);
+        assert_eq!(t.on_ack(0, K, false), WindowAction::None);
+    }
+
+    /// Eq. 2-3 asymptote: as RTT -> infinity, ep -> 1 and the scale
+    /// factor approaches Reno's 1/2 halving from above — the cut is
+    /// never deeper than a halving. (In exact arithmetic the factor
+    /// stays strictly above 1/2; at RTT = u64::MAX the f64 quotient
+    /// rounds ep to exactly 1.0, so the factor bottoms out at 0.5.)
+    #[test]
+    fn huge_rtt_caps_the_cut_at_reno_halving() {
+        const K: u64 = 1_000;
+        let mut last = 1.0_f64;
+        for rtt in [1_000_000u64, 1_000_000_000, u64::MAX] {
+            // Fresh instance per sample: the once-per-RTT gate would
+            // otherwise swallow the later, larger samples.
+            let mut t = trim_with_k(K);
+            t.on_ack(0, 500, false); // seed min_RTT, below K
+            match t.on_ack(0, rtt, false) {
+                WindowAction::Scale(f) => {
+                    assert!(f >= 0.5, "rtt {rtt}: factor {f} cuts deeper than halving");
+                    assert!(f < last, "factor must shrink toward 1/2 as RTT grows");
+                    last = f;
+                }
+                other => panic!("rtt {rtt}: {other:?}"),
+            }
+        }
+        assert!(last - 0.5 < 1e-9, "cut not capped at halving: {last}");
+    }
 }

@@ -1,0 +1,237 @@
+//! Seed-driven scenario generation.
+//!
+//! Every spec is a pure function of `(seed, iteration)` — the fuzzer is
+//! fully deterministic, so a failure report of the form "seed 7,
+//! iteration 132" is already a repro even before shrinking.
+//!
+//! Two families are generated:
+//!
+//! - **burst** (the default): randomized fan-in, link rate, delay,
+//!   buffer, congestion control (Reno / TRIM-guideline / TRIM with a
+//!   random `K` override), per-sender packet trains with start jitter.
+//!   Exercises the monitor suite and the goodput-conservation oracle.
+//! - **saturation** (every [`GenConfig::saturate_every`]-th iteration):
+//!   TRIM with the Eq. 4 guideline `K` under persistent offered load
+//!   well above the bottleneck capacity — the precondition of the
+//!   full-utilization oracle.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use trim_workload::spec::{ScenarioSpec, SpecCc, SpecFault, SpecTrain, SPEC_MSS_BYTES};
+
+/// Knobs bounding the generated scenario space. The defaults suit the
+/// release-mode CI smoke run; debug-mode tests pass smaller budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Upper bound on fan-in.
+    pub max_senders: usize,
+    /// Aggregate offered-load cap for burst specs, in bytes.
+    pub max_total_bytes: u64,
+    /// Generate a saturation spec every Nth iteration (0 = never).
+    pub saturate_every: u64,
+    /// Attach a queue over-admission fault to every burst spec (the
+    /// detector self-test mode).
+    pub fault_overadmit: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_senders: 16,
+            max_total_bytes: 600_000,
+            saturate_every: 4,
+            fault_overadmit: false,
+        }
+    }
+}
+
+/// Derives the per-iteration RNG seed from the campaign seed.
+fn iteration_seed(seed: u64, iteration: u64) -> u64 {
+    // SplitMix64-style mix so neighbouring iterations decorrelate.
+    let mut z = seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pick<T: Copy>(rng: &mut StdRng, choices: &[T]) -> T {
+    choices[rng.random_range(0..choices.len() as u64) as usize]
+}
+
+/// Generates the spec for `(seed, iteration)` under `cfg`.
+pub fn gen_spec(seed: u64, iteration: u64, cfg: &GenConfig) -> ScenarioSpec {
+    let mut rng = StdRng::seed_from_u64(iteration_seed(seed, iteration));
+    let saturate =
+        cfg.saturate_every != 0 && iteration % cfg.saturate_every == cfg.saturate_every - 1;
+    let spec = if saturate {
+        gen_saturation(&mut rng, seed, cfg)
+    } else {
+        gen_burst(&mut rng, seed, cfg)
+    };
+    debug_assert!(spec.validate().is_ok(), "generator produced invalid spec");
+    spec
+}
+
+fn gen_burst(rng: &mut StdRng, seed: u64, cfg: &GenConfig) -> ScenarioSpec {
+    let senders = rng.random_range(1..=cfg.max_senders.max(1) as u64) as usize;
+    let link_mbps = pick(rng, &[100, 200, 500, 1000, 2000, 10000]);
+    let delay_us = pick(rng, &[10, 25, 50, 100, 250]);
+    let buffer_pkts = rng.random_range(4..=200) as usize;
+    let base_rtt_ns = 4 * delay_us * 1_000;
+    let cc = match rng.random_range(0..3u64) {
+        0 => SpecCc::Reno,
+        1 => SpecCc::TrimGuideline,
+        _ => SpecCc::TrimOverrideNs(rng.random_range(base_rtt_ns..=10 * base_rtt_ns)),
+    };
+    let min_rto_us = pick(rng, &[10_000, 50_000, 200_000]);
+    let horizon_ms = rng.random_range(200..=1000);
+    let fault = cfg.fault_overadmit.then(|| SpecFault::QueueOveradmit {
+        extra: rng.random_range(1..=6),
+    });
+
+    let mut trains = Vec::new();
+    let mut budget = cfg.max_total_bytes;
+    'outer: for sender in 0..senders {
+        for _ in 0..rng.random_range(1..=3u64) {
+            if budget < SPEC_MSS_BYTES {
+                break 'outer;
+            }
+            let bytes = rng
+                .random_range(SPEC_MSS_BYTES..=40 * SPEC_MSS_BYTES)
+                .min(budget);
+            budget -= bytes;
+            trains.push(SpecTrain {
+                sender,
+                // Start jitter within the first tenth of the horizon, so
+                // every train has time to complete or at least run.
+                at_us: rng.random_range(0..=horizon_ms * 100),
+                bytes,
+            });
+        }
+    }
+    if trains.is_empty() {
+        trains.push(SpecTrain {
+            sender: 0,
+            at_us: 0,
+            bytes: SPEC_MSS_BYTES,
+        });
+    }
+
+    ScenarioSpec {
+        seed,
+        senders,
+        link_mbps,
+        delay_us,
+        buffer_pkts,
+        cc,
+        min_rto_us,
+        horizon_ms,
+        fault,
+        trains,
+    }
+}
+
+fn gen_saturation(rng: &mut StdRng, seed: u64, cfg: &GenConfig) -> ScenarioSpec {
+    let senders = rng.random_range(2..=6.min(cfg.max_senders.max(2) as u64)) as usize;
+    let link_mbps: u64 = pick(rng, &[100, 500, 1000]);
+    let delay_us: u64 = pick(rng, &[25, 50]);
+    let horizon_ms: u64 = rng.random_range(100..=250);
+    // Offer twice what the bottleneck can carry over the horizon, split
+    // evenly, so every sender still has data queued when the run ends.
+    let capacity_bytes = link_mbps * 125 * horizon_ms; // Mbit/s -> bytes/ms
+    let per_sender = (2 * capacity_bytes / senders as u64)
+        .div_ceil(SPEC_MSS_BYTES)
+        .max(1)
+        * SPEC_MSS_BYTES;
+    let trains = (0..senders)
+        .map(|sender| SpecTrain {
+            sender,
+            at_us: rng.random_range(0..=100),
+            bytes: per_sender,
+        })
+        .collect();
+    ScenarioSpec {
+        seed,
+        senders,
+        link_mbps,
+        delay_us,
+        buffer_pkts: rng.random_range(100..=200) as usize,
+        cc: SpecCc::TrimGuideline,
+        min_rto_us: 200_000,
+        horizon_ms,
+        fault: None,
+        trains,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let cfg = GenConfig::default();
+        for i in 0..50 {
+            let a = gen_spec(7, i, &cfg);
+            let b = gen_spec(7, i, &cfg);
+            assert_eq!(a, b, "iteration {i} not deterministic");
+            assert_eq!(a.to_text(), b.to_text());
+            a.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn different_seeds_or_iterations_diverge() {
+        let cfg = GenConfig::default();
+        let a = gen_spec(7, 0, &cfg);
+        assert_ne!(a, gen_spec(8, 0, &cfg));
+        assert_ne!(a, gen_spec(7, 1, &cfg));
+    }
+
+    #[test]
+    fn saturation_family_offers_more_than_the_link_carries() {
+        let cfg = GenConfig {
+            saturate_every: 1,
+            ..Default::default()
+        };
+        for i in 0..10 {
+            let spec = gen_spec(42, i, &cfg);
+            assert_eq!(spec.cc, SpecCc::TrimGuideline);
+            let offered: u64 = (0..spec.senders)
+                .map(|s| spec.offered_padded_bytes(s))
+                .sum();
+            let carriable = spec.link_mbps * 125 * spec.horizon_ms;
+            assert!(offered >= 2 * carriable, "iteration {i} not saturating");
+        }
+    }
+
+    #[test]
+    fn fault_mode_attaches_the_overadmit_fault_to_burst_specs() {
+        let cfg = GenConfig {
+            fault_overadmit: true,
+            saturate_every: 0,
+            ..Default::default()
+        };
+        for i in 0..10 {
+            let spec = gen_spec(3, i, &cfg);
+            assert!(matches!(
+                spec.fault,
+                Some(SpecFault::QueueOveradmit { extra }) if extra >= 1
+            ));
+        }
+    }
+
+    #[test]
+    fn burst_budget_caps_total_offered_bytes() {
+        let cfg = GenConfig {
+            max_total_bytes: 50_000,
+            saturate_every: 0,
+            ..Default::default()
+        };
+        for i in 0..20 {
+            let spec = gen_spec(9, i, &cfg);
+            let total: u64 = spec.trains.iter().map(|t| t.bytes).sum();
+            assert!(total <= 50_000 + SPEC_MSS_BYTES, "iteration {i}: {total}");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Greedy structural shrinking of failing scenario specs.
+//!
+//! Unlike a generic integer shrinker (see the compat `proptest` shim,
+//! which deliberately ships none), this shrinker is domain-aware: each
+//! pass proposes a *valid* simpler spec — halve the fan-in, drop trains,
+//! shorten the horizon, align start jitter, round parameters toward the
+//! paper's defaults — and keeps it only if the failure predicate still
+//! holds. Validity floors (at least one sender, one train, one segment)
+//! mean shrinking terminates on a minimal reproducible scenario, never
+//! on a degenerate all-zeros spec.
+//!
+//! Termination: every accepted candidate strictly shrinks a bounded
+//! quantity (sender count, train count, byte totals, horizon, jitter
+//! sum, fault magnitude) or is an idempotent rounding no later pass
+//! undoes, so the pass loop reaches a fixpoint; a hard cap on accepted
+//! steps backstops the argument.
+
+use trim_workload::spec::{ScenarioSpec, SpecFault, SpecTrain, SPEC_MSS_BYTES};
+
+/// How a shrink run went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidates accepted (each one re-ran the scenario and still
+    /// failed).
+    pub accepted: usize,
+    /// Candidates rejected (ran but no longer failed).
+    pub rejected: usize,
+}
+
+/// Hard cap on accepted shrink steps; reaching it would indicate a
+/// non-terminating pass, so shrinking stops there regardless.
+const MAX_ACCEPTED: usize = 1_000;
+
+/// Shrinks `spec` while `still_fails` keeps returning `true` for the
+/// candidate, returning the smallest failing spec found and the
+/// accept/reject counts. `still_fails` is only called with valid specs.
+pub fn shrink(
+    spec: &ScenarioSpec,
+    mut still_fails: impl FnMut(&ScenarioSpec) -> bool,
+) -> (ScenarioSpec, ShrinkStats) {
+    let mut best = spec.clone();
+    let mut stats = ShrinkStats::default();
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            debug_assert!(candidate.validate().is_ok());
+            if candidate == best {
+                continue;
+            }
+            if still_fails(&candidate) {
+                best = candidate;
+                stats.accepted += 1;
+                improved = true;
+                if stats.accepted >= MAX_ACCEPTED {
+                    return (best, stats);
+                }
+                // Restart the pass list: earlier, coarser passes may
+                // apply again to the smaller spec.
+                break;
+            }
+            stats.rejected += 1;
+        }
+        if !improved {
+            return (best, stats);
+        }
+    }
+}
+
+/// The ordered shrink candidates for `spec`, coarsest first. Every
+/// returned spec is valid; candidates equal to `spec` are filtered by
+/// the caller.
+fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+
+    // 1. Halve the fan-in: keep the first half of the senders and their
+    //    trains.
+    if spec.senders > 1 {
+        out.extend(keep_senders(spec, spec.senders / 2));
+        // 2. Then inch down one sender at a time, so the minimum isn't
+        //    limited to powers of two.
+        out.extend(keep_senders(spec, spec.senders - 1));
+    }
+
+    // 3. Compact away senders with no trains: hosts are symmetric, so
+    //    renumbering the used senders down to 0..n preserves behavior.
+    out.extend(compact_senders(spec));
+
+    // 4. Drop the second half of the trains, then individual trains.
+    if spec.trains.len() > 1 {
+        out.extend(without_trains(
+            spec,
+            spec.trains.len() / 2..spec.trains.len(),
+        ));
+        for i in (0..spec.trains.len()).rev() {
+            out.extend(without_trains(spec, i..i + 1));
+        }
+    }
+
+    // 5. Shorten the horizon (floor: past the last train start).
+    if spec.horizon_ms > 1 {
+        let mut s = spec.clone();
+        let last_start_ms = spec.trains.iter().map(|t| t.at_us).max().unwrap_or(0) / 1_000;
+        s.horizon_ms = (spec.horizon_ms / 2).max(last_start_ms + 1);
+        out.push(s);
+    }
+
+    // 6. Halve train sizes, rounded to whole segments (floor: one MSS).
+    if spec.trains.iter().any(|t| t.bytes > SPEC_MSS_BYTES) {
+        let mut s = spec.clone();
+        for t in &mut s.trains {
+            let halved = (t.bytes / 2).div_ceil(SPEC_MSS_BYTES) * SPEC_MSS_BYTES;
+            t.bytes = halved.max(SPEC_MSS_BYTES);
+        }
+        out.push(s);
+    }
+
+    // 7. Remove start jitter: align every train to the earliest start.
+    let min_at = spec.trains.iter().map(|t| t.at_us).min().unwrap_or(0);
+    if spec.trains.iter().any(|t| t.at_us != min_at) {
+        let mut s = spec.clone();
+        for t in &mut s.trains {
+            t.at_us = min_at;
+        }
+        out.push(s);
+    }
+
+    // 8. Round link parameters toward the paper's defaults (idempotent).
+    for f in [
+        |s: &mut ScenarioSpec| s.delay_us = 50,
+        |s: &mut ScenarioSpec| s.link_mbps = 1000,
+        |s: &mut ScenarioSpec| s.min_rto_us = 200_000,
+    ] {
+        let mut s = spec.clone();
+        f(&mut s);
+        out.push(s);
+    }
+
+    // 9. Weaken the fault to the smallest over-admission.
+    if let Some(SpecFault::QueueOveradmit { extra }) = spec.fault {
+        if extra > 1 {
+            let mut s = spec.clone();
+            s.fault = Some(SpecFault::QueueOveradmit { extra: 1 });
+            out.push(s);
+        }
+    }
+
+    out.retain(|s| s.validate().is_ok());
+    out
+}
+
+/// `spec` restricted to its first `keep` senders, or `None` if that
+/// leaves no trains.
+fn keep_senders(spec: &ScenarioSpec, keep: usize) -> Option<ScenarioSpec> {
+    let keep = keep.max(1);
+    let trains: Vec<SpecTrain> = spec
+        .trains
+        .iter()
+        .filter(|t| t.sender < keep)
+        .copied()
+        .collect();
+    if trains.is_empty() {
+        return None;
+    }
+    let mut s = spec.clone();
+    s.senders = keep;
+    s.trains = trains;
+    Some(s)
+}
+
+/// `spec` with unused sender slots removed and trains renumbered onto
+/// `0..n_used`, or `None` when every sender already has a train.
+fn compact_senders(spec: &ScenarioSpec) -> Option<ScenarioSpec> {
+    let mut used: Vec<usize> = spec.trains.iter().map(|t| t.sender).collect();
+    used.sort_unstable();
+    used.dedup();
+    if used.len() == spec.senders {
+        return None;
+    }
+    let mut s = spec.clone();
+    s.senders = used.len();
+    for t in &mut s.trains {
+        t.sender = used.binary_search(&t.sender).expect("sender is used");
+    }
+    Some(s)
+}
+
+/// `spec` without the trains at `range`, or `None` if that leaves none.
+fn without_trains(spec: &ScenarioSpec, range: std::ops::Range<usize>) -> Option<ScenarioSpec> {
+    if range.len() >= spec.trains.len() {
+        return None;
+    }
+    let mut s = spec.clone();
+    s.trains = spec
+        .trains
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !range.contains(i))
+        .map(|(_, t)| *t)
+        .collect();
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trim_workload::spec::SpecCc;
+
+    fn big_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            seed: 1,
+            senders: 16,
+            link_mbps: 2000,
+            delay_us: 100,
+            buffer_pkts: 64,
+            cc: SpecCc::Reno,
+            min_rto_us: 50_000,
+            horizon_ms: 800,
+            fault: Some(SpecFault::QueueOveradmit { extra: 5 }),
+            trains: (0..16)
+                .flat_map(|sender| {
+                    (0..2).map(move |j| SpecTrain {
+                        sender,
+                        at_us: 100 * (sender as u64) + j,
+                        bytes: 29_200,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_predicate_floor_not_to_a_degenerate_spec() {
+        // "Fails" whenever at least 3 senders have trains: the minimal
+        // failing spec has exactly 3 senders — not 0.
+        let (small, stats) = shrink(&big_spec(), |s| s.senders >= 3);
+        small.validate().unwrap();
+        assert_eq!(small.senders, 3);
+        assert!(!small.trains.is_empty());
+        assert!(stats.accepted > 0);
+        assert!(stats.rejected > 0);
+    }
+
+    #[test]
+    fn shrinking_canonicalizes_parameters_and_fault() {
+        let (small, _) = shrink(&big_spec(), |_| true);
+        // Everything shrinkable reaches its floor when the predicate
+        // always holds.
+        assert_eq!(small.senders, 1);
+        assert_eq!(small.trains.len(), 1);
+        assert_eq!(small.trains[0].bytes, SPEC_MSS_BYTES);
+        assert_eq!(small.delay_us, 50);
+        assert_eq!(small.link_mbps, 1000);
+        assert_eq!(small.min_rto_us, 200_000);
+        assert_eq!(small.fault, Some(SpecFault::QueueOveradmit { extra: 1 }));
+        assert_eq!(small.trains[0].at_us, 0);
+        assert_eq!(small.horizon_ms, 1);
+    }
+
+    #[test]
+    fn shrink_never_proposes_invalid_specs_and_terminates() {
+        let mut calls = 0usize;
+        let (small, stats) = shrink(&big_spec(), |s| {
+            calls += 1;
+            s.validate().unwrap();
+            s.trains.len() >= 4
+        });
+        assert_eq!(small.trains.len(), 4);
+        assert!(calls < 10_000);
+        assert_eq!(calls, stats.accepted + stats.rejected);
+    }
+
+    #[test]
+    fn unshrinkable_failure_returns_the_original() {
+        let spec = ScenarioSpec {
+            senders: 1,
+            trains: vec![SpecTrain {
+                sender: 0,
+                at_us: 0,
+                bytes: SPEC_MSS_BYTES,
+            }],
+            delay_us: 50,
+            link_mbps: 1000,
+            min_rto_us: 200_000,
+            horizon_ms: 1,
+            fault: None,
+            ..big_spec()
+        };
+        let (small, stats) = shrink(&spec, |_| true);
+        assert_eq!(small, spec);
+        assert_eq!(stats.accepted, 0);
+    }
+}

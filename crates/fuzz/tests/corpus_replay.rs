@@ -1,0 +1,98 @@
+//! Replays every committed `corpus/*.spec` as an ordinary test case:
+//! fault-carrying repros must still trip their monitor, clean specs
+//! must stay clean under the full monitor + oracle suite, and replays
+//! must be deterministic.
+
+use std::path::PathBuf;
+
+use trim_fuzz::check_spec;
+use trim_workload::spec::ScenarioSpec;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+fn load(name: &str) -> ScenarioSpec {
+    let path = corpus_dir().join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    ScenarioSpec::from_text(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+#[test]
+fn every_corpus_spec_replays_with_its_expected_outcome() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "spec") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec = ScenarioSpec::from_text(&text)
+            .unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+        let verdict = check_spec(&spec).unwrap();
+        if spec.fault.is_some() {
+            assert_eq!(
+                verdict.key().as_deref(),
+                Some("monitor:queue-bound"),
+                "{}: fault repro no longer caught: {}",
+                path.display(),
+                verdict.headline()
+            );
+        } else {
+            assert!(
+                !verdict.failed(),
+                "{}: clean spec now fails: {}",
+                path.display(),
+                verdict.headline()
+            );
+        }
+    }
+    assert!(
+        seen >= 4,
+        "expected the committed corpus, found {seen} specs"
+    );
+}
+
+#[test]
+fn shrunk_overadmit_repro_replays_deterministically() {
+    let spec = load("overadmit_min.spec");
+    assert!(spec.senders <= 4, "repro must stay minimal");
+    let a = spec.run().unwrap();
+    let b = spec.run().unwrap();
+    assert!(!a.violations.is_empty());
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.report.at, b.report.at);
+    for (x, y) in a.report.senders.iter().zip(&b.report.senders) {
+        assert_eq!(x.goodput_bytes, y.goodput_bytes);
+        assert_eq!(x.stats, y.stats);
+    }
+    // The violation the shrinker preserved is the injected over-admission.
+    assert!(a.violations.iter().all(|v| v.monitor == "queue-bound"));
+}
+
+#[test]
+fn probe_gap_spec_actually_probes() {
+    let spec = load("probe_gap_trim.spec");
+    let out = spec.run().unwrap();
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+    let probes: u64 = out.report.senders.iter().map(|s| s.stats.probes_sent).sum();
+    assert!(
+        probes > 0,
+        "the idle gaps must trigger Algorithm-1 probes for the \
+         probe-window monitor to be exercised"
+    );
+}
+
+#[test]
+fn saturation_spec_exercises_the_utilization_oracle() {
+    let spec = load("saturate_trim_guideline.spec");
+    assert!(trim_fuzz::oracle::KFullUtilization::qualifies(&spec));
+    let out = spec.run().unwrap();
+    let u = trim_fuzz::oracle::KFullUtilization::measured_utilization(&spec, &out);
+    assert!(
+        u >= trim_fuzz::oracle::UTILIZATION_FLOOR,
+        "utilization {u} under the oracle floor"
+    );
+}

@@ -140,6 +140,27 @@ pub enum MonitorEvent {
         /// The configured window ceiling in segments.
         max_cwnd: f64,
     },
+    /// A transport connection ran its congestion-control ACK hook.
+    ///
+    /// `before`/`after` bracket the entire per-ACK window update
+    /// (additive growth and any multiplicative reduction combined), so a
+    /// differential oracle can bound the worst-case per-ACK cut: no
+    /// controller in this workspace may reduce the window below legacy
+    /// TCP's halving on a single ACK (TRIM's Eq. 2–3 scale factor
+    /// `1 - ep/2` is strictly above 1/2; DCTCP/L2DCT cut by at most
+    /// `alpha/2 <= 1/2`).
+    AckWindow {
+        /// The connection's flow label.
+        flow: FlowId,
+        /// Congestion window in segments before the ACK was processed.
+        before: f64,
+        /// Congestion window in segments after the ACK was processed.
+        after: f64,
+        /// Whether the ACK answered a TRIM probe packet (probe
+        /// resolution restores an inherited window and is exempt from
+        /// the per-ACK reduction bound).
+        probe_echo: bool,
+    },
     /// A TCP-TRIM probe state-machine step.
     ProbeTransition {
         /// The connection's flow label.

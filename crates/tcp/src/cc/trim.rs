@@ -224,6 +224,21 @@ mod tests {
     }
 
     #[test]
+    fn delay_reduction_never_drops_cwnd_below_floor() {
+        let mut w = win();
+        let mut c = cc();
+        w.cwnd = 2.1; // just above the floor of 2 packets
+        w.ssthresh = 1.0;
+        c.on_ack(&mut w, &ack_at(100, 100, 0, false));
+        // A pathological RTT drives ep toward 1, so the raw scale would
+        // land near 1.05 — below min_cwnd. The clamp must hold the floor.
+        c.on_ack(&mut w, &ack_at(500, 100_000, 0, false));
+        assert_eq!(c.state().queue_backoffs(), 1, "back-off must have fired");
+        assert_eq!(w.cwnd, 2.0, "delay-based reduction broke the cwnd floor");
+        assert_eq!(w.ssthresh, 2.0, "ssthresh follows the clamped window");
+    }
+
+    #[test]
     fn no_probe_without_gap() {
         let mut w = win();
         let mut c = cc();

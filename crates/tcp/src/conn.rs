@@ -30,7 +30,7 @@ pub(crate) const KIND_DELACK: u64 = 4;
 pub(crate) const KIND_BITS: u64 = 3;
 
 /// Counters exposed by a connection after a run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ConnStats {
     /// Data packets transmitted (including retransmissions).
     pub pkts_sent: u64,
@@ -246,6 +246,19 @@ impl Connection {
             cwnd: win.cwnd,
             min_cwnd: win.min_cwnd,
             max_cwnd: win.max_cwnd,
+        });
+    }
+
+    /// Reports a congestion-control ACK hook invocation to any attached
+    /// invariant monitors (`ack-reduction-bound` checks that no single
+    /// ACK cuts the window below legacy TCP's halving, per Eq. 2–3).
+    fn emit_ack_window(&self, ctx: &mut Ctx<'_, Segment>, before: f64, probe_echo: bool) {
+        let (flow, after) = (self.flow, self.win.cwnd);
+        ctx.emit_monitor_with(|| MonitorEvent::AckWindow {
+            flow,
+            before,
+            after,
+            probe_echo,
         });
     }
 
@@ -485,7 +498,9 @@ impl Connection {
                     ece,
                     probe_echo: echo_probe,
                 };
+                let before = self.win.cwnd;
                 self.cc.on_ack(&mut self.win, &info);
+                self.emit_ack_window(ctx, before, echo_probe);
             }
             self.complete_trains(now);
             self.rearm_rto(ctx);
@@ -520,7 +535,9 @@ impl Connection {
                         ece,
                         probe_echo: echo_probe,
                     };
+                    let before = self.win.cwnd;
                     self.cc.on_ack(&mut self.win, &info);
+                    self.emit_ack_window(ctx, before, echo_probe);
                 }
             }
         }

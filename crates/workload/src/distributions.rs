@@ -216,6 +216,66 @@ mod tests {
         assert!(EmpiricalCdf::new(vec![(1.0, 0.0), (2.0, 0.5), (3.0, 0.2)]).is_err());
     }
 
+    /// Same seed, same draw sequence — bit-identical, not merely close.
+    /// The fuzzer and the campaign engine both lean on this: a scenario
+    /// is its seed, so any platform- or run-dependent drift here would
+    /// silently break replayable corpora.
+    #[test]
+    fn same_seed_yields_bit_identical_streams() {
+        for seed in [0u64, 7, 42, u64::MAX] {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let sizes = pt_size_bytes();
+            let gaps = pt_interval();
+            for i in 0..500 {
+                let (x, y) = (sizes.sample(&mut a), sizes.sample(&mut b));
+                assert_eq!(x.to_bits(), y.to_bits(), "seed {seed} size draw {i}");
+                let (x, y) = (gaps.sample(&mut a), gaps.sample(&mut b));
+                assert_eq!(x.to_bits(), y.to_bits(), "seed {seed} gap draw {i}");
+                let (x, y) = (exponential(&mut a, 1e6), exponential(&mut b, 1e6));
+                assert_eq!(x.to_bits(), y.to_bits(), "seed {seed} exp draw {i}");
+            }
+        }
+    }
+
+    /// Different seeds must not collapse onto one stream (a degenerate
+    /// seeding bug would also pass the determinism test above).
+    #[test]
+    fn different_seeds_diverge() {
+        let cdf = pt_size_bytes();
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let distinct = (0..32)
+            .filter(|_| cdf.sample(&mut a).to_bits() != cdf.sample(&mut b).to_bits())
+            .count();
+        assert!(distinct > 0, "seeds 1 and 2 produced identical streams");
+    }
+
+    /// Empirical means of the published CDFs are themselves stable
+    /// facts of (curve, seed): pin them within a tolerance so a quiet
+    /// change to interpolation or seeding shows up as a test failure,
+    /// not as a shifted experiment.
+    #[test]
+    fn empirical_means_are_stable_across_seeds() {
+        let sizes = pt_size_bytes();
+        let gaps = pt_interval();
+        let n = 20_000;
+        for seed in [5u64, 17, 91] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mean_size: f64 = (0..n).map(|_| sizes.sample(&mut rng)).sum::<f64>() / n as f64;
+            // Log-linear interpolation of Fig. 2(a) puts the mean near 40 KB.
+            assert!(
+                (30_000.0..55_000.0).contains(&mean_size),
+                "seed {seed}: mean train size {mean_size}"
+            );
+            let mean_gap: f64 = (0..n).map(|_| gaps.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (1_000_000.0..2_000_000.0).contains(&mean_gap),
+                "seed {seed}: mean gap {mean_gap}"
+            );
+        }
+    }
+
     #[test]
     fn quantile_monotone() {
         let cdf = pt_size_bytes();

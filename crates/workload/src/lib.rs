@@ -38,8 +38,10 @@ pub mod incast;
 pub mod metrics;
 pub mod scale;
 pub mod scenario;
+pub mod spec;
 pub mod trace;
 
 pub use distributions::EmpiricalCdf;
 pub use metrics::Summary;
 pub use scenario::{Report, Scenario, ScenarioBuilder, SenderReport, TrainSpec};
+pub use spec::{ScenarioSpec, SpecCc, SpecFault, SpecOutcome, SpecTrain};

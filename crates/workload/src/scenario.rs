@@ -275,9 +275,18 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if any attached invariant monitor recorded a violation —
-    /// a monitored run must be clean before its results are read.
+    /// a monitored run must be clean before its results are read. Tools
+    /// that want the report *and* the violations (the fuzzer's failure
+    /// path) use [`Scenario::report_unchecked`] instead.
     pub fn report(&mut self) -> Report {
         self.sim.assert_no_violations();
+        self.report_unchecked()
+    }
+
+    /// [`Scenario::report`] without the clean-monitors assertion: still
+    /// collects results when invariant monitors recorded violations, so
+    /// a caller can pair the report with `sim_mut().violations()`.
+    pub fn report_unchecked(&mut self) -> Report {
         let bottleneck = self.sim.queue_stats(self.net.bottleneck);
         let queue_series = self
             .sim

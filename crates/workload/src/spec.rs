@@ -1,0 +1,477 @@
+//! Serializable scenario specifications — the fuzzer's unit of work.
+//!
+//! A [`ScenarioSpec`] captures a complete many-to-one scenario (fan-in,
+//! link rate, delay, buffer, congestion control and its `K` setting,
+//! per-sender packet trains, horizon, optional injected fault) in a
+//! plain-text `key = value` form that round-trips exactly, so a failing
+//! fuzz case can be committed to an on-disk corpus and replayed
+//! deterministically — by the `trim-fuzz` binary, or as an ordinary
+//! `cargo test` case.
+//!
+//! [`ScenarioSpec::run`] is the replay entrypoint: it builds the
+//! scenario, force-attaches the `trim-check` monitor suite (replay must
+//! observe the same invariants in release builds as in debug), applies
+//! the spec's fault, runs to the horizon, and returns the report
+//! together with every recorded violation instead of panicking.
+
+use netsim::time::{Dur, SimTime};
+use netsim::topology::LinkSpec;
+use netsim::{Bandwidth, QueueConfig};
+use trim_tcp::{CcKind, TcpConfig};
+
+use crate::scenario::{Report, Scenario, ScenarioBuilder, TrainSpec};
+
+/// Segment size assumed by spec byte accounting ([`TcpConfig`]'s
+/// default MSS; specs do not vary it).
+pub const SPEC_MSS_BYTES: u64 = 1460;
+
+/// Congestion-control selection for a spec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecCc {
+    /// TCP Reno / NewReno (the paper's legacy baseline).
+    Reno,
+    /// TCP-TRIM with `K` from the Eq. 4 guideline at the bottleneck
+    /// capacity.
+    TrimGuideline,
+    /// TCP-TRIM with an explicit `K` override in nanoseconds.
+    TrimOverrideNs(u64),
+}
+
+/// A deterministic fault to inject before the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecFault {
+    /// Let the bottleneck queue admit `extra` packets beyond its
+    /// capacity (`Simulator::inject_queue_overadmit`), which the
+    /// `queue-bound` monitor must catch.
+    QueueOveradmit {
+        /// Packets admitted beyond capacity.
+        extra: u64,
+    },
+}
+
+/// One packet train: `bytes` handed to TCP on `sender` at `at_us`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpecTrain {
+    /// 0-based sender index.
+    pub sender: usize,
+    /// Injection time in microseconds.
+    pub at_us: u64,
+    /// Application bytes.
+    pub bytes: u64,
+}
+
+/// A complete, serializable many-to-one scenario description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// The fuzz seed that produced this spec (informational; replay does
+    /// not use it).
+    pub seed: u64,
+    /// Fan-in: number of sending web servers.
+    pub senders: usize,
+    /// Link rate (all links) in Mbit/s.
+    pub link_mbps: u64,
+    /// One-way per-link propagation delay in microseconds.
+    pub delay_us: u64,
+    /// Switch buffer size in packets on every queue.
+    pub buffer_pkts: usize,
+    /// Congestion-control policy for every sender.
+    pub cc: SpecCc,
+    /// Minimum retransmission timeout in microseconds.
+    pub min_rto_us: u64,
+    /// Simulation horizon in milliseconds.
+    pub horizon_ms: u64,
+    /// Optional injected fault.
+    pub fault: Option<SpecFault>,
+    /// The packet trains, in no particular order.
+    pub trains: Vec<SpecTrain>,
+}
+
+/// What a spec run produced: the scenario report plus every invariant
+/// violation the monitors recorded (empty on a clean run).
+#[derive(Clone, Debug)]
+pub struct SpecOutcome {
+    /// Results at the horizon (collected without the clean-run
+    /// assertion).
+    pub report: Report,
+    /// Violations recorded by the attached monitors.
+    pub violations: Vec<netsim::monitor::Violation>,
+}
+
+impl ScenarioSpec {
+    /// Checks internal consistency; [`ScenarioSpec::run`] refuses
+    /// invalid specs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.senders == 0 {
+            return Err("senders must be >= 1".into());
+        }
+        if self.link_mbps == 0 {
+            return Err("link_mbps must be >= 1".into());
+        }
+        if self.buffer_pkts == 0 {
+            return Err("buffer_pkts must be >= 1".into());
+        }
+        if self.min_rto_us == 0 {
+            return Err("min_rto_us must be >= 1".into());
+        }
+        if self.horizon_ms == 0 {
+            return Err("horizon_ms must be >= 1".into());
+        }
+        if let SpecCc::TrimOverrideNs(0) = self.cc {
+            return Err("trim-k override must be >= 1 ns".into());
+        }
+        if let Some(SpecFault::QueueOveradmit { extra: 0 }) = self.fault {
+            return Err("overadmit extra must be >= 1".into());
+        }
+        if self.trains.is_empty() {
+            return Err("at least one train is required".into());
+        }
+        for t in &self.trains {
+            if t.sender >= self.senders {
+                return Err(format!(
+                    "train on sender {} but only {} senders",
+                    t.sender, self.senders
+                ));
+            }
+            if t.bytes == 0 {
+                return Err("train bytes must be >= 1".into());
+            }
+            if t.at_us >= self.horizon_ms * 1_000 {
+                return Err(format!(
+                    "train at {}us starts at or after the {}ms horizon",
+                    t.at_us, self.horizon_ms
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The bottleneck rate in bits per second.
+    pub fn bottleneck_bps(&self) -> u64 {
+        self.link_mbps * 1_000_000
+    }
+
+    /// The no-load round-trip time in nanoseconds: two links each way.
+    pub fn base_rtt_ns(&self) -> u64 {
+        4 * self.delay_us * 1_000
+    }
+
+    /// Offered load for `sender` in on-the-wire payload bytes: TCP sends
+    /// whole segments, so each train is padded to a multiple of the MSS.
+    pub fn offered_padded_bytes(&self, sender: usize) -> u64 {
+        self.trains
+            .iter()
+            .filter(|t| t.sender == sender)
+            .map(|t| t.bytes.div_ceil(SPEC_MSS_BYTES) * SPEC_MSS_BYTES)
+            .sum()
+    }
+
+    /// Builds the runnable [`Scenario`] (monitors attach per the normal
+    /// `TRIM_CHECK_MONITORS` policy; [`ScenarioSpec::run`] forces them).
+    pub fn build(&self) -> Scenario {
+        let link = LinkSpec::new(
+            Bandwidth::mbps(self.link_mbps),
+            Dur::from_micros(self.delay_us),
+            QueueConfig::drop_tail(self.buffer_pkts),
+        );
+        let tcp = TcpConfig::default().with_min_rto(Dur::from_micros(self.min_rto_us));
+        let b = ScenarioBuilder::many_to_one(self.senders)
+            .links(link)
+            .tcp_config(tcp);
+        match self.cc {
+            SpecCc::Reno => b.congestion_control(CcKind::Reno),
+            SpecCc::TrimGuideline => b.trim(),
+            SpecCc::TrimOverrideNs(k) => {
+                b.congestion_control(CcKind::Trim(trim_core::TrimConfig {
+                    k_override_ns: Some(k),
+                    ..Default::default()
+                }))
+            }
+        }
+        .build()
+    }
+
+    /// Replays the spec under the full monitor suite and returns the
+    /// outcome without panicking on violations.
+    pub fn run(&self) -> Result<SpecOutcome, String> {
+        self.validate()?;
+        let mut sc = self.build();
+        if !sc.sim_mut().monitors_enabled() {
+            trim_check::attach_standard(sc.sim_mut());
+        }
+        if let Some(SpecFault::QueueOveradmit { extra }) = self.fault {
+            let ch = sc.net().bottleneck;
+            sc.sim_mut().inject_queue_overadmit(ch, extra);
+        }
+        for t in &self.trains {
+            sc.send_train(
+                t.sender,
+                TrainSpec {
+                    at: SimTime::from_nanos(t.at_us * 1_000),
+                    bytes: t.bytes,
+                },
+            );
+        }
+        sc.sim_mut()
+            .run_until(SimTime::from_nanos(self.horizon_ms * 1_000_000));
+        let violations = sc.sim_mut().violations().into_iter().cloned().collect();
+        let report = sc.report_unchecked();
+        Ok(SpecOutcome { report, violations })
+    }
+
+    /// Serializes to the canonical text form (exact round-trip through
+    /// [`ScenarioSpec::from_text`]).
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("# trim-fuzz scenario spec v1\n");
+        s.push_str(&format!("seed = {}\n", self.seed));
+        s.push_str(&format!("senders = {}\n", self.senders));
+        s.push_str(&format!("link_mbps = {}\n", self.link_mbps));
+        s.push_str(&format!("delay_us = {}\n", self.delay_us));
+        s.push_str(&format!("buffer_pkts = {}\n", self.buffer_pkts));
+        let cc = match self.cc {
+            SpecCc::Reno => "reno".to_string(),
+            SpecCc::TrimGuideline => "trim-guideline".to_string(),
+            SpecCc::TrimOverrideNs(k) => format!("trim-k:{k}"),
+        };
+        s.push_str(&format!("cc = {cc}\n"));
+        s.push_str(&format!("min_rto_us = {}\n", self.min_rto_us));
+        s.push_str(&format!("horizon_ms = {}\n", self.horizon_ms));
+        if let Some(SpecFault::QueueOveradmit { extra }) = self.fault {
+            s.push_str(&format!("fault = overadmit:{extra}\n"));
+        }
+        for t in &self.trains {
+            s.push_str(&format!("train = {} {} {}\n", t.sender, t.at_us, t.bytes));
+        }
+        s
+    }
+
+    /// Parses the text form. Unknown keys, missing required keys, and
+    /// malformed values are errors — a corpus typo must not silently
+    /// replay a different scenario.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut seed = None;
+        let mut senders = None;
+        let mut link_mbps = None;
+        let mut delay_us = None;
+        let mut buffer_pkts = None;
+        let mut cc = None;
+        let mut min_rto_us = None;
+        let mut horizon_ms = None;
+        let mut fault = None;
+        let mut trains = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| format!("line {}: bad {what}: `{value}`", lineno + 1);
+            match key {
+                "seed" => seed = Some(value.parse::<u64>().map_err(|_| bad("seed"))?),
+                "senders" => senders = Some(value.parse::<usize>().map_err(|_| bad("senders"))?),
+                "link_mbps" => {
+                    link_mbps = Some(value.parse::<u64>().map_err(|_| bad("link_mbps"))?)
+                }
+                "delay_us" => delay_us = Some(value.parse::<u64>().map_err(|_| bad("delay_us"))?),
+                "buffer_pkts" => {
+                    buffer_pkts = Some(value.parse::<usize>().map_err(|_| bad("buffer_pkts"))?)
+                }
+                "cc" => {
+                    cc = Some(match value {
+                        "reno" => SpecCc::Reno,
+                        "trim-guideline" => SpecCc::TrimGuideline,
+                        other => match other.strip_prefix("trim-k:") {
+                            Some(k) => {
+                                SpecCc::TrimOverrideNs(k.parse::<u64>().map_err(|_| bad("cc"))?)
+                            }
+                            None => return Err(bad("cc")),
+                        },
+                    })
+                }
+                "min_rto_us" => {
+                    min_rto_us = Some(value.parse::<u64>().map_err(|_| bad("min_rto_us"))?)
+                }
+                "horizon_ms" => {
+                    horizon_ms = Some(value.parse::<u64>().map_err(|_| bad("horizon_ms"))?)
+                }
+                "fault" => match value.strip_prefix("overadmit:") {
+                    Some(extra) => {
+                        fault = Some(SpecFault::QueueOveradmit {
+                            extra: extra.parse::<u64>().map_err(|_| bad("fault"))?,
+                        })
+                    }
+                    None => return Err(bad("fault")),
+                },
+                "train" => {
+                    let mut it = value.split_whitespace();
+                    let parse = |field: Option<&str>| field.and_then(|f| f.parse::<u64>().ok());
+                    match (
+                        parse(it.next()),
+                        parse(it.next()),
+                        parse(it.next()),
+                        it.next(),
+                    ) {
+                        (Some(sender), Some(at_us), Some(bytes), None) => trains.push(SpecTrain {
+                            sender: sender as usize,
+                            at_us,
+                            bytes,
+                        }),
+                        _ => return Err(bad("train (want `sender at_us bytes`)")),
+                    }
+                }
+                other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+            }
+        }
+        fn req(name: &'static str) -> impl Fn() -> String {
+            move || format!("missing required key `{name}`")
+        }
+        let spec = ScenarioSpec {
+            seed: seed.unwrap_or(0),
+            senders: senders.ok_or_else(req("senders"))?,
+            link_mbps: link_mbps.ok_or_else(req("link_mbps"))?,
+            delay_us: delay_us.ok_or_else(req("delay_us"))?,
+            buffer_pkts: buffer_pkts.ok_or_else(req("buffer_pkts"))?,
+            cc: cc.ok_or_else(req("cc"))?,
+            min_rto_us: min_rto_us.ok_or_else(req("min_rto_us"))?,
+            horizon_ms: horizon_ms.ok_or_else(req("horizon_ms"))?,
+            fault,
+            trains,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioSpec {
+        ScenarioSpec {
+            seed: 7,
+            senders: 3,
+            link_mbps: 1000,
+            delay_us: 50,
+            buffer_pkts: 100,
+            cc: SpecCc::TrimGuideline,
+            min_rto_us: 200_000,
+            horizon_ms: 500,
+            fault: None,
+            trains: vec![
+                SpecTrain {
+                    sender: 0,
+                    at_us: 100,
+                    bytes: 29_200,
+                },
+                SpecTrain {
+                    sender: 2,
+                    at_us: 350,
+                    bytes: 14_601,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trips_exactly() {
+        for cc in [
+            SpecCc::Reno,
+            SpecCc::TrimGuideline,
+            SpecCc::TrimOverrideNs(275_000),
+        ] {
+            for fault in [None, Some(SpecFault::QueueOveradmit { extra: 3 })] {
+                let mut spec = sample();
+                spec.cc = cc;
+                spec.fault = fault;
+                let text = spec.to_text();
+                let parsed = ScenarioSpec::from_text(&text).unwrap();
+                assert_eq!(parsed, spec);
+                assert_eq!(parsed.to_text(), text);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        let base = sample().to_text();
+        for (needle, replacement, why) in [
+            ("senders = 3", "senders = 0", "zero senders"),
+            ("senders = 3", "sneders = 3", "unknown key"),
+            ("cc = trim-guideline", "cc = vegas", "unknown cc"),
+            ("train = 0 100 29200", "train = 9 100 29200", "sender range"),
+            ("train = 0 100 29200", "train = 0 100", "short train"),
+            ("horizon_ms = 500", "horizon_ms = 0", "train after horizon"),
+        ] {
+            let text = base.replace(needle, replacement);
+            assert!(
+                ScenarioSpec::from_text(&text).is_err(),
+                "expected parse failure for {why}"
+            );
+        }
+        // Dropping a required key is also an error.
+        let text = base.replace("link_mbps = 1000\n", "");
+        assert!(ScenarioSpec::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn padded_offered_load_rounds_to_whole_segments() {
+        let spec = sample();
+        assert_eq!(spec.offered_padded_bytes(0), 29_200); // 20 segments
+        assert_eq!(spec.offered_padded_bytes(2), 14_600 + 1_460); // 11 segments
+        assert_eq!(spec.offered_padded_bytes(1), 0);
+        assert_eq!(spec.base_rtt_ns(), 200_000);
+        assert_eq!(spec.bottleneck_bps(), 1_000_000_000);
+    }
+
+    #[test]
+    fn clean_spec_runs_monitored_and_conserves_goodput() {
+        let spec = sample();
+        let out = spec.run().unwrap();
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        for s in &out.report.senders {
+            assert!(s.goodput_bytes <= spec.offered_padded_bytes(s.sender));
+            if !s.unfinished {
+                assert_eq!(s.goodput_bytes, spec.offered_padded_bytes(s.sender));
+            }
+        }
+        assert_eq!(out.report.completed_trains(), 2);
+    }
+
+    #[test]
+    fn overadmit_fault_spec_is_caught_by_the_queue_bound_monitor() {
+        let mut spec = sample();
+        // Enough synchronized traffic to overflow a small buffer.
+        spec.buffer_pkts = 8;
+        spec.fault = Some(SpecFault::QueueOveradmit { extra: 3 });
+        spec.trains = (0..spec.senders)
+            .map(|s| SpecTrain {
+                sender: s,
+                at_us: 100,
+                bytes: 58_400,
+            })
+            .collect();
+        let out = spec.run().unwrap();
+        assert!(
+            out.violations.iter().any(|v| v.monitor == "queue-bound"),
+            "expected a queue-bound violation, got {:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let spec = sample();
+        let a = spec.run().unwrap();
+        let b = spec.run().unwrap();
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.report.at, b.report.at);
+        assert_eq!(a.report.completion_times(), b.report.completion_times());
+        for (x, y) in a.report.senders.iter().zip(&b.report.senders) {
+            assert_eq!(x.goodput_bytes, y.goodput_bytes);
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+}

@@ -64,6 +64,7 @@ pub fn jain_index(shares: &[f64]) -> f64 {
     let n = shares.len() as f64;
     let sum: f64 = shares.iter().sum();
     let sum_sq: f64 = shares.iter().map(|x| x * x).sum();
+    // trim-lint: allow(no-float-eq, reason = "exact-zero guard before division; any nonzero sum of squares is fine")
     if sum_sq == 0.0 {
         return 1.0;
     }

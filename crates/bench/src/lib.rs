@@ -13,6 +13,11 @@
 //! for paper-scale parameters; the default "quick" effort uses smaller
 //! sweeps so the whole suite finishes in minutes.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -76,7 +81,7 @@ pub fn drive(args: &CliArgs) -> Result<(), String> {
         quiet: args.quiet,
     };
     for spec in selected {
-        let t0 = std::time::Instant::now();
+        let t0 = std::time::Instant::now(); // trim-lint: allow(no-wall-clock, reason = "per-experiment wall time for the console summary; never enters results")
         trim_harness::cli::emit(&format!("\n########## {} ##########", spec.title));
         let mut campaign = (spec.campaign)(args.effort);
         if let Some(seed) = args.seed {

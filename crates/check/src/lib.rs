@@ -19,6 +19,11 @@
 //! simulation test therefore runs fully monitored, while release-mode
 //! experiment campaigns pay only a disabled-check branch per event.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

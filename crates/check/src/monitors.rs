@@ -5,9 +5,9 @@
 //! when an invariant breaks, so a single run surfaces every problem at
 //! once. See the crate docs for the attach policy.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
+use netsim::hash::FastHashMap;
 use netsim::monitor::{AuditStats, InvariantMonitor, MonitorEvent, ProbeTransition, Violation};
 use netsim::{ChannelId, FlowId, SimTime};
 
@@ -189,7 +189,7 @@ impl InvariantMonitor for QueueBound {
 /// ids.
 #[derive(Debug, Default)]
 pub struct FifoOrder {
-    queues: HashMap<ChannelId, VecDeque<(u64, FlowId)>>,
+    queues: FastHashMap<ChannelId, VecDeque<(u64, FlowId)>>,
     violations: Vec<Violation>,
 }
 
@@ -351,7 +351,7 @@ enum ProbePhase {
 /// `Timeout` / `Abort` only while a probe is outstanding.
 #[derive(Debug, Default)]
 pub struct ProbeLegality {
-    phases: HashMap<FlowId, ProbePhase>,
+    phases: FastHashMap<FlowId, ProbePhase>,
     violations: Vec<Violation>,
 }
 
@@ -467,7 +467,7 @@ impl InvariantMonitor for AckReductionBound {
 /// reflect ACKs for pre-probe data.
 #[derive(Debug, Default)]
 pub struct ProbeWindow {
-    awaiting: HashMap<FlowId, bool>,
+    awaiting: FastHashMap<FlowId, bool>,
     violations: Vec<Violation>,
 }
 

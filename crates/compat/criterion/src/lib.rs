@@ -9,6 +9,11 @@
 //! wall time. Good enough to compare orders of magnitude and spot
 //! regressions by eye; not a substitute for the real crate's rigor.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};
@@ -106,6 +111,8 @@ impl Bencher {
         }
     }
 
+    // Bench results on stdout is the whole point of this harness shim.
+    #[allow(clippy::print_stdout)]
     fn report(&self, name: &str) {
         let n = self.samples.len() as u32;
         let total: Duration = self.samples.iter().sum();

@@ -26,6 +26,11 @@
 //! - Default case count is 64 (upstream: 256); override per block with
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

@@ -12,6 +12,11 @@
 //! streams differ from upstream `rand`'s ChaCha-based `StdRng`; all
 //! seeds in this repository were chosen against this implementation.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
 #![warn(missing_docs)]
 
 /// A source of randomness: the core 64-bit generator plus typed draws.

@@ -44,6 +44,11 @@
 //! # Ok::<(), String>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -256,7 +256,7 @@ impl Trim {
                     let min = self
                         .rtt
                         .min_ns()
-                        .expect("observe() above guarantees a minimum")
+                        .expect("observe() above guarantees a minimum") // trim-lint: allow(no-panic-in-library, reason = "observe() on this sample guarantees a minimum exists")
                         as f64;
                     // Eq. 1: cwnd = s_cwnd * (1 - (probe_RTT - min)/min),
                     // clamped to [min_cwnd, s_cwnd] per Section III.C.

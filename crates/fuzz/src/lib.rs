@@ -14,6 +14,11 @@
 //! `EXPERIMENTS.md` ("Fuzzing & differential oracles") for the triage
 //! workflow.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -14,6 +14,8 @@
 //!   specs: specs with a `fault` line must reproduce their violation,
 //!   clean specs must stay clean. Exit 0/1.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 

@@ -146,7 +146,7 @@ pub fn parse_env_or_exit(program: &str, ids: &[&str]) -> CliArgs {
     match parse(std::env::args().skip(1)) {
         Ok(Parsed::Run(args)) => args,
         Ok(Parsed::Help) => {
-            println!("{}", help(program, ids));
+            emit(&help(program, ids));
             std::process::exit(0);
         }
         Err(msg) => {

@@ -19,6 +19,11 @@
 //! `trim-experiments` build [`Campaign`]s and hand them to
 //! [`engine::execute`]. The `trim-bench` binary is the user-facing CLI.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,0 +1,532 @@
+//! A lossless Rust lexer.
+//!
+//! The analyzer never needs a full parse: every rule in this crate is a
+//! pattern over *tokens in context* (is this identifier inside a string?
+//! a comment? a `#[cfg(test)]` region?). So the lexer's contract is
+//! deliberately minimal and checkable:
+//!
+//! 1. **Lossless** — concatenating the text of every token reproduces
+//!    the input byte-for-byte (asserted in tests and cheap enough to
+//!    assert in release runs too).
+//! 2. **Classification-accurate** — comments, string/char literals,
+//!    lifetimes, numbers, identifiers and punctuation are distinguished
+//!    well enough that no rule can be fooled by an `Instant::now` inside
+//!    a doc comment or a `"HashMap"` inside a string literal.
+//!
+//! The lexer handles the full literal grammar the workspace uses: nested
+//! block comments, raw strings (`r#"…"#`), byte and raw-byte strings,
+//! raw identifiers (`r#type`), char-vs-lifetime disambiguation, and
+//! numeric literals with underscores, exponents and type suffixes.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal and vertical whitespace.
+    Whitespace,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting tracked.
+    BlockComment,
+    /// Identifier or keyword (raw identifiers included).
+    Ident,
+    /// `'a`, `'_`, `'static` — a lifetime, not a char literal.
+    Lifetime,
+    /// Integer literal, any base, with suffix.
+    Int,
+    /// Float literal (decimal point, exponent, or `f32`/`f64` suffix).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// One punctuation token; multi-char operators (`::`, `==`, `!=`,
+    /// `->`, …) are a single token.
+    Punct,
+}
+
+/// One token: a classified byte range of the source.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether the token carries no syntactic weight.
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Multi-character punctuation, longest first so greedy matching is
+/// correct. Single characters fall through to a one-byte `Punct`.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+}
+
+/// Tokenizes `src` completely. Never fails: unterminated literals extend
+/// to end of input, and unknown bytes become one-byte `Punct` tokens, so
+/// the lossless property holds even for invalid source.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = lex_one(&mut cur, c);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+        });
+    }
+    out
+}
+
+fn lex_one(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    if c.is_whitespace() {
+        cur.eat_while(|c| c.is_whitespace());
+        return TokenKind::Whitespace;
+    }
+    if cur.starts_with("//") {
+        cur.eat_while(|c| c != '\n');
+        return TokenKind::LineComment;
+    }
+    if cur.starts_with("/*") {
+        cur.bump();
+        cur.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            if cur.starts_with("/*") {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            } else if cur.starts_with("*/") {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            } else if cur.bump().is_none() {
+                break; // unterminated: extend to EOF
+            }
+        }
+        return TokenKind::BlockComment;
+    }
+    // String-ish prefixes must be checked before the generic ident path:
+    // r"…", r#"…"#, b"…", br#"…"#, b'…', c"…", and raw idents r#name.
+    if matches!(c, 'r' | 'b' | 'c') {
+        if let Some(kind) = try_lex_prefixed_literal(cur) {
+            return kind;
+        }
+    }
+    if c == '"' {
+        lex_string_body(cur, 0);
+        return TokenKind::Str;
+    }
+    if c == '\'' {
+        return lex_quote(cur);
+    }
+    if c.is_ascii_digit() {
+        return lex_number(cur);
+    }
+    if is_ident_start(c) {
+        cur.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+    for op in MULTI_PUNCT {
+        if cur.starts_with(op) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            return TokenKind::Punct;
+        }
+    }
+    cur.bump();
+    TokenKind::Punct
+}
+
+/// Handles `r`/`b`/`c`-prefixed literals and raw identifiers. Returns
+/// `None` when the prefix turns out to be a plain identifier, leaving the
+/// cursor untouched.
+fn try_lex_prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    let rest = &cur.src[cur.pos..];
+    // Longest prefixes first: br / cr, then single letters.
+    for prefix in ["br", "cr", "r", "b", "c"] {
+        if !rest.starts_with(prefix) {
+            continue;
+        }
+        let after = &rest[prefix.len()..];
+        let raw_capable = prefix.contains('r');
+        if after.starts_with('"') {
+            for _ in 0..prefix.len() {
+                cur.bump();
+            }
+            if raw_capable {
+                lex_raw_string_body(cur, 0);
+            } else {
+                lex_string_body(cur, 0);
+            }
+            return Some(TokenKind::Str);
+        }
+        if raw_capable && after.starts_with('#') {
+            let hashes = after.chars().take_while(|&c| c == '#').count();
+            let past = after[hashes..].chars().next();
+            if past == Some('"') {
+                for _ in 0..prefix.len() + hashes {
+                    cur.bump();
+                }
+                lex_raw_string_body(cur, hashes);
+                return Some(TokenKind::Str);
+            }
+            if prefix == "r" && past.map(is_ident_start) == Some(true) {
+                // Raw identifier r#name.
+                cur.bump(); // r
+                cur.bump(); // #
+                cur.eat_while(is_ident_continue);
+                return Some(TokenKind::Ident);
+            }
+        }
+        if prefix == "b" && after.starts_with('\'') {
+            cur.bump(); // b
+            lex_quote(cur);
+            return Some(TokenKind::Char);
+        }
+        // A prefix that matched textually but introduces no literal is
+        // just the start of an identifier (`ready`, `bytes`, `cfg`…).
+        break;
+    }
+    None
+}
+
+/// Consumes a `"…"` body (cursor on the opening quote), honoring
+/// backslash escapes. `_hashes` is unused but keeps the signature shared.
+fn lex_string_body(cur: &mut Cursor<'_>, _hashes: usize) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw-string body `"…"###` with `hashes` trailing hashes
+/// (cursor on the opening quote). No escapes.
+fn lex_raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    cur.bump(); // opening quote
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mark = cur.pos;
+            let mark_line = cur.line;
+            for _ in 0..hashes {
+                if cur.peek() == Some('#') {
+                    cur.bump();
+                } else {
+                    cur.pos = mark;
+                    cur.line = mark_line;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+    }
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime); cursor on the quote.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // '
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume escape then to closing quote.
+            cur.bump();
+            cur.bump(); // the escaped character (or first of \u{…})
+            cur.eat_while(|c| c != '\'');
+            cur.bump();
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            cur.eat_while(is_ident_continue);
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                TokenKind::Char
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            cur.bump(); // the character itself
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        None => TokenKind::Punct, // stray quote at EOF
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut float = false;
+    if cur.starts_with("0x") || cur.starts_with("0o") || cur.starts_with("0b") {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_hexdigit() || c == '_');
+    } else {
+        cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        if cur.peek() == Some('.') {
+            // `1.5` and `1.` are floats; `1..n` is a range and `1.max`
+            // would be a method position — both leave the dot alone.
+            match cur.peek_at(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    cur.bump();
+                    cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+                    float = true;
+                }
+                Some('.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    cur.bump();
+                    float = true;
+                }
+            }
+        }
+        if matches!(cur.peek(), Some('e' | 'E')) {
+            let (sign_ofs, digit_ofs) = match cur.peek_at(1) {
+                Some('+' | '-') => (1, 2),
+                _ => (0, 1),
+            };
+            if cur.peek_at(digit_ofs).is_some_and(|c| c.is_ascii_digit()) {
+                for _ in 0..=sign_ofs {
+                    cur.bump();
+                }
+                cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+                float = true;
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`…): part of the literal token.
+    let suffix_start = cur.pos;
+    if cur.peek().is_some_and(is_ident_start) {
+        cur.eat_while(is_ident_continue);
+    }
+    let suffix = &cur.src[suffix_start..cur.pos];
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+/// Parses the numeric value of a *decimal* integer literal token's text,
+/// ignoring underscores and any type suffix. Returns `None` for other
+/// bases (hex seeds and bit masks are never unit-bearing quantities).
+pub fn decimal_int_value(text: &str) -> Option<u128> {
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return None;
+    }
+    let digits: String = text
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .filter(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, src[t.start..t.end].to_string()))
+            .collect()
+    }
+
+    fn reassemble(src: &str) -> String {
+        lex(src).iter().map(|t| &src[t.start..t.end]).collect()
+    }
+
+    #[test]
+    fn lossless_on_tricky_input() {
+        let src = r##"
+//! doc
+fn main() {
+    let s = "str with \" quote and // not a comment";
+    let r = r#"raw "inner" text"#;
+    let b = b"bytes"; let bc = b'\n';
+    let c = 'x'; let l: &'static str = "s";
+    let f = 1.5e-3f64; let i = 1_000_000u64; let h = 0xFF;
+    /* block /* nested */ still comment */
+    let range = 0..10; let t = x.0;
+}
+"##;
+        assert_eq!(reassemble(src), src);
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let toks = texts(r#"let a = "Instant::now()"; // Instant::now()"#);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "a"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("Instant")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = texts("fn f<'a>(x: &'a str) { let c = 'a'; let u = '\\u{1F600}'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn number_classification() {
+        for (src, kind) in [
+            ("42", TokenKind::Int),
+            ("1_000_000", TokenKind::Int),
+            ("0xDEAD_BEEF", TokenKind::Int),
+            ("7u64", TokenKind::Int),
+            ("1.0", TokenKind::Float),
+            ("1.", TokenKind::Float),
+            ("1e9", TokenKind::Float),
+            ("2.5e-3", TokenKind::Float),
+            ("1f64", TokenKind::Float),
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].kind, kind, "{src}");
+        }
+        // Ranges do not glue the dot onto the number.
+        let toks = texts("0..10");
+        assert_eq!(toks[0], (TokenKind::Int, "0".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, "..".into()));
+    }
+
+    #[test]
+    fn multi_char_punct_is_one_token() {
+        let toks = texts("a == b != c :: d -> e");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "::", "->"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = texts("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n  c /* x\ny */ d";
+        let lines: Vec<(String, u32)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (src[t.start..t.end].to_string(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            [
+                ("a".into(), 1),
+                ("b".into(), 2),
+                ("c".into(), 3),
+                ("/* x\ny */".into(), 3),
+                ("d".into(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn decimal_int_values() {
+        assert_eq!(decimal_int_value("1_000_000"), Some(1_000_000));
+        assert_eq!(decimal_int_value("42u64"), Some(42));
+        assert_eq!(decimal_int_value("0xFF"), None);
+    }
+
+    #[test]
+    fn unterminated_literals_extend_to_eof_losslessly() {
+        for src in ["\"never closed", "/* never closed", "r#\"raw", "'"] {
+            assert_eq!(reassemble(src), src, "{src:?}");
+        }
+    }
+}

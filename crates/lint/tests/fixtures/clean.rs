@@ -1,0 +1,10 @@
+// Fixture: idiomatic simulation code — every rule must stay silent.
+use std::collections::BTreeMap;
+
+pub fn schedule(events: &BTreeMap<u64, u32>, now_ns: u64) -> Option<u64> {
+    events.range(now_ns..).next().map(|(t, _)| *t)
+}
+
+pub fn close_enough(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

@@ -1,0 +1,13 @@
+// Fixture: TL003 must fire on exact float comparisons but not on
+// integer comparisons.
+pub fn bad_literal(x: f64) -> bool {
+    x == 0.5 // hit: TL003
+}
+
+pub fn bad_nan(x: f64) -> bool {
+    x != f64::NAN // hit: TL003
+}
+
+pub fn fine_integers(n: u64) -> bool {
+    n == 10
+}

@@ -1,0 +1,3 @@
+// Fixture: analyzed as a crate root (src/lib.rs), TL006 must fire
+// because the `#![forbid(unsafe_code)]` inner attribute is missing.
+pub fn safe_but_undeclared() {}

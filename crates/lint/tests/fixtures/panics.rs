@@ -1,0 +1,25 @@
+// Fixture: TL004 must fire on unwrap/expect/panic! in library code and
+// spare the same constructs inside #[cfg(test)] regions.
+pub fn bad(x: Option<u32>) -> u32 {
+    x.unwrap() // hit: TL004
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("nope") // hit: TL004
+}
+
+pub fn bad_panic() {
+    panic!("boom"); // hit: TL004
+}
+
+pub fn fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: TL005 must fire on bare >= 1_000_000 decimal literals on a
+// simulation path, and spare hex constants and smaller values.
+pub fn bad() -> u64 {
+    2_000_000 // hit: TL005 (2 ms in disguise)
+}
+
+pub fn fine_small() -> u64 {
+    999_999
+}
+
+pub fn fine_hex() -> u64 {
+    0x9e3779b97f4a7c15
+}

@@ -1,0 +1,8 @@
+// Fixture: a suppression without a reason is rejected (TL007) and the
+// underlying diagnostic still fires (TL001).
+use std::time::Instant;
+
+pub fn timed() -> Instant {
+    // trim-lint: allow(no-wall-clock)
+    Instant::now()
+}

@@ -1,0 +1,7 @@
+// Fixture: a violation carrying a reasoned suppression is silenced, and
+// the suppression counts as used (no TL008).
+use std::time::Instant;
+
+pub fn timed() -> Instant {
+    Instant::now() // trim-lint: allow(no-wall-clock, reason = "fixture: progress display only")
+}

@@ -1,0 +1,8 @@
+// Fixture: TL002 must fire on std HashMap/HashSet when the file lives
+// on a simulation path.
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    pub flows: HashMap<u64, u64>,
+    pub seen: HashSet<u64>,
+}

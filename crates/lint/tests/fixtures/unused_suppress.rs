@@ -1,0 +1,4 @@
+// Fixture: a reasoned suppression with nothing to suppress is itself a
+// finding (TL008) — stale annotations must not accumulate.
+// trim-lint: allow(no-wall-clock, reason = "fixture: nothing here reads the clock")
+pub fn quiet() {}

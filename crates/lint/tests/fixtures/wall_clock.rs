@@ -1,0 +1,16 @@
+// Fixture: TL001 must fire on both wall-clock sources, and must NOT
+// fire on mentions inside strings or comments.
+use std::time::{Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now() // hit: TL001
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now() // hit: TL001 (SystemTime alone is enough)
+}
+
+pub fn fine() -> &'static str {
+    // Instant::now() in a comment is not a hit.
+    "SystemTime in a string is not a hit"
+}

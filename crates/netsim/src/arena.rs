@@ -75,7 +75,7 @@ impl<P> PacketArena<P> {
                 PacketRef(idx)
             }
             None => {
-                let idx = u32::try_from(self.slots.len()).expect("arena exceeds u32 slots");
+                let idx = u32::try_from(self.slots.len()).expect("arena exceeds u32 slots"); // trim-lint: allow(no-panic-in-library, reason = "4G live packets exhausts memory long before this fires")
                 self.slots.push(Some(pkt));
                 PacketRef(idx)
             }
@@ -90,7 +90,7 @@ impl<P> PacketArena<P> {
     pub fn free(&mut self, r: PacketRef) -> Packet<P> {
         let pkt = self.slots[r.0 as usize]
             .take()
-            .expect("PacketRef freed twice or never allocated");
+            .expect("PacketRef freed twice or never allocated"); // trim-lint: allow(no-panic-in-library, reason = "documented panic: a double-free means the engine duplicated a packet")
         self.live -= 1;
         self.free.push(r.0);
         pkt
@@ -101,7 +101,7 @@ impl<P> PacketArena<P> {
     pub fn get(&self, r: PacketRef) -> &Packet<P> {
         self.slots[r.0 as usize]
             .as_ref()
-            .expect("PacketRef dangling: slot already freed")
+            .expect("PacketRef dangling: slot already freed") // trim-lint: allow(no-panic-in-library, reason = "documented panic: a dangling ref means the engine lost a packet")
     }
 
     /// Number of packets currently allocated.

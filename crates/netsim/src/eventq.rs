@@ -120,7 +120,7 @@ impl<T> EventQueue<T> {
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         let last = self.heap.len().checked_sub(1)?;
         self.heap.swap(0, last);
-        let entry = self.heap.pop().expect("len checked above");
+        let entry = self.heap.pop().expect("len checked above"); // trim-lint: allow(no-panic-in-library, reason = "len >= 1 established two lines up")
         if !self.heap.is_empty() {
             self.sift_down(0);
         }

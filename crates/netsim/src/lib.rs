@@ -41,6 +41,11 @@
 //! assert_eq!(sim.host::<SinkAgent>(net.front_end).received, 3);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

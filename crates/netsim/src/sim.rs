@@ -270,7 +270,7 @@ impl<P: Payload> Core<P> {
         }
         let c = &mut self.channels[ch.index()];
         c.busy = true;
-        let head = c.queue.dequeue(now).expect("just enqueued");
+        let head = c.queue.dequeue(now).expect("just enqueued"); // trim-lint: allow(no-panic-in-library, reason = "dequeue directly follows the enqueue in this call")
         self.transmit(ch, now, head);
     }
 
@@ -297,7 +297,7 @@ impl<P: Payload> Core<P> {
     /// deterministic per-flow ECMP over the equal-cost set.
     fn route_out(&self, node: NodeId, dst: NodeId, flow: FlowId) -> ChannelId {
         if self.kinds[dst.index()] != NodeKind::Host {
-            panic!("no route from {node} to {dst}");
+            panic!("no route from {node} to {dst}"); // trim-lint: allow(no-panic-in-library, reason = "documented panic: routing to a switch is a topology construction bug")
         }
         let r = &self.routes;
         let u = node.index();
@@ -327,7 +327,7 @@ impl<P: Payload> Core<P> {
             }
         }
         if best == u32::MAX {
-            panic!("no route from {node} to {dst}");
+            panic!("no route from {node} to {dst}"); // trim-lint: allow(no-panic-in-library, reason = "documented panic: a disconnected topology is a construction bug")
         }
         let choice = if count == 1 {
             0
@@ -812,10 +812,10 @@ impl<P: Payload> Simulator<P> {
     pub fn host<T: Agent<P>>(&self, node: NodeId) -> &T {
         let agent = self.agents[node.index()]
             .as_ref()
-            .expect("node is a switch, not a host");
+            .expect("node is a switch, not a host"); // trim-lint: allow(no-panic-in-library, reason = "documented panic: typed accessor misuse is a caller bug")
         (agent.as_ref() as &dyn Any)
             .downcast_ref::<T>()
-            .expect("agent has a different concrete type")
+            .expect("agent has a different concrete type") // trim-lint: allow(no-panic-in-library, reason = "documented panic: typed accessor misuse is a caller bug")
     }
 
     /// Mutably borrows the agent at `node`, downcast to its concrete type.
@@ -826,10 +826,10 @@ impl<P: Payload> Simulator<P> {
     pub fn host_mut<T: Agent<P>>(&mut self, node: NodeId) -> &mut T {
         let agent = self.agents[node.index()]
             .as_mut()
-            .expect("node is a switch, not a host");
+            .expect("node is a switch, not a host"); // trim-lint: allow(no-panic-in-library, reason = "documented panic: typed accessor misuse is a caller bug")
         (agent.as_mut() as &mut dyn Any)
             .downcast_mut::<T>()
-            .expect("agent has a different concrete type")
+            .expect("agent has a different concrete type") // trim-lint: allow(no-panic-in-library, reason = "documented panic: typed accessor misuse is a caller bug")
     }
 
     fn ensure_ready(&mut self) {
@@ -864,7 +864,7 @@ impl<P: Payload> Simulator<P> {
             if at > horizon {
                 break;
             }
-            let (at, ev) = self.core.events.pop().expect("peeked");
+            let (at, ev) = self.core.events.pop().expect("peeked"); // trim-lint: allow(no-panic-in-library, reason = "peek_at returned Some on the loop condition")
             if self.core.monitors_on {
                 self.core.emit(MonitorEvent::Clock { to: at });
             }
@@ -927,7 +927,7 @@ impl<P: Payload> Simulator<P> {
     fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut Box<dyn Agent<P>>, &mut Ctx<'_, P>)) {
         let mut agent = self.agents[node.index()]
             .take()
-            .expect("packet or timer delivered to switch");
+            .expect("packet or timer delivered to switch"); // trim-lint: allow(no-panic-in-library, reason = "events are only ever scheduled for hosts; a switch delivery is engine corruption")
         let mut ctx = Ctx {
             core: &mut self.core,
             node,

@@ -8,7 +8,7 @@
 //! both implementations and require identical observable behavior.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use proptest::prelude::*;
 
@@ -99,7 +99,7 @@ proptest! {
     ) {
         let mut q: EventQueue<u64> = EventQueue::new();
         let mut model = ReferenceQueue::default();
-        let mut cancelled: HashSet<u64> = HashSet::new();
+        let mut cancelled: BTreeSet<u64> = BTreeSet::new();
         let mut live: VecDeque<u64> = VecDeque::new();
         let mut next_id = 0u64;
         let mut schedule = |q: &mut EventQueue<u64>,

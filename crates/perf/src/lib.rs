@@ -18,6 +18,11 @@
 //! the committed baseline, so CI catches order-of-magnitude engine
 //! regressions without flaking on shared-runner noise.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

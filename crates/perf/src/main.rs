@@ -15,6 +15,8 @@
 //! writes nothing. Wall-clock numbers live only in these files, never in
 //! campaign CSVs, so the golden artifacts stay byte-identical.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use trim_harness::ResultStore;

@@ -68,7 +68,7 @@ impl CcAlgo for Cubic {
         if self.epoch_start.is_none() {
             self.reset_epoch(info.now, w.cwnd);
         }
-        let start = self.epoch_start.expect("epoch initialized above");
+        let start = self.epoch_start.expect("epoch initialized above"); // trim-lint: allow(no-panic-in-library, reason = "reset_epoch on the previous line set it")
         let t = info.now.saturating_since(start).as_secs_f64();
         let target = C_CUBIC * (t - self.k).powi(3) + self.w_max;
         // TCP-friendly estimate: Reno-equivalent growth within the epoch.

@@ -174,7 +174,7 @@ impl CcKind {
             CcKind::Cubic => Box::new(Cubic::new()),
             CcKind::Dctcp => Box::new(Dctcp::new()),
             CcKind::L2dct => Box::new(L2dct::new()),
-            CcKind::Trim(cfg) => Box::new(TrimCc::new(*cfg).expect("invalid TRIM config")),
+            CcKind::Trim(cfg) => Box::new(TrimCc::new(*cfg).expect("invalid TRIM config")), // trim-lint: allow(no-panic-in-library, reason = "configs are validated when the experiment spec is built")
             CcKind::Gip => Box::new(Gip::new()),
         }
     }

@@ -144,7 +144,7 @@ impl Connection {
         local_idx: u64,
     ) -> Self {
         cfg.validate()
-            .unwrap_or_else(|e| panic!("invalid TcpConfig: {e}"));
+            .unwrap_or_else(|e| panic!("invalid TcpConfig: {e}")); // trim-lint: allow(no-panic-in-library, reason = "constructor contract: configs are validated at build time")
         Connection {
             flow,
             dst,
@@ -652,7 +652,7 @@ impl Connection {
             if self.high_ack < front.end_seq {
                 break;
             }
-            let t = self.trains.pop_front().expect("front exists");
+            let t = self.trains.pop_front().expect("front exists"); // trim-lint: allow(no-panic-in-library, reason = "front() returned Some in the loop condition")
             self.completed.push(TrainRecord {
                 id: t.id,
                 bytes: t.bytes,

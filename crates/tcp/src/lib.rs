@@ -13,6 +13,11 @@
 //!
 //! See the [`host::TcpHost`] example for end-to-end usage.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

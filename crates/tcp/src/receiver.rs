@@ -149,7 +149,7 @@ impl Receiver {
             ts,
         } = pkt.payload.kind
         else {
-            panic!("receiver got a non-data segment");
+            panic!("receiver got a non-data segment"); // trim-lint: allow(no-panic-in-library, reason = "the sender only ever addresses the receiver with data; anything else is corruption")
         };
         let now = ctx.now();
         self.stats.pkts_received += 1;
@@ -205,7 +205,7 @@ impl Receiver {
                 latest,
             );
         } else {
-            let delay = self.delayed_ack.expect("immediate covers None");
+            let delay = self.delayed_ack.expect("immediate covers None"); // trim-lint: allow(no-panic-in-library, reason = "the immediate branch above handled delayed_ack == None")
             let timer = ctx.set_timer(delay, (self.local_idx << KIND_BITS) | KIND_DELACK);
             self.pending = Some(PendingAck {
                 peer: pkt.src,

@@ -37,7 +37,9 @@ impl EmpiricalCdf {
     /// not positive and strictly increasing, probabilities are not
     /// non-decreasing, or the first/last probabilities are not 0 and 1.
     // `!(x > 0.0)` deliberately rejects NaN, unlike `x <= 0.0`.
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    // Endpoint equality is exact on purpose: 0.0 and 1.0 are the only
+    // acceptable CDF boundaries and both are exactly representable.
+    #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::float_cmp)]
     pub fn new(points: Vec<(f64, f64)>) -> Result<Self, String> {
         if points.len() < 2 {
             return Err("need at least two CDF points".into());
@@ -53,8 +55,10 @@ impl EmpiricalCdf {
                 return Err("probabilities must be non-decreasing".into());
             }
         }
-        let first = points.first().expect("checked").1;
-        let last = points.last().expect("checked").1;
+        let first = points.first().expect("checked").1; // trim-lint: allow(no-panic-in-library, reason = "new() rejected empty point sets above")
+        let last = points.last().expect("checked").1; // trim-lint: allow(no-panic-in-library, reason = "new() rejected empty point sets above")
+
+        // trim-lint: allow(no-float-eq, reason = "CDF endpoints must be exactly 0 and 1; the literals are representable")
         if first != 0.0 || last != 1.0 {
             return Err(format!(
                 "CDF must start at 0 and end at 1, got {first} and {last}"
@@ -69,6 +73,9 @@ impl EmpiricalCdf {
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
+    // `c1 == c0` guards the division below; only exact equality divides
+    // by zero, so an epsilon comparison would be wrong here.
+    #[allow(clippy::float_cmp)]
     pub fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
         let i = self
@@ -91,12 +98,12 @@ impl EmpiricalCdf {
 
     /// The smallest representable value.
     pub fn min_value(&self) -> f64 {
-        self.points.first().expect("validated non-empty").0
+        self.points.first().expect("validated non-empty").0 // trim-lint: allow(no-panic-in-library, reason = "the constructor rejects empty point sets")
     }
 
     /// The largest representable value.
     pub fn max_value(&self) -> f64 {
-        self.points.last().expect("validated non-empty").0
+        self.points.last().expect("validated non-empty").0 // trim-lint: allow(no-panic-in-library, reason = "the constructor rejects empty point sets")
     }
 }
 
@@ -112,7 +119,7 @@ pub fn pt_size_bytes() -> EmpiricalCdf {
         (128.0 * 1024.0, 0.90),
         (256.0 * 1024.0, 1.0),
     ])
-    .expect("static points are valid")
+    .expect("static points are valid") // trim-lint: allow(no-panic-in-library, reason = "compile-time constant table; a typo fails every test")
 }
 
 /// The inter-train gap distribution of Fig. 2(b): hundreds of microseconds
@@ -125,7 +132,7 @@ pub fn pt_interval() -> EmpiricalCdf {
         (3_000_000.0, 0.85), // 3 ms
         (10_000_000.0, 1.0), // 10 ms
     ])
-    .expect("static points are valid")
+    .expect("static points are valid") // trim-lint: allow(no-panic-in-library, reason = "compile-time constant table; a typo fails every test")
 }
 
 /// A sample from the exponential distribution with the given mean, via

@@ -28,7 +28,7 @@ impl Summary {
             return Summary::default();
         }
         let mut secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
-        secs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite")); // trim-lint: allow(no-panic-in-library, reason = "Dur::as_secs_f64 is always finite")
         let count = secs.len();
         Summary {
             count,
@@ -58,7 +58,7 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 /// for plotting (Fig. 13(e)).
 pub fn cdf_points(samples: &[Dur]) -> Vec<(f64, f64)> {
     let mut secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
-    secs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite")); // trim-lint: allow(no-panic-in-library, reason = "Dur::as_secs_f64 is always finite")
     let n = secs.len();
     secs.into_iter()
         .enumerate()

@@ -47,7 +47,7 @@ impl ScaleConfig {
     pub fn with_flows(flows: usize) -> Self {
         ScaleConfig {
             flows,
-            bytes_per_flow: (146_000_000 / flows.max(1) as u64).max(1_460),
+            bytes_per_flow: (146_000_000 / flows.max(1) as u64).max(1_460), // trim-lint: allow(no-raw-unit-literal, reason = "total volume (~146 MB) held constant across flow counts; bytes, not time")
             start_window: Dur::from_millis(100),
             horizon: Dur::from_secs(10),
             min_rto: Dur::from_millis(20),

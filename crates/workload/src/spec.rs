@@ -147,7 +147,7 @@ impl ScenarioSpec {
 
     /// The bottleneck rate in bits per second.
     pub fn bottleneck_bps(&self) -> u64 {
-        self.link_mbps * 1_000_000
+        Bandwidth::mbps(self.link_mbps).as_bps()
     }
 
     /// The no-load round-trip time in nanoseconds: two links each way.
@@ -212,7 +212,7 @@ impl ScenarioSpec {
             );
         }
         sc.sim_mut()
-            .run_until(SimTime::from_nanos(self.horizon_ms * 1_000_000));
+            .run_until(SimTime::ZERO + Dur::from_millis(self.horizon_ms));
         let violations = sc.sim_mut().violations().into_iter().cloned().collect();
         let report = sc.report_unchecked();
         Ok(SpecOutcome { report, violations })

@@ -37,6 +37,12 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::dbg_macro, clippy::print_stdout, clippy::float_cmp)
+)]
+
 pub use netsim;
 pub use trim_core as core;
 pub use trim_tcp as tcp;

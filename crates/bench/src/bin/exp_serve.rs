@@ -1,0 +1,9 @@
+//! Regenerates the web-serving SLO artifact covered by
+//! `experiments::serve` via the campaign engine. Accepts the shared
+//! trim-bench flags (`--full`, `--jobs`, `--force`, ...); see `--help`.
+//! The 100k-session and mean-field campaigns run as `trim-bench --only
+//! serve_100k,serve_meanfield`.
+
+fn main() {
+    trim_experiments::single_experiment_main("serve_slo");
+}

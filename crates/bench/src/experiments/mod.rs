@@ -15,6 +15,7 @@
 //! | [`ablation`] | design-choice ablations called out in DESIGN.md |
 //! | [`incast`] | extension: partition/aggregate query completion |
 //! | [`rto_sensitivity`] | extension: RTO_min sweep |
+//! | [`serve`] | extension: web-serving session SLOs + mean-field fast path |
 
 pub mod ablation;
 pub mod concurrency;
@@ -27,5 +28,6 @@ pub mod large_scale;
 pub mod multihop;
 pub mod properties;
 pub mod rto_sensitivity;
+pub mod serve;
 pub mod testbed;
 pub mod trace;

@@ -127,6 +127,24 @@ pub static ALL: &[ExperimentSpec] = &[
         campaign: experiments::large_scale::campaign_100k,
         artifacts: &["ext_scale_incast"],
     },
+    ExperimentSpec {
+        id: "serve_slo",
+        title: "ext: web-serving session SLOs (2k sessions)",
+        campaign: experiments::serve::campaign,
+        artifacts: &["ext_serve_slo"],
+    },
+    ExperimentSpec {
+        id: "serve_100k",
+        title: "ext: highly concurrent serving (100k+ sessions)",
+        campaign: experiments::serve::campaign_100k,
+        artifacts: &["ext_serve_100k_slo", "ext_serve_100k_queue"],
+    },
+    ExperimentSpec {
+        id: "serve_meanfield",
+        title: "ext: mean-field crossval + 1M-connection sweep",
+        campaign: experiments::serve::campaign_meanfield,
+        artifacts: &["ext_serve_crossval", "ext_serve_sweep"],
+    },
 ];
 
 /// Looks an experiment up by id.

@@ -2,12 +2,14 @@
 //! deterministically, independent of worker count, and reproduce the
 //! committed CSVs under `results/` within the documented tolerance.
 //!
-//! Two campaigns cover the two artifact families: `trace` (simulation
+//! Three campaigns cover the artifact families: `trace` (simulation
 //! driven — exercises the event engine end to end, so any ordering or
-//! arithmetic drift in the engine shows up here) and `kmodel`
+//! arithmetic drift in the engine shows up here), `kmodel`
 //! (analytical — exercises the harness/reduce path without a
-//! simulator). Each runs at `--jobs 1` and `--jobs 8`; worker count
-//! must not leak into artifacts at all.
+//! simulator), and `serve_slo` (the web-serving session workload over
+//! the fat-tree, whose A/B jobs share a seed key). Each runs at
+//! `--jobs 1` and `--jobs 8`; worker count must not leak into
+//! artifacts at all.
 
 use std::path::{Path, PathBuf};
 
@@ -63,4 +65,9 @@ fn trace_campaign_is_jobs_invariant_and_matches_committed_goldens() {
 #[test]
 fn kmodel_campaign_is_jobs_invariant_and_matches_committed_goldens() {
     assert_campaign_reproduces_goldens("kmodel");
+}
+
+#[test]
+fn serve_campaign_is_jobs_invariant_and_matches_committed_goldens() {
+    assert_campaign_reproduces_goldens("serve_slo");
 }

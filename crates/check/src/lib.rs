@@ -33,7 +33,7 @@ pub mod monitors;
 pub use golden::{compare_csv_files, compare_csv_text, Mismatch, Tolerance};
 pub use monitors::{
     standard_monitors, AckReductionBound, CwndRange, FifoOrder, MonotonicTime, PacketConservation,
-    ProbeLegality, ProbeWindow, QueueBound,
+    ProbeLegality, ProbeWindow, QueueBound, SessionConservation,
 };
 
 use netsim::{InvariantMonitor, Payload, Simulator};
@@ -132,6 +132,7 @@ mod tests {
             "probe-legality",
             "ack-reduction-bound",
             "probe-window",
+            "session-conservation",
         ] {
             assert!(names.contains(&expected), "missing monitor {expected}");
         }
@@ -249,6 +250,61 @@ mod tests {
         assert!(v.at > SimTime::ZERO, "violation carries simulation time");
         assert!(v.flow.is_some(), "violation carries the offending flow");
         assert!(v.detail.contains("cap"), "detail names the capacity: {v}");
+    }
+
+    /// One client/server pair exchanging a two-response session over a
+    /// switch, with monitors attached. Returns the simulator after the
+    /// run; `faulty` injects the early session end on the server.
+    fn run_session_pair(faulty: bool) -> Simulator<trim_tcp::Segment> {
+        use trim_tcp::{CcKind, TcpConfig, TcpHost};
+        let mut sim: Simulator<trim_tcp::Segment> = Simulator::new();
+        let sw = sim.add_switch();
+        let mut client = TcpHost::new();
+        client.add_receiver(FlowId(1), TcpConfig::default());
+        let client = sim.add_host(Box::new(client));
+        let mut server = TcpHost::new();
+        let idx = server.add_sender(FlowId(1), client, TcpConfig::default(), &CcKind::Reno);
+        server.schedule_response_sequence(
+            idx,
+            SimTime::from_secs_f64(0.001),
+            vec![8_000, 8_000],
+            Dur::from_millis(2),
+        );
+        if faulty {
+            server.inject_session_early_end(idx);
+        }
+        let server = sim.add_host(Box::new(server));
+        for h in [client, server] {
+            sim.connect(
+                h,
+                sw,
+                Bandwidth::gbps(1),
+                Dur::from_micros(50),
+                QueueConfig::drop_tail(100),
+            );
+        }
+        attach_standard(&mut sim);
+        sim.run_until(SimTime::from_secs_f64(0.5));
+        sim
+    }
+
+    #[test]
+    fn clean_session_lifecycle_is_violation_free() {
+        let sim = run_session_pair(false);
+        assert_eq!(sim.audit_stats().dropped, 0);
+        sim.assert_no_violations();
+    }
+
+    #[test]
+    fn early_session_end_fault_is_caught() {
+        let sim = run_session_pair(true);
+        let violations = sim.violations();
+        let v = violations
+            .iter()
+            .find(|v| v.monitor == "session-conservation")
+            .expect("session-conservation catches the injected early end");
+        assert_eq!(v.flow, Some(FlowId(1)));
+        assert!(v.detail.contains("in flight"), "detail explains: {v}");
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub fn standard_monitors() -> Vec<Box<dyn InvariantMonitor>> {
         Box::new(ProbeLegality::new()),
         Box::new(AckReductionBound::new()),
         Box::new(ProbeWindow::new()),
+        Box::new(SessionConservation::new()),
     ]
 }
 
@@ -518,6 +519,174 @@ impl InvariantMonitor for ProbeWindow {
     }
 }
 
+/// Per-flow session bookkeeping for [`SessionConservation`].
+#[derive(Clone, Copy, Debug, Default)]
+struct SessionState {
+    planned: u32,
+    issued: u32,
+    completed: u32,
+    ended: bool,
+}
+
+/// Checks session/request conservation for the serve workload's
+/// application lifecycle: requests are issued in order on a started
+/// session, every response matches an outstanding request
+/// (`completed < issued` at completion time), and a session may only
+/// end once all issued requests have completed — so at any horizon
+/// `issued == completed + in-flight` holds per session and every
+/// started session is either ended or accounted open.
+#[derive(Debug, Default)]
+pub struct SessionConservation {
+    sessions: FastHashMap<FlowId, SessionState>,
+    violations: Vec<Violation>,
+}
+
+impl SessionConservation {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn violate(&mut self, at: SimTime, flow: FlowId, detail: String) {
+        self.violations.push(Violation {
+            at,
+            monitor: "session-conservation",
+            flow: Some(flow),
+            detail,
+        });
+    }
+}
+
+impl InvariantMonitor for SessionConservation {
+    fn name(&self) -> &'static str {
+        "session-conservation"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        match *ev {
+            MonitorEvent::SessionStarted {
+                flow,
+                planned_requests,
+            } => {
+                if self.sessions.contains_key(&flow) {
+                    self.violate(at, flow, "session started twice".into());
+                    return;
+                }
+                self.sessions.insert(
+                    flow,
+                    SessionState {
+                        planned: planned_requests,
+                        ..SessionState::default()
+                    },
+                );
+            }
+            MonitorEvent::RequestIssued { flow, index, bytes } => {
+                let Some(s) = self.sessions.get(&flow).copied() else {
+                    self.violate(at, flow, format!("request #{index} on unstarted session"));
+                    return;
+                };
+                if s.ended {
+                    self.violate(at, flow, format!("request #{index} after session end"));
+                    return;
+                }
+                if index != s.issued {
+                    self.violate(
+                        at,
+                        flow,
+                        format!("request #{index} out of order, expected #{}", s.issued),
+                    );
+                } else if s.issued >= s.planned {
+                    self.violate(
+                        at,
+                        flow,
+                        format!(
+                            "request #{index} exceeds the session's {} planned request(s)",
+                            s.planned
+                        ),
+                    );
+                }
+                let _ = bytes;
+                // trim-lint: allow(no-panic-in-library, reason = "key checked present just above")
+                self.sessions.get_mut(&flow).expect("present above").issued += 1;
+            }
+            MonitorEvent::ResponseCompleted { flow, index } => {
+                let Some(s) = self.sessions.get(&flow).copied() else {
+                    self.violate(at, flow, format!("response #{index} on unstarted session"));
+                    return;
+                };
+                if s.completed >= s.issued {
+                    self.violate(
+                        at,
+                        flow,
+                        format!(
+                            "response #{index} without an outstanding request \
+                             (issued {}, completed {})",
+                            s.issued, s.completed
+                        ),
+                    );
+                    return;
+                }
+                if index != s.completed {
+                    self.violate(
+                        at,
+                        flow,
+                        format!("response #{index} out of order, expected #{}", s.completed),
+                    );
+                }
+                self.sessions
+                    .get_mut(&flow)
+                    .expect("present above") // trim-lint: allow(no-panic-in-library, reason = "key checked present just above")
+                    .completed += 1;
+            }
+            MonitorEvent::SessionEnded {
+                flow,
+                issued,
+                completed,
+            } => {
+                let Some(s) = self.sessions.get(&flow).copied() else {
+                    self.violate(at, flow, "unstarted session ended".into());
+                    return;
+                };
+                if s.ended {
+                    self.violate(at, flow, "session ended twice".into());
+                    return;
+                }
+                if s.issued != issued || s.completed != completed {
+                    self.violate(
+                        at,
+                        flow,
+                        format!(
+                            "session-end tallies (issued {issued}, completed {completed}) \
+                             disagree with the event stream (issued {}, completed {})",
+                            s.issued, s.completed
+                        ),
+                    );
+                }
+                if s.issued != s.completed {
+                    self.violate(
+                        at,
+                        flow,
+                        format!(
+                            "session ended with {} request(s) still in flight \
+                             (issued {}, completed {})",
+                            s.issued - s.completed,
+                            s.issued,
+                            s.completed
+                        ),
+                    );
+                }
+                // trim-lint: allow(no-panic-in-library, reason = "key checked present just above")
+                self.sessions.get_mut(&flow).expect("present above").ended = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -786,6 +955,132 @@ mod tests {
         m.observe(t(4), &cwnd(64.0));
         assert_eq!(m.violations().len(), 1);
         assert!(m.violations()[0].detail.contains("window floor"));
+    }
+
+    #[test]
+    fn session_conservation_accepts_a_clean_lifecycle() {
+        let mut m = SessionConservation::new();
+        let f = FlowId(1);
+        m.observe(
+            t(1),
+            &MonitorEvent::SessionStarted {
+                flow: f,
+                planned_requests: 2,
+            },
+        );
+        for i in 0..2u32 {
+            m.observe(
+                t(2 + u64::from(i)),
+                &MonitorEvent::RequestIssued {
+                    flow: f,
+                    index: i,
+                    bytes: 4_000,
+                },
+            );
+            m.observe(
+                t(5 + u64::from(i)),
+                &MonitorEvent::ResponseCompleted { flow: f, index: i },
+            );
+        }
+        m.observe(
+            t(9),
+            &MonitorEvent::SessionEnded {
+                flow: f,
+                issued: 2,
+                completed: 2,
+            },
+        );
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn session_conservation_accounts_open_sessions_at_horizon() {
+        // A session with a request still in flight at the horizon is
+        // legal as long as it never claims to have ended.
+        let mut m = SessionConservation::new();
+        let f = FlowId(2);
+        m.observe(
+            t(1),
+            &MonitorEvent::SessionStarted {
+                flow: f,
+                planned_requests: 3,
+            },
+        );
+        m.observe(
+            t(2),
+            &MonitorEvent::RequestIssued {
+                flow: f,
+                index: 0,
+                bytes: 1_000,
+            },
+        );
+        m.finalize(
+            t(10),
+            &AuditStats {
+                injected: 0,
+                delivered: 0,
+                dropped: 0,
+                queued_pkts: 0,
+                pending_arrivals: 0,
+                arena_live: 0,
+            },
+        );
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn session_conservation_flags_broken_lifecycles() {
+        let mut m = SessionConservation::new();
+        // Request on a session that never started.
+        m.observe(
+            t(1),
+            &MonitorEvent::RequestIssued {
+                flow: FlowId(1),
+                index: 0,
+                bytes: 100,
+            },
+        );
+        // Response with no outstanding request.
+        m.observe(
+            t(2),
+            &MonitorEvent::SessionStarted {
+                flow: FlowId(2),
+                planned_requests: 1,
+            },
+        );
+        m.observe(
+            t(3),
+            &MonitorEvent::ResponseCompleted {
+                flow: FlowId(2),
+                index: 0,
+            },
+        );
+        // Session ends while a request is still in flight.
+        m.observe(
+            t(4),
+            &MonitorEvent::SessionStarted {
+                flow: FlowId(3),
+                planned_requests: 2,
+            },
+        );
+        m.observe(
+            t(5),
+            &MonitorEvent::RequestIssued {
+                flow: FlowId(3),
+                index: 0,
+                bytes: 100,
+            },
+        );
+        m.observe(
+            t(6),
+            &MonitorEvent::SessionEnded {
+                flow: FlowId(3),
+                issued: 1,
+                completed: 0,
+            },
+        );
+        assert_eq!(m.violations().len(), 3, "{:?}", m.violations());
+        assert!(m.violations()[2].detail.contains("in flight"));
     }
 
     #[test]

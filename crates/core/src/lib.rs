@@ -55,6 +55,7 @@
 pub mod analysis;
 pub mod config;
 pub mod estimator;
+pub mod fluid;
 pub mod kmodel;
 pub mod trim;
 

@@ -4,7 +4,7 @@
 //! fully deterministic, so a failure report of the form "seed 7,
 //! iteration 132" is already a repro even before shrinking.
 //!
-//! Two families are generated:
+//! Three families are generated:
 //!
 //! - **burst** (the default): randomized fan-in, link rate, delay,
 //!   buffer, congestion control (Reno / TRIM-guideline / TRIM with a
@@ -14,10 +14,17 @@
 //!   TRIM with the Eq. 4 guideline `K` under persistent offered load
 //!   well above the bottleneck capacity — the precondition of the
 //!   full-utilization oracle.
+//! - **session** (every [`GenConfig::session_every`]-th iteration,
+//!   saturation taking precedence on a collision): persistent-HTTP
+//!   sessions — per-sender response sequences with think times —
+//!   exercising the request/response lifecycle, the think-time
+//!   scheduler, and the session-aware goodput accounting.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use trim_workload::spec::{ScenarioSpec, SpecCc, SpecFault, SpecTrain, SPEC_MSS_BYTES};
+use trim_workload::spec::{
+    ScenarioSpec, SpecCc, SpecFault, SpecSession, SpecTrain, SPEC_MSS_BYTES,
+};
 
 /// Knobs bounding the generated scenario space. The defaults suit the
 /// release-mode CI smoke run; debug-mode tests pass smaller budgets.
@@ -29,6 +36,9 @@ pub struct GenConfig {
     pub max_total_bytes: u64,
     /// Generate a saturation spec every Nth iteration (0 = never).
     pub saturate_every: u64,
+    /// Generate a session spec every Nth iteration (0 = never);
+    /// saturation wins when an iteration matches both.
+    pub session_every: u64,
     /// Attach a queue over-admission fault to every burst spec (the
     /// detector self-test mode).
     pub fault_overadmit: bool,
@@ -40,6 +50,7 @@ impl Default for GenConfig {
             max_senders: 16,
             max_total_bytes: 600_000,
             saturate_every: 4,
+            session_every: 5,
             fault_overadmit: false,
         }
     }
@@ -63,8 +74,11 @@ pub fn gen_spec(seed: u64, iteration: u64, cfg: &GenConfig) -> ScenarioSpec {
     let mut rng = StdRng::seed_from_u64(iteration_seed(seed, iteration));
     let saturate =
         cfg.saturate_every != 0 && iteration % cfg.saturate_every == cfg.saturate_every - 1;
+    let session = cfg.session_every != 0 && iteration % cfg.session_every == cfg.session_every - 1;
     let spec = if saturate {
         gen_saturation(&mut rng, seed, cfg)
+    } else if session {
+        gen_session(&mut rng, seed, cfg)
     } else {
         gen_burst(&mut rng, seed, cfg)
     };
@@ -128,6 +142,73 @@ fn gen_burst(rng: &mut StdRng, seed: u64, cfg: &GenConfig) -> ScenarioSpec {
         horizon_ms,
         fault,
         trains,
+        sessions: Vec::new(),
+    }
+}
+
+/// Persistent-HTTP sessions: every sender serves one response sequence
+/// with think times, under a randomized link and congestion control.
+fn gen_session(rng: &mut StdRng, seed: u64, cfg: &GenConfig) -> ScenarioSpec {
+    let senders = rng.random_range(1..=cfg.max_senders.clamp(1, 8) as u64) as usize;
+    let link_mbps = pick(rng, &[100, 500, 1000, 2000]);
+    let delay_us = pick(rng, &[25, 50, 100]);
+    let buffer_pkts = rng.random_range(16..=200) as usize;
+    let base_rtt_ns = 4 * delay_us * 1_000;
+    let cc = match rng.random_range(0..3u64) {
+        0 => SpecCc::Reno,
+        1 => SpecCc::TrimGuideline,
+        _ => SpecCc::TrimOverrideNs(rng.random_range(base_rtt_ns..=10 * base_rtt_ns)),
+    };
+    let horizon_ms = rng.random_range(300..=1000);
+    let mut sessions = Vec::with_capacity(senders);
+    let mut budget = cfg.max_total_bytes;
+    for sender in 0..senders {
+        if budget < SPEC_MSS_BYTES {
+            break;
+        }
+        let mut sizes = Vec::new();
+        for _ in 0..rng.random_range(1..=4u64) {
+            if budget < SPEC_MSS_BYTES {
+                break;
+            }
+            let bytes = rng
+                .random_range(SPEC_MSS_BYTES..=20 * SPEC_MSS_BYTES)
+                .min(budget);
+            budget -= bytes;
+            sizes.push(bytes);
+        }
+        if sizes.is_empty() {
+            break;
+        }
+        sessions.push(SpecSession {
+            sender,
+            // Start within the first tenth of the horizon so every
+            // session has time to make progress.
+            at_us: rng.random_range(0..=horizon_ms * 100),
+            think_us: rng.random_range(0..=20_000),
+            sizes,
+        });
+    }
+    if sessions.is_empty() {
+        sessions.push(SpecSession {
+            sender: 0,
+            at_us: 0,
+            think_us: 1_000,
+            sizes: vec![SPEC_MSS_BYTES],
+        });
+    }
+    ScenarioSpec {
+        seed,
+        senders,
+        link_mbps,
+        delay_us,
+        buffer_pkts,
+        cc,
+        min_rto_us: pick(rng, &[10_000, 50_000, 200_000]),
+        horizon_ms,
+        fault: None,
+        trains: Vec::new(),
+        sessions,
     }
 }
 
@@ -161,6 +242,7 @@ fn gen_saturation(rng: &mut StdRng, seed: u64, cfg: &GenConfig) -> ScenarioSpec 
         horizon_ms,
         fault: None,
         trains,
+        sessions: Vec::new(),
     }
 }
 
@@ -210,6 +292,7 @@ mod tests {
         let cfg = GenConfig {
             fault_overadmit: true,
             saturate_every: 0,
+            session_every: 0,
             ..Default::default()
         };
         for i in 0..10 {
@@ -230,8 +313,40 @@ mod tests {
         };
         for i in 0..20 {
             let spec = gen_spec(9, i, &cfg);
-            let total: u64 = spec.trains.iter().map(|t| t.bytes).sum();
+            let total: u64 = spec.trains.iter().map(|t| t.bytes).sum::<u64>()
+                + spec
+                    .sessions
+                    .iter()
+                    .flat_map(|s| s.sizes.iter())
+                    .sum::<u64>();
             assert!(total <= 50_000 + SPEC_MSS_BYTES, "iteration {i}: {total}");
         }
+    }
+
+    #[test]
+    fn session_family_generates_valid_session_specs() {
+        let cfg = GenConfig {
+            saturate_every: 0,
+            session_every: 1,
+            ..Default::default()
+        };
+        for i in 0..10 {
+            let spec = gen_spec(21, i, &cfg);
+            spec.validate().unwrap();
+            assert!(spec.trains.is_empty(), "iteration {i} mixed in trains");
+            assert!(!spec.sessions.is_empty(), "iteration {i} has no sessions");
+            // The text form round-trips the sessions exactly.
+            let parsed = ScenarioSpec::from_text(&spec.to_text()).unwrap();
+            assert_eq!(parsed, spec);
+        }
+        // Saturation takes precedence when an iteration matches both.
+        let both = GenConfig {
+            saturate_every: 1,
+            session_every: 1,
+            ..Default::default()
+        };
+        let spec = gen_spec(21, 0, &both);
+        assert!(spec.sessions.is_empty());
+        assert_eq!(spec.cc, SpecCc::TrimGuideline);
     }
 }

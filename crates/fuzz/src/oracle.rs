@@ -32,6 +32,13 @@ pub fn check_oracles(spec: &ScenarioSpec, outcome: &SpecOutcome) -> Vec<OracleFa
 /// payload than a sender offered (padded to whole segments), and a
 /// sender that finished — no data outstanding at the horizon — must
 /// have delivered exactly its offered load.
+///
+/// Session senders need a looser idle rule: a connection sitting in a
+/// think gap is idle while later responses are still pending, so the
+/// exact-equality check only applies once every response in the
+/// sequence completed. Instead the completed prefix gives a floor —
+/// the sender must have delivered at least the padded bytes of every
+/// response it reports complete.
 #[derive(Debug)]
 pub struct GoodputConservation;
 
@@ -43,6 +50,14 @@ impl<'a> Oracle<SpecRun<'a>> for GoodputConservation {
     fn check(&self, run: &SpecRun<'a>, failures: &mut Vec<OracleFailure>) {
         for s in &run.outcome.report.senders {
             let offered = run.spec.offered_padded_bytes(s.sender);
+            let session = run.spec.session_for(s.sender);
+            // Exact equality needs the whole offered load to have been
+            // issued: always true for trains, true for a session only
+            // once all of its responses completed.
+            let fully_issued = match session {
+                None => true,
+                Some(sess) => s.trains.len() == sess.sizes.len(),
+            };
             if s.goodput_bytes > offered {
                 failures.push(OracleFailure {
                     oracle: self.name(),
@@ -51,7 +66,7 @@ impl<'a> Oracle<SpecRun<'a>> for GoodputConservation {
                         s.sender, s.goodput_bytes, offered
                     ),
                 });
-            } else if !s.unfinished && s.goodput_bytes != offered {
+            } else if !s.unfinished && fully_issued && s.goodput_bytes != offered {
                 failures.push(OracleFailure {
                     oracle: self.name(),
                     detail: format!(
@@ -59,6 +74,28 @@ impl<'a> Oracle<SpecRun<'a>> for GoodputConservation {
                         s.sender, s.goodput_bytes, offered
                     ),
                 });
+            }
+            if let Some(sess) = session {
+                let pad = |b: u64| b.div_ceil(SPEC_MSS_BYTES) * SPEC_MSS_BYTES;
+                let completed_floor: u64 = sess
+                    .sizes
+                    .iter()
+                    .take(s.trains.len())
+                    .map(|&b| pad(b))
+                    .sum();
+                if s.goodput_bytes < completed_floor {
+                    failures.push(OracleFailure {
+                        oracle: self.name(),
+                        detail: format!(
+                            "sender {} completed {} responses ({} padded bytes) \
+                             but delivered only {}",
+                            s.sender,
+                            s.trains.len(),
+                            completed_floor,
+                            s.goodput_bytes
+                        ),
+                    });
+                }
             }
             if s.goodput_bytes % SPEC_MSS_BYTES != 0 {
                 failures.push(OracleFailure {
@@ -105,6 +142,7 @@ impl KFullUtilization {
         let carriable_bytes = spec.bottleneck_bps() / 8 * spec.horizon_ms / 1_000;
         spec.cc == SpecCc::TrimGuideline
             && spec.fault.is_none()
+            && spec.sessions.is_empty()
             && streaming
             && offered_bytes >= 2 * carriable_bytes
     }
@@ -158,7 +196,7 @@ impl<'a> Oracle<SpecRun<'a>> for KFullUtilization {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trim_workload::spec::SpecTrain;
+    use trim_workload::spec::{SpecSession, SpecTrain};
 
     fn saturating_spec() -> ScenarioSpec {
         ScenarioSpec {
@@ -178,6 +216,7 @@ mod tests {
                     bytes: 1_000_000,
                 })
                 .collect(),
+            sessions: Vec::new(),
         }
     }
 
@@ -217,5 +256,48 @@ mod tests {
         assert!(failures
             .iter()
             .any(|f| f.oracle == "goodput-conservation" && f.detail.contains("only offered")));
+    }
+
+    /// A session whose think gaps outlast the horizon: the last
+    /// response never gets issued, so the connection is idle at the
+    /// report yet delivered less than the full offered load.
+    fn cutoff_session_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            horizon_ms: 8,
+            trains: Vec::new(),
+            sessions: vec![SpecSession {
+                sender: 0,
+                at_us: 0,
+                think_us: 8_000,
+                sizes: vec![14_600, 14_600, 14_600],
+            }],
+            ..saturating_spec()
+        }
+    }
+
+    #[test]
+    fn session_cut_mid_think_is_not_a_goodput_violation() {
+        let spec = cutoff_session_spec();
+        let out = spec.run().unwrap();
+        let s = &out.report.senders[0];
+        assert!(
+            s.trains.len() < 3,
+            "horizon must cut the session for this test to bite"
+        );
+        assert!(!s.unfinished, "cut mid-think means the connection is idle");
+        assert!(s.goodput_bytes < spec.offered_padded_bytes(0));
+        let failures = check_oracles(&spec, &out);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn goodput_oracle_fires_when_a_session_delivers_less_than_it_completed() {
+        let spec = cutoff_session_spec();
+        let mut out = spec.run().unwrap();
+        out.report.senders[0].goodput_bytes = 0;
+        let failures = check_oracles(&spec, &out);
+        assert!(failures
+            .iter()
+            .any(|f| f.oracle == "goodput-conservation" && f.detail.contains("delivered only")));
     }
 }

@@ -2,20 +2,22 @@
 //!
 //! Unlike a generic integer shrinker (see the compat `proptest` shim,
 //! which deliberately ships none), this shrinker is domain-aware: each
-//! pass proposes a *valid* simpler spec — halve the fan-in, drop trains,
-//! shorten the horizon, align start jitter, round parameters toward the
-//! paper's defaults — and keeps it only if the failure predicate still
-//! holds. Validity floors (at least one sender, one train, one segment)
-//! mean shrinking terminates on a minimal reproducible scenario, never
-//! on a degenerate all-zeros spec.
+//! pass proposes a *valid* simpler spec — halve the fan-in, drop trains
+//! and sessions, shorten response sequences, shorten the horizon, align
+//! start jitter, round parameters toward the paper's defaults — and
+//! keeps it only if the failure predicate still holds. Validity floors
+//! (at least one sender, one train or session, one segment, one
+//! response) mean shrinking terminates on a minimal reproducible
+//! scenario, never on a degenerate all-zeros spec.
 //!
 //! Termination: every accepted candidate strictly shrinks a bounded
-//! quantity (sender count, train count, byte totals, horizon, jitter
-//! sum, fault magnitude) or is an idempotent rounding no later pass
-//! undoes, so the pass loop reaches a fixpoint; a hard cap on accepted
-//! steps backstops the argument.
+//! quantity (sender count, train count, session count, response count,
+//! byte totals, think times, horizon, jitter sum, fault magnitude) or
+//! is an idempotent rounding no later pass undoes, so the pass loop
+//! reaches a fixpoint; a hard cap on accepted steps backstops the
+//! argument.
 
-use trim_workload::spec::{ScenarioSpec, SpecFault, SpecTrain, SPEC_MSS_BYTES};
+use trim_workload::spec::{ScenarioSpec, SpecFault, SpecSession, SpecTrain, SPEC_MSS_BYTES};
 
 /// How a shrink run went.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -86,7 +88,7 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
     out.extend(compact_senders(spec));
 
     // 4. Drop the second half of the trains, then individual trains.
-    if spec.trains.len() > 1 {
+    if !spec.trains.is_empty() {
         out.extend(without_trains(
             spec,
             spec.trains.len() / 2..spec.trains.len(),
@@ -96,35 +98,95 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         }
     }
 
-    // 5. Shorten the horizon (floor: past the last train start).
+    // 5. Drop the second half of the sessions, then individual sessions.
+    if !spec.sessions.is_empty() {
+        out.extend(without_sessions(
+            spec,
+            spec.sessions.len() / 2..spec.sessions.len(),
+        ));
+        for i in (0..spec.sessions.len()).rev() {
+            out.extend(without_sessions(spec, i..i + 1));
+        }
+    }
+
+    // 6. Shorten response sequences: keep the first half of every
+    //    session's sizes (floor: one response).
+    if spec.sessions.iter().any(|s| s.sizes.len() > 1) {
+        let mut s = spec.clone();
+        for sess in &mut s.sessions {
+            sess.sizes.truncate((sess.sizes.len() / 2).max(1));
+        }
+        out.push(s);
+    }
+
+    // 7. Shorten the horizon (floor: past the last train/session start).
     if spec.horizon_ms > 1 {
         let mut s = spec.clone();
-        let last_start_ms = spec.trains.iter().map(|t| t.at_us).max().unwrap_or(0) / 1_000;
+        let last_start_ms = spec
+            .trains
+            .iter()
+            .map(|t| t.at_us)
+            .chain(spec.sessions.iter().map(|sess| sess.at_us))
+            .max()
+            .unwrap_or(0)
+            / 1_000;
         s.horizon_ms = (spec.horizon_ms / 2).max(last_start_ms + 1);
         out.push(s);
     }
 
-    // 6. Halve train sizes, rounded to whole segments (floor: one MSS).
-    if spec.trains.iter().any(|t| t.bytes > SPEC_MSS_BYTES) {
+    // 8. Halve train and response sizes, rounded to whole segments
+    //    (floor: one MSS).
+    let halve = |b: u64| ((b / 2).div_ceil(SPEC_MSS_BYTES) * SPEC_MSS_BYTES).max(SPEC_MSS_BYTES);
+    if spec.trains.iter().any(|t| t.bytes > SPEC_MSS_BYTES)
+        || spec
+            .sessions
+            .iter()
+            .any(|s| s.sizes.iter().any(|&b| b > SPEC_MSS_BYTES))
+    {
         let mut s = spec.clone();
         for t in &mut s.trains {
-            let halved = (t.bytes / 2).div_ceil(SPEC_MSS_BYTES) * SPEC_MSS_BYTES;
-            t.bytes = halved.max(SPEC_MSS_BYTES);
+            t.bytes = halve(t.bytes);
+        }
+        for sess in &mut s.sessions {
+            for b in &mut sess.sizes {
+                *b = halve(*b);
+            }
         }
         out.push(s);
     }
 
-    // 7. Remove start jitter: align every train to the earliest start.
-    let min_at = spec.trains.iter().map(|t| t.at_us).min().unwrap_or(0);
-    if spec.trains.iter().any(|t| t.at_us != min_at) {
+    // 9. Halve think times (floor: zero — back-to-back responses).
+    if spec.sessions.iter().any(|s| s.think_us > 0) {
+        let mut s = spec.clone();
+        for sess in &mut s.sessions {
+            sess.think_us /= 2;
+        }
+        out.push(s);
+    }
+
+    // 10. Remove start jitter: align every train and session to the
+    //     earliest start.
+    let min_at = spec
+        .trains
+        .iter()
+        .map(|t| t.at_us)
+        .chain(spec.sessions.iter().map(|s| s.at_us))
+        .min()
+        .unwrap_or(0);
+    if spec.trains.iter().any(|t| t.at_us != min_at)
+        || spec.sessions.iter().any(|s| s.at_us != min_at)
+    {
         let mut s = spec.clone();
         for t in &mut s.trains {
             t.at_us = min_at;
         }
+        for sess in &mut s.sessions {
+            sess.at_us = min_at;
+        }
         out.push(s);
     }
 
-    // 8. Round link parameters toward the paper's defaults (idempotent).
+    // 11. Round link parameters toward the paper's defaults (idempotent).
     for f in [
         |s: &mut ScenarioSpec| s.delay_us = 50,
         |s: &mut ScenarioSpec| s.link_mbps = 1000,
@@ -135,7 +197,7 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         out.push(s);
     }
 
-    // 9. Weaken the fault to the smallest over-admission.
+    // 12. Weaken the fault to the smallest over-admission.
     if let Some(SpecFault::QueueOveradmit { extra }) = spec.fault {
         if extra > 1 {
             let mut s = spec.clone();
@@ -149,7 +211,7 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
 }
 
 /// `spec` restricted to its first `keep` senders, or `None` if that
-/// leaves no trains.
+/// leaves no workload at all.
 fn keep_senders(spec: &ScenarioSpec, keep: usize) -> Option<ScenarioSpec> {
     let keep = keep.max(1);
     let trains: Vec<SpecTrain> = spec
@@ -158,19 +220,32 @@ fn keep_senders(spec: &ScenarioSpec, keep: usize) -> Option<ScenarioSpec> {
         .filter(|t| t.sender < keep)
         .copied()
         .collect();
-    if trains.is_empty() {
+    let sessions: Vec<SpecSession> = spec
+        .sessions
+        .iter()
+        .filter(|s| s.sender < keep)
+        .cloned()
+        .collect();
+    if trains.is_empty() && sessions.is_empty() {
         return None;
     }
     let mut s = spec.clone();
     s.senders = keep;
     s.trains = trains;
+    s.sessions = sessions;
     Some(s)
 }
 
-/// `spec` with unused sender slots removed and trains renumbered onto
-/// `0..n_used`, or `None` when every sender already has a train.
+/// `spec` with unused sender slots removed and the workload renumbered
+/// onto `0..n_used`, or `None` when every sender already has a train or
+/// session.
 fn compact_senders(spec: &ScenarioSpec) -> Option<ScenarioSpec> {
-    let mut used: Vec<usize> = spec.trains.iter().map(|t| t.sender).collect();
+    let mut used: Vec<usize> = spec
+        .trains
+        .iter()
+        .map(|t| t.sender)
+        .chain(spec.sessions.iter().map(|s| s.sender))
+        .collect();
     used.sort_unstable();
     used.dedup();
     if used.len() == spec.senders {
@@ -181,12 +256,16 @@ fn compact_senders(spec: &ScenarioSpec) -> Option<ScenarioSpec> {
     for t in &mut s.trains {
         t.sender = used.binary_search(&t.sender).expect("sender is used");
     }
+    for sess in &mut s.sessions {
+        sess.sender = used.binary_search(&sess.sender).expect("sender is used");
+    }
     Some(s)
 }
 
-/// `spec` without the trains at `range`, or `None` if that leaves none.
+/// `spec` without the trains at `range`, or `None` if that leaves no
+/// workload at all.
 fn without_trains(spec: &ScenarioSpec, range: std::ops::Range<usize>) -> Option<ScenarioSpec> {
-    if range.len() >= spec.trains.len() {
+    if range.len() >= spec.trains.len() && spec.sessions.is_empty() {
         return None;
     }
     let mut s = spec.clone();
@@ -196,6 +275,23 @@ fn without_trains(spec: &ScenarioSpec, range: std::ops::Range<usize>) -> Option<
         .enumerate()
         .filter(|(i, _)| !range.contains(i))
         .map(|(_, t)| *t)
+        .collect();
+    Some(s)
+}
+
+/// `spec` without the sessions at `range`, or `None` if that leaves no
+/// workload at all.
+fn without_sessions(spec: &ScenarioSpec, range: std::ops::Range<usize>) -> Option<ScenarioSpec> {
+    if range.len() >= spec.sessions.len() && spec.trains.is_empty() {
+        return None;
+    }
+    let mut s = spec.clone();
+    s.sessions = spec
+        .sessions
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !range.contains(i))
+        .map(|(_, sess)| sess.clone())
         .collect();
     Some(s)
 }
@@ -225,6 +321,29 @@ mod tests {
                     })
                 })
                 .collect(),
+            sessions: Vec::new(),
+        }
+    }
+
+    fn session_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            senders: 8,
+            trains: (4..8)
+                .map(|sender| SpecTrain {
+                    sender,
+                    at_us: 500,
+                    bytes: 29_200,
+                })
+                .collect(),
+            sessions: (0..4)
+                .map(|sender| SpecSession {
+                    sender,
+                    at_us: 100 * sender as u64,
+                    think_us: 8_000,
+                    sizes: vec![29_200, 14_600, 43_800, 2_920],
+                })
+                .collect(),
+            ..big_spec()
         }
     }
 
@@ -254,6 +373,34 @@ mod tests {
         assert_eq!(small.fault, Some(SpecFault::QueueOveradmit { extra: 1 }));
         assert_eq!(small.trains[0].at_us, 0);
         assert_eq!(small.horizon_ms, 1);
+    }
+
+    #[test]
+    fn session_specs_shrink_to_their_own_floor() {
+        // Everything shrinkable reaches its floor: the trains go first
+        // (sessions can carry a spec alone), then one session with one
+        // MSS-sized response, zero think, zero start.
+        let (small, _) = shrink(&session_spec(), |_| true);
+        small.validate().unwrap();
+        assert!(small.trains.is_empty());
+        assert_eq!(small.senders, 1);
+        assert_eq!(small.sessions.len(), 1);
+        assert_eq!(small.sessions[0].sizes, vec![SPEC_MSS_BYTES]);
+        assert_eq!(small.sessions[0].think_us, 0);
+        assert_eq!(small.sessions[0].at_us, 0);
+    }
+
+    #[test]
+    fn shrinking_preserves_a_session_predicate() {
+        // "Fails" while some session still has >= 2 responses: the
+        // minimum keeps exactly one such session.
+        let (small, stats) = shrink(&session_spec(), |s| {
+            s.sessions.iter().any(|sess| sess.sizes.len() >= 2)
+        });
+        small.validate().unwrap();
+        assert_eq!(small.sessions.len(), 1);
+        assert_eq!(small.sessions[0].sizes.len(), 2);
+        assert!(stats.accepted > 0);
     }
 
     #[test]

@@ -86,6 +86,24 @@ fn probe_gap_spec_actually_probes() {
 }
 
 #[test]
+fn session_spec_exercises_the_mid_think_cutoff() {
+    let spec = load("session_mixed.spec");
+    let out = spec.run().unwrap();
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+    // Sender 1's think gap outlasts the horizon: the second response is
+    // never issued, leaving the connection idle with partial goodput —
+    // exactly the case the session-aware goodput rule must tolerate.
+    let s1 = &out.report.senders[1];
+    assert_eq!(s1.trains.len(), 1, "the long think must cut response 2");
+    assert!(!s1.unfinished, "mid-think means idle at the horizon");
+    assert!(s1.goodput_bytes < spec.offered_padded_bytes(1));
+    // Sender 0's full sequence completes; conservation is exact there.
+    let s0 = &out.report.senders[0];
+    assert_eq!(s0.trains.len(), 3);
+    assert_eq!(s0.goodput_bytes, spec.offered_padded_bytes(0));
+}
+
+#[test]
 fn saturation_spec_exercises_the_utilization_oracle() {
     let spec = load("saturate_trim_guideline.spec");
     assert!(trim_fuzz::oracle::KFullUtilization::qualifies(&spec));

@@ -168,6 +168,39 @@ pub enum MonitorEvent {
         /// The step taken.
         transition: ProbeTransition,
     },
+    /// An application-level user session opened on a connection (the
+    /// serve workload's request/response exchange began).
+    SessionStarted {
+        /// The flow label of the connection carrying the session.
+        flow: FlowId,
+        /// Requests the session intends to issue over its lifetime.
+        planned_requests: u32,
+    },
+    /// A session issued one request (one response train was enqueued).
+    RequestIssued {
+        /// The flow label of the connection carrying the session.
+        flow: FlowId,
+        /// Zero-based index of the request within the session.
+        index: u32,
+        /// Response bytes the request asks for.
+        bytes: u64,
+    },
+    /// One request's response train was fully acknowledged.
+    ResponseCompleted {
+        /// The flow label of the connection carrying the session.
+        flow: FlowId,
+        /// Zero-based index of the completed request.
+        index: u32,
+    },
+    /// A session closed after its final response completed.
+    SessionEnded {
+        /// The flow label of the connection carrying the session.
+        flow: FlowId,
+        /// Requests the session issued in total.
+        issued: u32,
+        /// Responses that completed in total.
+        completed: u32,
+    },
 }
 
 /// A recorded invariant violation: which monitor, when (simulation

@@ -290,6 +290,10 @@ pub struct FatTree {
     pub agg_switches: Vec<NodeId>,
     /// Core switches.
     pub core_switches: Vec<NodeId>,
+    /// Per-host edge→host downlink channels, indexed like `hosts`. The
+    /// downlink is the last hop of every response train, so this is
+    /// where serving workloads record queue occupancy.
+    pub host_downlinks: Vec<ChannelId>,
 }
 
 /// Builds a k-ary fat-tree with `k` pods: each pod has `k/2` edge and `k/2`
@@ -312,6 +316,7 @@ pub fn fat_tree<P: Payload>(
     let half = k / 2;
     let core: Vec<_> = (0..half * half).map(|_| sim.add_switch()).collect();
     let mut hosts = Vec::new();
+    let mut host_downlinks = Vec::new();
     let mut edge_switches = Vec::new();
     let mut agg_switches = Vec::new();
     let mut host_idx = 0;
@@ -337,8 +342,9 @@ pub fn fat_tree<P: Payload>(
             for _ in 0..half {
                 let h = sim.add_host(make(Role::Sender(host_idx)));
                 host_idx += 1;
-                sim.connect(h, edge, link.bandwidth, link.delay, link.queue);
+                let (_up, down) = sim.connect(h, edge, link.bandwidth, link.delay, link.queue);
                 hosts.push(h);
+                host_downlinks.push(down);
             }
         }
         edge_switches.extend(edges);
@@ -350,6 +356,7 @@ pub fn fat_tree<P: Payload>(
         edge_switches,
         agg_switches,
         core_switches: core,
+        host_downlinks,
     }
 }
 
@@ -445,6 +452,22 @@ mod tests {
         assert_eq!(net.core_switches.len(), 4);
         assert_eq!(net.edge_switches.len(), 8);
         assert_eq!(net.agg_switches.len(), 8);
+        assert_eq!(net.host_downlinks.len(), net.hosts.len());
+    }
+
+    #[test]
+    fn fat_tree_downlinks_carry_inbound_traffic() {
+        let mut sim = Simulator::new();
+        let net = fat_tree(&mut sim, 4, spec(), sink);
+        for &ch in &net.host_downlinks {
+            sim.enable_queue_recording(ch);
+        }
+        let dst = net.hosts[5];
+        let src = net.hosts[12]; // cross-pod source
+        sim.inject(src, Packet::new(src, dst, FlowId(1), 1000, TagPayload(0)));
+        sim.run();
+        assert_eq!(sim.queue_stats(net.host_downlinks[5]).enqueued, 1);
+        assert_eq!(sim.queue_stats(net.host_downlinks[12]).enqueued, 0);
     }
 
     #[test]

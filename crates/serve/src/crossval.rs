@@ -1,0 +1,247 @@
+//! Cross-validation of the mean-field fast path against the packet
+//! simulator.
+//!
+//! The fluid model ([`trim_core::fluid`]) buys its million-session speed
+//! by abstracting packets away, so it must earn trust the only way an
+//! abstraction can: by agreeing with the packet-level simulator where
+//! both can run. [`cross_validate`] runs the same saturated
+//! persistent-connection workload through both — N senders over the
+//! paper's many-to-one bottleneck, each serving a long session of
+//! back-to-back responses — and compares the mean per-request completion
+//! time (ARCT). The committed differential test gates the relative error
+//! at 10 % on every instance of [`instances`].
+//!
+//! Methodology notes:
+//!
+//! - The packet side measures only the stationary window: it opens once
+//!   every connection has finished its first few responses (slow-start
+//!   warm-up) and closes when the first session drains (after that the
+//!   survivors split the freed capacity and the population no longer
+//!   matches the model's N). The fluid model integrates to steady state
+//!   and averages over the second half of its horizon, so only the
+//!   stationary regimes are compared.
+//! - The packet mean ARCT is estimated as `N·T / completions`: every
+//!   backlogged connection always has exactly one response in service,
+//!   so connection-time divided by responses is the mean time per
+//!   response. Averaging the completion times of responses that *finish*
+//!   inside the window would be biased low — responses still in flight
+//!   at the cutoff are preferentially the long ones (length-biased
+//!   truncation) — while this occupancy estimator has no boundary bias.
+//! - Think time is 1 µs, keeping every connection backlogged — the
+//!   regime where the mean-field rate balance `N·W = C·RTT` holds.
+//! - The fluid `K` uses the Eq. 22 lower bound for the same `C` and `D`;
+//!   the packet TRIM derives its threshold from the same guideline.
+
+use netsim::time::{Dur, SimTime};
+use trim_core::fluid::{self, FluidCc, FluidClass, FluidConfig};
+use trim_core::kmodel;
+use trim_workload::scenario::ScenarioBuilder;
+
+/// Congestion control of a cross-validation instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CvCc {
+    /// TCP Reno (the paper's legacy baseline).
+    Reno,
+    /// TCP-TRIM with the Eq. 22 threshold.
+    Trim,
+}
+
+/// One cross-validation instance, runnable by both simulators.
+#[derive(Clone, Copy, Debug)]
+pub struct Instance {
+    /// Short identifier for reports.
+    pub name: &'static str,
+    /// Concurrent persistent connections sharing the bottleneck.
+    pub senders: usize,
+    /// Responses per session.
+    pub requests: usize,
+    /// Bytes per response.
+    pub response_bytes: u64,
+    /// Congestion control on every sender.
+    pub cc: CvCc,
+}
+
+/// Outcome of one instance: both predictions and their disagreement.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossVal {
+    /// The instance name.
+    pub name: &'static str,
+    /// Concurrent connections.
+    pub senders: usize,
+    /// Mean steady-state ARCT from the packet simulator, in seconds.
+    pub packet_arct: f64,
+    /// Mean ARCT predicted by the fluid model, in seconds.
+    pub fluid_arct: f64,
+    /// `|packet - fluid| / packet`.
+    pub rel_err: f64,
+}
+
+/// Responses discarded per connection before averaging (slow-start and
+/// initial convergence).
+const WARMUP_RESPONSES: usize = 5;
+
+/// Base round-trip time of the many-to-one topology: four 50 µs hops.
+const BASE_RTT_NS: u64 = 200_000;
+
+/// Bottleneck buffer of the paper's default switch, in packets.
+const BUFFER_PKTS: f64 = 100.0;
+
+/// Bottleneck capacity in 1460-byte packets per second (data packets
+/// occupy exactly one MSS on the wire, so this is exact).
+fn capacity_pps() -> f64 {
+    1e9 / (1460.0 * 8.0)
+}
+
+/// The committed cross-validation suite: TRIM at three concurrency
+/// levels plus a Reno baseline.
+pub fn instances() -> Vec<Instance> {
+    vec![
+        Instance {
+            name: "trim_n4",
+            senders: 4,
+            requests: 40,
+            response_bytes: 200_000,
+            cc: CvCc::Trim,
+        },
+        Instance {
+            name: "trim_n8",
+            senders: 8,
+            requests: 40,
+            response_bytes: 200_000,
+            cc: CvCc::Trim,
+        },
+        Instance {
+            name: "trim_n16",
+            senders: 16,
+            requests: 40,
+            response_bytes: 200_000,
+            cc: CvCc::Trim,
+        },
+        Instance {
+            name: "reno_n8",
+            senders: 8,
+            requests: 40,
+            response_bytes: 200_000,
+            cc: CvCc::Reno,
+        },
+    ]
+}
+
+/// Runs `inst` through both simulators and reports the disagreement.
+///
+/// # Panics
+///
+/// Panics if any packet-level session fails to finish within the run's
+/// horizon — an unfinished session would silently bias the mean.
+pub fn cross_validate(inst: &Instance) -> CrossVal {
+    let packet_arct = packet_mean_arct(inst);
+    let fluid_arct = fluid_mean_arct(inst);
+    CrossVal {
+        name: inst.name,
+        senders: inst.senders,
+        packet_arct,
+        fluid_arct,
+        rel_err: (packet_arct - fluid_arct).abs() / packet_arct,
+    }
+}
+
+fn packet_mean_arct(inst: &Instance) -> f64 {
+    let mut builder = ScenarioBuilder::many_to_one(inst.senders);
+    if inst.cc == CvCc::Trim {
+        builder = builder.trim();
+    }
+    let mut sc = builder.build();
+    let sizes = vec![inst.response_bytes; inst.requests];
+    for s in 0..inst.senders {
+        sc.send_session(
+            s,
+            SimTime::from_secs_f64(0.001),
+            sizes.clone(),
+            Dur::from_micros(1),
+        );
+    }
+    let report = sc.run_for_secs(5.0);
+    for sender in &report.senders {
+        assert_eq!(
+            sender.trains.len(),
+            inst.requests,
+            "{}: sender {} finished {} of {} responses",
+            inst.name,
+            sender.sender,
+            sender.trains.len(),
+            inst.requests
+        );
+    }
+    // Stationary window: opens when the slowest connection clears its
+    // warm-up responses, closes when the fastest session drains.
+    let window_start = report
+        .senders
+        .iter()
+        .map(|s| s.trains[WARMUP_RESPONSES - 1].completed_at)
+        .max()
+        .expect("at least one sender");
+    let window_end = report
+        .senders
+        .iter()
+        .filter_map(|s| s.trains.last().map(|t| t.completed_at))
+        .min()
+        .expect("at least one sender");
+    let span = window_end.saturating_since(window_start).as_secs_f64();
+    assert!(span > 0.0, "{}: empty stationary window", inst.name);
+    // Occupancy estimator: N connections, each permanently serving one
+    // response, completed `completions` of them over `span` seconds.
+    let completions = report
+        .senders
+        .iter()
+        .flat_map(|s| s.trains.iter())
+        .filter(|t| t.completed_at > window_start && t.completed_at <= window_end)
+        .count();
+    inst.senders as f64 * span / completions as f64
+}
+
+fn fluid_mean_arct(inst: &Instance) -> f64 {
+    let c = capacity_pps();
+    let cc = match inst.cc {
+        CvCc::Reno => FluidCc::Reno,
+        CvCc::Trim => FluidCc::Trim {
+            k_ns: kmodel::k_lower_bound_ns(c, BASE_RTT_NS),
+        },
+    };
+    let out = fluid::integrate(&FluidConfig::single_class(
+        c,
+        BUFFER_PKTS,
+        FluidClass {
+            n: inst.senders as f64,
+            base_rtt_ns: BASE_RTT_NS,
+            cc,
+        },
+    ));
+    let pkts = (inst.response_bytes as f64 / 1460.0).ceil();
+    out.predicted_arct_ns(0, pkts) / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_at_least_three_instances() {
+        assert!(instances().len() >= 3);
+        assert!(instances().iter().any(|i| i.cc == CvCc::Reno));
+    }
+
+    #[test]
+    fn fluid_matches_packet_level_within_ten_percent() {
+        for inst in instances() {
+            let cv = cross_validate(&inst);
+            assert!(
+                cv.rel_err <= 0.10,
+                "{}: packet ARCT {:.6} s vs fluid {:.6} s ({:.1} % apart)",
+                cv.name,
+                cv.packet_arct,
+                cv.fluid_arct,
+                cv.rel_err * 100.0
+            );
+        }
+    }
+}

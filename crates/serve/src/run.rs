@@ -1,0 +1,325 @@
+//! Packet-level serving runs with session-level SLO reporting.
+//!
+//! [`run`] drives the sessions of a [`SessionModel`] over a load-balanced
+//! k-ary fat-tree: the first half of the hosts serve, the second half are
+//! front-end clients, and each session's persistent connection is
+//! assigned server and client round-robin. The outcome is a
+//! [`ServeReport`] with the SLO numbers an operator would watch: request
+//! completion-time percentiles (p50/p99/p999 ARCT), goodput, session
+//! accounting, peak session concurrency, and last-hop queue occupancy.
+
+use netsim::prelude::*;
+use netsim::time::SimTime;
+use netsim::topology::{self, LinkSpec};
+use trim_tcp::{CcKind, Segment, TcpConfig, TcpHost};
+use trim_workload::metrics::Summary;
+use trim_workload::scenario::{schedule_session, wire_flow};
+
+use crate::session::{generate, SessionModel, SessionPlan};
+
+/// Configuration of one serving run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The user-session arrival process.
+    pub model: SessionModel,
+    /// Pod count of the fat-tree (`k`); hosts = `k^3/4`.
+    pub pods: usize,
+    /// Link spec shared by every fat-tree link.
+    pub link: LinkSpec,
+    /// TCP configuration for every connection.
+    pub tcp: TcpConfig,
+    /// Congestion control for every server.
+    pub cc: CcKind,
+    /// Simulated horizon in seconds.
+    pub horizon_secs: f64,
+}
+
+impl ServeConfig {
+    /// A serving run over the paper's 4-pod fat-tree with 1 Gbps /
+    /// 50 µs / 100-packet links, Reno senders, and a 3 s horizon.
+    pub fn new(model: SessionModel) -> Self {
+        ServeConfig {
+            model,
+            pods: 4,
+            link: LinkSpec::new(
+                Bandwidth::gbps(1),
+                Dur::from_micros(50),
+                QueueConfig::drop_tail(100),
+            ),
+            tcp: TcpConfig::default(),
+            cc: CcKind::Reno,
+            horizon_secs: 3.0,
+        }
+    }
+
+    /// Switches every server to TCP-TRIM with `K` derived from the link
+    /// bandwidth.
+    pub fn trim(mut self) -> Self {
+        self.cc = CcKind::trim_with_capacity(self.link.bandwidth.as_bps(), self.tcp.mss_bytes);
+        self
+    }
+}
+
+/// SLO report of one serving run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    /// Simulated time of the report.
+    pub at: SimTime,
+    /// Sessions the model planned.
+    pub sessions_planned: usize,
+    /// Sessions whose every response completed.
+    pub sessions_completed: usize,
+    /// Sessions still open (mid-request or mid-think) at the horizon.
+    pub sessions_open_at_horizon: usize,
+    /// Requests handed to TCP (completed plus in flight).
+    pub requests_issued: u64,
+    /// Requests whose response was fully acknowledged.
+    pub requests_completed: u64,
+    /// Requests with response data still outstanding at the horizon.
+    pub requests_in_flight: u64,
+    /// Most sessions simultaneously open at any instant.
+    pub peak_concurrent_sessions: usize,
+    /// Per-request completion times (the paper's ARCT), in seconds;
+    /// `p50`/`p99`/`p999` are the SLO tail metrics.
+    pub arct: Summary,
+    /// Completed response bytes per simulated second, in Mbit/s.
+    pub goodput_mbps: f64,
+    /// Time-averaged queue length, averaged over the client-facing
+    /// host downlinks (the last hop of every response).
+    pub downlink_mean_occupancy: f64,
+    /// Largest instantaneous queue length over the client downlinks.
+    pub downlink_max_occupancy: usize,
+    /// Packets dropped anywhere on the client downlinks.
+    pub downlink_dropped: u64,
+    /// Retransmission timeouts across all connections.
+    pub timeouts: u64,
+    /// Events the engine processed.
+    pub events_processed: u64,
+}
+
+struct SessionOutcome {
+    arrival: SimTime,
+    completed: usize,
+    in_flight: bool,
+    end: Option<SimTime>,
+    completions: Vec<Dur>,
+    completed_bytes: u64,
+    timeouts: u64,
+}
+
+/// Runs the serving workload and collects its SLO report.
+///
+/// Deterministic: a pure function of `cfg`.
+///
+/// # Panics
+///
+/// Panics if the fat-tree is degenerate, the horizon is not positive, or
+/// an attached invariant monitor records a violation.
+pub fn run(cfg: &ServeConfig) -> ServeReport {
+    assert!(cfg.horizon_secs > 0.0, "horizon must be positive");
+    let plans = generate(&cfg.model);
+    let mut sim: Simulator<Segment> = Simulator::new();
+    let net = topology::fat_tree(&mut sim, cfg.pods, cfg.link, |_| Box::new(TcpHost::new()));
+    let half = net.hosts.len() / 2;
+    assert!(half >= 1, "fat-tree too small to split into tiers");
+    let servers = &net.hosts[..half];
+    let clients = &net.hosts[half..];
+
+    // Round-robin placement: session i serves from servers[i % S] to
+    // clients[(i / S) % C], so load spreads across both tiers and most
+    // responses cross pods.
+    let mut placed: Vec<(NodeId, usize)> = Vec::with_capacity(plans.len());
+    for (i, plan) in plans.iter().enumerate() {
+        let server = servers[i % servers.len()];
+        let client = clients[(i / servers.len()) % clients.len()];
+        let flow = FlowId(i as u64);
+        let idx = wire_flow(&mut sim, flow, server, client, cfg.tcp, &cfg.cc);
+        schedule_session(
+            &mut sim,
+            server,
+            idx,
+            plan.arrival,
+            plan.sizes.clone(),
+            plan.think,
+        );
+        placed.push((server, idx));
+    }
+    trim_check::attach_standard_if_enabled(&mut sim);
+    sim.run_until(SimTime::from_secs_f64(cfg.horizon_secs));
+    sim.assert_no_violations();
+
+    let horizon = sim.now();
+    let outcomes: Vec<SessionOutcome> = plans
+        .iter()
+        .zip(&placed)
+        .map(|(plan, &(server, idx))| session_outcome(&sim, plan, server, idx))
+        .collect();
+
+    let mut completions: Vec<Dur> = Vec::new();
+    let mut completed_bytes = 0u64;
+    let mut requests_completed = 0u64;
+    let mut requests_in_flight = 0u64;
+    let mut sessions_completed = 0usize;
+    let mut timeouts = 0u64;
+    for o in &outcomes {
+        completions.extend_from_slice(&o.completions);
+        completed_bytes += o.completed_bytes;
+        requests_completed += o.completed as u64;
+        requests_in_flight += u64::from(o.in_flight);
+        sessions_completed += usize::from(o.end.is_some());
+        timeouts += o.timeouts;
+    }
+
+    let mut downlink_mean = 0.0;
+    let mut downlink_max = 0usize;
+    let mut downlink_dropped = 0u64;
+    let span = horizon.saturating_since(SimTime::ZERO);
+    for ci in 0..clients.len() {
+        let stats = sim.queue_stats(net.host_downlinks[half + ci]);
+        downlink_mean += stats.average_len(span);
+        downlink_max = downlink_max.max(stats.max_len);
+        downlink_dropped += stats.dropped;
+    }
+    downlink_mean /= clients.len() as f64;
+
+    ServeReport {
+        at: horizon,
+        sessions_planned: plans.len(),
+        sessions_completed,
+        sessions_open_at_horizon: plans.len() - sessions_completed,
+        requests_issued: requests_completed + requests_in_flight,
+        requests_completed,
+        requests_in_flight,
+        peak_concurrent_sessions: peak_concurrency(&outcomes, horizon),
+        arct: Summary::of(&completions),
+        goodput_mbps: completed_bytes as f64 * 8.0 / cfg.horizon_secs / 1e6,
+        downlink_mean_occupancy: downlink_mean,
+        downlink_max_occupancy: downlink_max,
+        downlink_dropped,
+        timeouts,
+        events_processed: sim.events_processed(),
+    }
+}
+
+fn session_outcome(
+    sim: &Simulator<Segment>,
+    plan: &SessionPlan,
+    server: NodeId,
+    idx: usize,
+) -> SessionOutcome {
+    let host: &TcpHost = sim.host(server);
+    let conn = host.connection(idx);
+    let trains = conn.completed_trains();
+    let completed = trains.len();
+    let end = (completed == plan.sizes.len()).then(|| {
+        trains
+            .last()
+            .map(|t| t.completed_at)
+            .unwrap_or(plan.arrival)
+    });
+    SessionOutcome {
+        arrival: plan.arrival,
+        completed,
+        in_flight: !conn.is_idle(),
+        end,
+        completions: trains.iter().map(|t| t.completion_time()).collect(),
+        completed_bytes: trains.iter().map(|t| t.bytes).sum(),
+        timeouts: conn.stats().timeouts,
+    }
+}
+
+/// Sweeps the session intervals for the most sessions simultaneously
+/// open. Sessions still open at `horizon` close there; at a shared
+/// timestamp ends are processed before starts, so back-to-back sessions
+/// never inflate the peak.
+fn peak_concurrency(outcomes: &[SessionOutcome], horizon: SimTime) -> usize {
+    let mut events: Vec<(SimTime, i8)> = Vec::with_capacity(outcomes.len() * 2);
+    for o in outcomes {
+        events.push((o.arrival, 1));
+        events.push((o.end.unwrap_or(horizon), -1));
+    }
+    // Ends (-1) sort before starts (+1) at equal times.
+    events.sort_by_key(|&(t, delta)| (t, delta));
+    let mut open = 0i64;
+    let mut peak = 0i64;
+    for (_, delta) in events {
+        open += i64::from(delta);
+        peak = peak.max(open);
+    }
+    peak as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64, sessions: usize) -> ServeConfig {
+        let mut model = SessionModel::new(seed, sessions);
+        model.arrival_window = Dur::from_millis(50);
+        // Short thinks keep the whole run inside the 4 s horizon even
+        // deep into the exponential tail.
+        model.think_min = Dur::from_millis(100);
+        model.think_mean_excess = Dur::from_millis(20);
+        ServeConfig {
+            horizon_secs: 4.0,
+            ..ServeConfig::new(model)
+        }
+    }
+
+    #[test]
+    fn small_run_completes_every_session() {
+        let report = run(&small_config(11, 64));
+        assert_eq!(report.sessions_planned, 64);
+        assert_eq!(report.sessions_completed, 64);
+        assert_eq!(report.sessions_open_at_horizon, 0);
+        assert_eq!(report.requests_in_flight, 0);
+        assert_eq!(report.requests_issued, report.requests_completed);
+        assert!(report.requests_completed >= 128, "at least 2 requests each");
+        assert_eq!(report.arct.count as u64, report.requests_completed);
+        assert!(report.arct.p999 >= report.arct.p99);
+        assert!(report.arct.p99 >= report.arct.p50);
+        assert!(report.goodput_mbps > 0.0);
+        assert_eq!(report.timeouts, 0);
+    }
+
+    #[test]
+    fn all_sessions_overlap_when_think_exceeds_the_arrival_window() {
+        // Arrivals span ~50 ms, every think is >= 100 ms: all 64 sessions
+        // are open together just after the last arrival.
+        let report = run(&small_config(12, 64));
+        assert_eq!(report.peak_concurrent_sessions, 64);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(&small_config(13, 32));
+        let b = run(&small_config(13, 32));
+        assert_eq!(a, b);
+        let c = run(&small_config(14, 32));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trim_config_switches_congestion_control() {
+        let cfg = small_config(15, 16).trim();
+        let report = run(&cfg);
+        assert_eq!(report.sessions_completed, 16);
+        assert_eq!(report.timeouts, 0);
+    }
+
+    #[test]
+    fn open_sessions_are_accounted_at_the_horizon() {
+        // A horizon shorter than the think floor cuts every session off
+        // between its first and second request.
+        let mut cfg = ServeConfig {
+            horizon_secs: 0.3,
+            ..small_config(16, 16)
+        };
+        cfg.model.think_min = Dur::from_millis(500);
+        let report = run(&cfg);
+        assert_eq!(report.sessions_completed, 0);
+        assert_eq!(report.sessions_open_at_horizon, 16);
+        assert_eq!(report.requests_completed, 16);
+        assert_eq!(report.peak_concurrent_sessions, 16);
+    }
+}

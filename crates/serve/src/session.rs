@@ -1,0 +1,146 @@
+//! Open-loop user-session generation.
+//!
+//! A *session* models one user on a persistent HTTP connection: it
+//! arrives by a Poisson process (exponential inter-arrival times),
+//! issues a small number of requests whose response sizes are drawn
+//! from the configured range, and pauses for a per-session think time
+//! between consecutive responses. Arrivals are open-loop: the arrival
+//! process never waits for the network, which is what makes overload
+//! visible instead of self-throttling (the textbook closed-loop
+//! pitfall).
+
+use netsim::time::{Dur, SimTime};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use trim_workload::distributions::exponential;
+
+/// Parameters of the session arrival process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionModel {
+    /// Seed for every random draw (arrivals, sizes, think times).
+    pub seed: u64,
+    /// Total sessions to generate.
+    pub sessions: usize,
+    /// Sessions arrive by a Poisson process whose rate spreads them
+    /// over this window on average.
+    pub arrival_window: Dur,
+    /// Inclusive range of requests per session.
+    pub requests: (usize, usize),
+    /// Inclusive range of response sizes in bytes.
+    pub response_bytes: (u64, u64),
+    /// Think-time floor between responses: every session waits at least
+    /// this long. Keeping the floor above the arrival window guarantees
+    /// every session is still open when the last one arrives, which is
+    /// how the concurrency experiments pin their peak.
+    pub think_min: Dur,
+    /// Mean of the exponential think-time excess added to the floor.
+    pub think_mean_excess: Dur,
+}
+
+impl SessionModel {
+    /// A small model with serving defaults: 2–3 requests of 2–10 KB,
+    /// 500 ms think floor plus a 500 ms-mean exponential excess,
+    /// arrivals spread over 250 ms.
+    pub fn new(seed: u64, sessions: usize) -> Self {
+        SessionModel {
+            seed,
+            sessions,
+            arrival_window: Dur::from_millis(250),
+            requests: (2, 3),
+            response_bytes: (2_000, 10_000),
+            think_min: Dur::from_millis(500),
+            think_mean_excess: Dur::from_millis(500),
+        }
+    }
+}
+
+/// One generated session, ready to be wired onto a connection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionPlan {
+    /// Absolute arrival time of the session (its first request).
+    pub arrival: SimTime,
+    /// Response size of each request, in order.
+    pub sizes: Vec<u64>,
+    /// The session's think time between consecutive responses.
+    pub think: Dur,
+}
+
+impl SessionPlan {
+    /// Total response bytes the session asks for.
+    pub fn total_bytes(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+}
+
+/// Generates `model.sessions` sessions with Poisson arrivals.
+///
+/// Deterministic: a pure function of `model`.
+///
+/// # Panics
+///
+/// Panics if the model is degenerate (zero sessions, empty ranges, or
+/// a zero-size response).
+pub fn generate(model: &SessionModel) -> Vec<SessionPlan> {
+    assert!(model.sessions > 0, "need at least one session");
+    assert!(
+        model.requests.0 >= 1 && model.requests.0 <= model.requests.1,
+        "bad request range {:?}",
+        model.requests
+    );
+    assert!(
+        model.response_bytes.0 >= 1 && model.response_bytes.0 <= model.response_bytes.1,
+        "bad response range {:?}",
+        model.response_bytes
+    );
+    let mut rng = StdRng::seed_from_u64(model.seed);
+    let mean_gap = model.arrival_window.as_secs_f64() / model.sessions as f64;
+    let mut at = 0.0f64;
+    let mut plans = Vec::with_capacity(model.sessions);
+    for _ in 0..model.sessions {
+        let n_req = rng.random_range(model.requests.0..=model.requests.1);
+        let sizes = (0..n_req)
+            .map(|_| rng.random_range(model.response_bytes.0..=model.response_bytes.1))
+            .collect();
+        let excess = exponential(&mut rng, model.think_mean_excess.as_secs_f64());
+        plans.push(SessionPlan {
+            arrival: SimTime::from_secs_f64(at),
+            sizes,
+            think: model.think_min + Dur::from_secs_f64(excess),
+        });
+        at += exponential(&mut rng, mean_gap);
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = SessionModel::new(7, 200);
+        assert_eq!(generate(&m), generate(&m));
+        let other = SessionModel::new(8, 200);
+        assert_ne!(generate(&m), generate(&other));
+    }
+
+    #[test]
+    fn sessions_match_the_model_ranges() {
+        let m = SessionModel::new(3, 500);
+        let plans = generate(&m);
+        assert_eq!(plans.len(), 500);
+        assert_eq!(plans[0].arrival, SimTime::ZERO);
+        for p in &plans {
+            assert!((2..=3).contains(&p.sizes.len()));
+            assert!(p.sizes.iter().all(|&b| (2_000..=10_000).contains(&b)));
+            assert!(p.think >= m.think_min);
+            assert!(p.total_bytes() >= 4_000);
+        }
+        // Arrivals are sorted by construction and average near the
+        // configured window.
+        assert!(plans.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let last = plans.last().unwrap().arrival.as_nanos() as f64;
+        let window = m.arrival_window.as_nanos() as f64;
+        assert!(last > 0.5 * window && last < 2.0 * window);
+    }
+}

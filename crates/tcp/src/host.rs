@@ -42,6 +42,15 @@ struct ResponseSequence {
     sizes: Vec<u64>,
     think: netsim::time::Dur,
     next: usize,
+    /// Responses fully acknowledged so far.
+    completed: usize,
+    /// Whether the session-end event has been emitted.
+    ended: bool,
+    /// Fault injection: emit `SessionEnded` right after the first
+    /// request is issued, while its response is still in flight. Used to
+    /// prove the session-conservation monitor fires; never set in
+    /// healthy runs.
+    fault_early_end: bool,
 }
 
 /// A host running any number of sending connections and receivers.
@@ -184,7 +193,26 @@ impl TcpHost {
             sizes,
             think,
             next: 0,
+            completed: 0,
+            ended: false,
+            fault_early_end: false,
         });
+    }
+
+    /// Fault injection: make the sequence driving sender `sender_idx`
+    /// announce its session end immediately after issuing its first
+    /// request, while the response is still in flight. Exists to prove
+    /// the session-conservation monitor catches broken lifecycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sender has no response sequence.
+    pub fn inject_session_early_end(&mut self, sender_idx: usize) {
+        let idx = *self
+            .seq_by_sender
+            .get(&sender_idx)
+            .expect("sender has no response sequence"); // trim-lint: allow(no-panic-in-library, reason = "fault-injection API misuse is a test bug")
+        self.sequences[idx].fault_early_end = true;
     }
 
     /// Borrows a sending connection by local index.
@@ -241,16 +269,38 @@ impl TcpHost {
 }
 
 impl TcpHost {
-    /// A train completed on sender `sender_idx`: if it drives a response
-    /// sequence with responses left, arm the think-time timer for the
-    /// next one.
-    fn advance_sequence(&mut self, ctx: &mut Ctx<'_, Segment>, sender_idx: usize) {
+    /// Trains completed on sender `sender_idx`: record the finished
+    /// responses, and if the sequence has responses left, arm the
+    /// think-time timer for the next one; otherwise close the session.
+    fn advance_sequence(
+        &mut self,
+        ctx: &mut Ctx<'_, Segment>,
+        sender_idx: usize,
+        newly_done: usize,
+    ) {
         let Some(&seq_idx) = self.seq_by_sender.get(&sender_idx) else {
             return;
         };
-        let seq = &self.sequences[seq_idx];
+        let flow = self.senders[sender_idx].flow();
+        let seq = &mut self.sequences[seq_idx];
+        // Only count completions for responses this sequence issued
+        // (the sender may also carry plain scheduled trains).
+        let credit = newly_done.min(seq.next - seq.completed);
+        for _ in 0..credit {
+            let index = seq.completed as u32;
+            seq.completed += 1;
+            ctx.emit_monitor_with(|| MonitorEvent::ResponseCompleted { flow, index });
+        }
         if seq.next < seq.sizes.len() {
             ctx.set_timer(seq.think, ((seq_idx as u64) << KIND_BITS) | KIND_SEQ);
+        } else if seq.completed == seq.sizes.len() && !seq.ended {
+            seq.ended = true;
+            let (issued, completed) = (seq.next as u32, seq.completed as u32);
+            ctx.emit_monitor_with(|| MonitorEvent::SessionEnded {
+                flow,
+                issued,
+                completed,
+            });
         }
     }
 }
@@ -290,7 +340,7 @@ impl Agent<Segment> for TcpHost {
                 self.senders[idx].on_ack(ctx, ack_seq, echo_ts, echo_probe, echo_rtx, ece, &sack);
                 let after = self.senders[idx].completed_trains().len();
                 if after > before {
-                    self.advance_sequence(ctx, idx);
+                    self.advance_sequence(ctx, idx, after - before);
                 }
             }
         }
@@ -313,8 +363,29 @@ impl Agent<Segment> for TcpHost {
                 let seq = &mut self.sequences[idx];
                 if seq.next < seq.sizes.len() {
                     let bytes = seq.sizes[seq.next];
+                    let index = seq.next as u32;
                     seq.next += 1;
                     let sender = seq.sender_idx;
+                    let flow = self.senders[sender].flow();
+                    if index == 0 {
+                        let planned_requests = seq.sizes.len() as u32;
+                        ctx.emit_monitor_with(|| MonitorEvent::SessionStarted {
+                            flow,
+                            planned_requests,
+                        });
+                    }
+                    ctx.emit_monitor_with(|| MonitorEvent::RequestIssued { flow, index, bytes });
+                    let early_end = seq.fault_early_end && index == 0;
+                    if early_end {
+                        let seq = &mut self.sequences[idx];
+                        seq.ended = true;
+                        let (issued, completed) = (seq.next as u32, seq.completed as u32);
+                        ctx.emit_monitor_with(|| MonitorEvent::SessionEnded {
+                            flow,
+                            issued,
+                            completed,
+                        });
+                    }
                     self.senders[sender].enqueue_train(ctx, bytes);
                 }
             }

@@ -18,6 +18,8 @@ pub struct Summary {
     pub p50: f64,
     /// 99th percentile in seconds.
     pub p99: f64,
+    /// 99.9th percentile in seconds (the SLO tail metric).
+    pub p999: f64,
 }
 
 impl Summary {
@@ -37,6 +39,7 @@ impl Summary {
             max: secs[count - 1],
             p50: percentile_sorted(&secs, 0.50),
             p99: percentile_sorted(&secs, 0.99),
+            p999: percentile_sorted(&secs, 0.999),
         }
     }
 }
@@ -50,8 +53,19 @@ impl Summary {
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "empty sample set");
     assert!((0.0..=1.0).contains(&p), "percentile {p} out of range");
-    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    // Nearest-rank wants ceil of the *exact* product p·n, but the f64
+    // product can land one ulp above an integer (0.07 · 100 =
+    // 7.000000000000001), and ceiling that overshoots by a whole rank —
+    // an off-by-one that matters exactly at the small sample counts SLO
+    // reports see. Snap near-integer products back before ceiling.
+    let product = p * sorted.len() as f64;
+    let nearest = product.round();
+    let rank = if (product - nearest).abs() < 1e-9 * nearest.max(1.0) {
+        nearest as usize
+    } else {
+        product.ceil() as usize
+    };
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Empirical CDF points `(value_seconds, cumulative_fraction)` suitable
@@ -113,6 +127,55 @@ mod tests {
         assert_eq!(percentile_sorted(&sorted, 0.2), 1.0);
         assert_eq!(percentile_sorted(&sorted, 0.21), 2.0);
         assert_eq!(percentile_sorted(&sorted, 1.0), 5.0);
+    }
+
+    #[test]
+    fn percentile_snaps_float_products_to_exact_rank() {
+        // 0.07 * 100 = 7.000000000000001 in f64; exact nearest-rank is
+        // rank 7 (value 7.0), not rank 8. This regressed before the
+        // near-integer snap.
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.07), 7.0);
+        // 0.07 * 200 = 14.000000000000002: rank 14.
+        let sorted: Vec<f64> = (1..=200).map(|v| v as f64).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.07), 14.0);
+        // Just-above-integer percentiles must still round up.
+        assert_eq!(percentile_sorted(&sorted, 0.0701), 15.0);
+    }
+
+    #[test]
+    fn percentile_known_answers_p50_p99_p999() {
+        // n = 10, values 1..=10: p50 -> ceil(5) = rank 5; p99 ->
+        // ceil(9.9) = rank 10; p999 -> ceil(9.99) = rank 10.
+        let ten: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        assert_eq!(percentile_sorted(&ten, 0.50), 5.0);
+        assert_eq!(percentile_sorted(&ten, 0.99), 10.0);
+        assert_eq!(percentile_sorted(&ten, 0.999), 10.0);
+        // n = 1000, values 1..=1000: p50 -> rank 500; p99 -> rank 990;
+        // p999 -> rank 999 exactly.
+        let k: Vec<f64> = (1..=1000).map(|v| v as f64).collect();
+        assert_eq!(percentile_sorted(&k, 0.50), 500.0);
+        assert_eq!(percentile_sorted(&k, 0.99), 990.0);
+        assert_eq!(percentile_sorted(&k, 0.999), 999.0);
+        // n = 101 (not a multiple of anything convenient): p50 ->
+        // ceil(50.5) = rank 51; p99 -> ceil(99.99) = rank 100; p999 ->
+        // ceil(100.899) = rank 101.
+        let odd: Vec<f64> = (1..=101).map(|v| v as f64).collect();
+        assert_eq!(percentile_sorted(&odd, 0.50), 51.0);
+        assert_eq!(percentile_sorted(&odd, 0.99), 100.0);
+        assert_eq!(percentile_sorted(&odd, 0.999), 101.0);
+    }
+
+    #[test]
+    fn summary_reports_p999() {
+        let samples: Vec<Dur> = (1..=1000).map(ms).collect();
+        let s = Summary::of(&samples);
+        assert_eq!(s.p50, 0.500);
+        assert_eq!(s.p99, 0.990);
+        assert_eq!(s.p999, 0.999);
+        // Small sample sets degrade to the max, never past it.
+        let s = Summary::of(&[ms(10), ms(20), ms(30), ms(40)]);
+        assert_eq!(s.p999, 0.040);
     }
 
     #[test]

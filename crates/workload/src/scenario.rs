@@ -70,6 +70,27 @@ pub fn schedule_train(
         .schedule_train(sender_idx, spec.at, spec.bytes);
 }
 
+/// Schedules a persistent-HTTP user session on a sender previously wired
+/// with [`wire_flow`]: the responses of `sizes` go out sequentially, each
+/// handed to TCP `think` after the previous one completes, starting at
+/// `start`.
+///
+/// # Panics
+///
+/// Panics if `src` is not a [`TcpHost`], `sender_idx` is out of range,
+/// `sizes` is empty, or the sender already has a session.
+pub fn schedule_session(
+    sim: &mut Simulator<Segment>,
+    src: NodeId,
+    sender_idx: usize,
+    start: SimTime,
+    sizes: Vec<u64>,
+    think: Dur,
+) {
+    sim.host_mut::<TcpHost>(src)
+        .schedule_response_sequence(sender_idx, start, sizes, think);
+}
+
 /// Builder for the many-to-one scenario (Sections II.B and IV.A/B).
 #[derive(Clone, Debug)]
 pub struct ScenarioBuilder {
@@ -251,6 +272,19 @@ impl Scenario {
         for s in specs {
             self.send_train(sender, s);
         }
+    }
+
+    /// Schedules a persistent-HTTP session on sender `sender`: the
+    /// responses of `sizes` go out sequentially, each `think` after the
+    /// previous one completes, starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is out of range, `sizes` is empty, or the
+    /// sender already has a session.
+    pub fn send_session(&mut self, sender: usize, start: SimTime, sizes: Vec<u64>, think: Dur) {
+        let node = self.net.senders[sender];
+        schedule_session(&mut self.sim, node, 0, start, sizes, think);
     }
 
     /// The underlying simulator, for custom instrumentation.

@@ -2,7 +2,8 @@
 //!
 //! A [`ScenarioSpec`] captures a complete many-to-one scenario (fan-in,
 //! link rate, delay, buffer, congestion control and its `K` setting,
-//! per-sender packet trains, horizon, optional injected fault) in a
+//! per-sender packet trains and persistent-HTTP sessions, horizon,
+//! optional injected fault) in a
 //! plain-text `key = value` form that round-trips exactly, so a failing
 //! fuzz case can be committed to an on-disk corpus and replayed
 //! deterministically — by the `trim-fuzz` binary, or as an ordinary
@@ -60,6 +61,24 @@ pub struct SpecTrain {
     pub bytes: u64,
 }
 
+/// One persistent-HTTP user session: the responses of `sizes` go out
+/// sequentially on `sender`, each `think_us` after the previous one
+/// completes, starting at `at_us`. At most one session per sender (a
+/// sender's connection carries one response sequence), and a sender
+/// with a session carries no standalone trains — interleaving both on
+/// one connection would corrupt the sequence's completion tracking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecSession {
+    /// 0-based sender index.
+    pub sender: usize,
+    /// Session start time in microseconds.
+    pub at_us: u64,
+    /// Think time between consecutive responses, in microseconds.
+    pub think_us: u64,
+    /// Application bytes of each response, in order.
+    pub sizes: Vec<u64>,
+}
+
 /// A complete, serializable many-to-one scenario description.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSpec {
@@ -84,6 +103,8 @@ pub struct ScenarioSpec {
     pub fault: Option<SpecFault>,
     /// The packet trains, in no particular order.
     pub trains: Vec<SpecTrain>,
+    /// Persistent-HTTP sessions, at most one per sender.
+    pub sessions: Vec<SpecSession>,
 }
 
 /// What a spec run produced: the scenario report plus every invariant
@@ -122,8 +143,8 @@ impl ScenarioSpec {
         if let Some(SpecFault::QueueOveradmit { extra: 0 }) = self.fault {
             return Err("overadmit extra must be >= 1".into());
         }
-        if self.trains.is_empty() {
-            return Err("at least one train is required".into());
+        if self.trains.is_empty() && self.sessions.is_empty() {
+            return Err("at least one train or session is required".into());
         }
         for t in &self.trains {
             if t.sender >= self.senders {
@@ -142,7 +163,41 @@ impl ScenarioSpec {
                 ));
             }
         }
+        for (i, s) in self.sessions.iter().enumerate() {
+            if s.sender >= self.senders {
+                return Err(format!(
+                    "session on sender {} but only {} senders",
+                    s.sender, self.senders
+                ));
+            }
+            if s.sizes.is_empty() {
+                return Err("session needs at least one response".into());
+            }
+            if s.sizes.contains(&0) {
+                return Err("session response bytes must be >= 1".into());
+            }
+            if s.at_us >= self.horizon_ms * 1_000 {
+                return Err(format!(
+                    "session at {}us starts at or after the {}ms horizon",
+                    s.at_us, self.horizon_ms
+                ));
+            }
+            if self.sessions[..i].iter().any(|p| p.sender == s.sender) {
+                return Err(format!("sender {} has more than one session", s.sender));
+            }
+            if self.trains.iter().any(|t| t.sender == s.sender) {
+                return Err(format!(
+                    "sender {} mixes a session with standalone trains",
+                    s.sender
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The session driving `sender`, if any.
+    pub fn session_for(&self, sender: usize) -> Option<&SpecSession> {
+        self.sessions.iter().find(|s| s.sender == sender)
     }
 
     /// The bottleneck rate in bits per second.
@@ -156,13 +211,26 @@ impl ScenarioSpec {
     }
 
     /// Offered load for `sender` in on-the-wire payload bytes: TCP sends
-    /// whole segments, so each train is padded to a multiple of the MSS.
+    /// whole segments, so each train and each session response is padded
+    /// to a multiple of the MSS. For a session this is the full offered
+    /// load if every response gets issued; a horizon cutting the session
+    /// mid-think leaves later responses unissued.
     pub fn offered_padded_bytes(&self, sender: usize) -> u64 {
-        self.trains
+        let pad = |b: u64| b.div_ceil(SPEC_MSS_BYTES) * SPEC_MSS_BYTES;
+        let trains: u64 = self
+            .trains
             .iter()
             .filter(|t| t.sender == sender)
-            .map(|t| t.bytes.div_ceil(SPEC_MSS_BYTES) * SPEC_MSS_BYTES)
-            .sum()
+            .map(|t| pad(t.bytes))
+            .sum();
+        let sessions: u64 = self
+            .sessions
+            .iter()
+            .filter(|s| s.sender == sender)
+            .flat_map(|s| s.sizes.iter())
+            .map(|&b| pad(b))
+            .sum();
+        trains + sessions
     }
 
     /// Builds the runnable [`Scenario`] (monitors attach per the normal
@@ -211,6 +279,14 @@ impl ScenarioSpec {
                 },
             );
         }
+        for s in &self.sessions {
+            sc.send_session(
+                s.sender,
+                SimTime::from_nanos(s.at_us * 1_000),
+                s.sizes.clone(),
+                Dur::from_micros(s.think_us),
+            );
+        }
         sc.sim_mut()
             .run_until(SimTime::ZERO + Dur::from_millis(self.horizon_ms));
         let violations = sc.sim_mut().violations().into_iter().cloned().collect();
@@ -242,6 +318,18 @@ impl ScenarioSpec {
         for t in &self.trains {
             s.push_str(&format!("train = {} {} {}\n", t.sender, t.at_us, t.bytes));
         }
+        for sess in &self.sessions {
+            let sizes = sess
+                .sizes
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            s.push_str(&format!(
+                "session = {} {} {} {sizes}\n",
+                sess.sender, sess.at_us, sess.think_us
+            ));
+        }
         s
     }
 
@@ -259,6 +347,7 @@ impl ScenarioSpec {
         let mut horizon_ms = None;
         let mut fault = None;
         let mut trains = Vec::new();
+        let mut sessions = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -322,6 +411,27 @@ impl ScenarioSpec {
                         _ => return Err(bad("train (want `sender at_us bytes`)")),
                     }
                 }
+                "session" => {
+                    let fields: Option<Vec<u64>> = value
+                        .split_whitespace()
+                        .map(|f| f.parse::<u64>().ok())
+                        .collect();
+                    match fields.as_deref() {
+                        Some([sender, at_us, think_us, sizes @ ..]) if !sizes.is_empty() => {
+                            sessions.push(SpecSession {
+                                sender: *sender as usize,
+                                at_us: *at_us,
+                                think_us: *think_us,
+                                sizes: sizes.to_vec(),
+                            })
+                        }
+                        _ => {
+                            return Err(bad(
+                                "session (want `sender at_us think_us size1 [size2 ...]`)",
+                            ))
+                        }
+                    }
+                }
                 other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
             }
         }
@@ -339,6 +449,7 @@ impl ScenarioSpec {
             horizon_ms: horizon_ms.ok_or_else(req("horizon_ms"))?,
             fault,
             trains,
+            sessions,
         };
         spec.validate()?;
         Ok(spec)
@@ -372,7 +483,24 @@ mod tests {
                     bytes: 14_601,
                 },
             ],
+            sessions: Vec::new(),
         }
+    }
+
+    fn session_sample() -> ScenarioSpec {
+        let mut spec = sample();
+        spec.trains = vec![SpecTrain {
+            sender: 0,
+            at_us: 100,
+            bytes: 29_200,
+        }];
+        spec.sessions = vec![SpecSession {
+            sender: 1,
+            at_us: 200,
+            think_us: 5_000,
+            sizes: vec![14_600, 2_920, 29_200],
+        }];
+        spec
     }
 
     #[test]
@@ -395,6 +523,67 @@ mod tests {
     }
 
     #[test]
+    fn session_specs_round_trip_and_enforce_their_rules() {
+        let spec = session_sample();
+        spec.validate().unwrap();
+        let text = spec.to_text();
+        assert!(text.contains("session = 1 200 5000 14600 2920 29200\n"));
+        let parsed = ScenarioSpec::from_text(&text).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.to_text(), text);
+        assert_eq!(parsed.session_for(1).unwrap().sizes.len(), 3);
+        assert!(parsed.session_for(0).is_none());
+        // Session responses count toward offered load, padded.
+        assert_eq!(spec.offered_padded_bytes(1), 14_600 + 2_920 + 29_200);
+
+        // A session on the same sender as a train is rejected.
+        let mut mixed = spec.clone();
+        mixed.sessions[0].sender = 0;
+        assert!(mixed.validate().is_err());
+        // Two sessions on one sender are rejected.
+        let mut dup = spec.clone();
+        dup.sessions.push(dup.sessions[0].clone());
+        assert!(dup.validate().is_err());
+        // Out-of-range sender, empty sizes, zero-byte response, late start.
+        let mut bad = spec.clone();
+        bad.sessions[0].sender = 99;
+        assert!(bad.validate().is_err());
+        let mut bad = spec.clone();
+        bad.sessions[0].sizes.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = spec.clone();
+        bad.sessions[0].sizes[1] = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = spec.clone();
+        bad.sessions[0].at_us = bad.horizon_ms * 1_000;
+        assert!(bad.validate().is_err());
+        // A session alone satisfies the at-least-one-workload rule.
+        let mut alone = spec.clone();
+        alone.trains.clear();
+        alone.validate().unwrap();
+    }
+
+    #[test]
+    fn session_spec_replays_sequentially_and_deterministically() {
+        let spec = session_sample();
+        let out = spec.run().unwrap();
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        let sess = &out.report.senders[1];
+        // Every response completed, in order, separated by the think.
+        assert_eq!(sess.trains.len(), 3);
+        for pair in sess.trains.windows(2) {
+            let think = pair[1].enqueued_at.saturating_since(pair[0].completed_at);
+            assert_eq!(think, Dur::from_micros(5_000));
+        }
+        assert_eq!(sess.goodput_bytes, spec.offered_padded_bytes(1));
+        let again = spec.run().unwrap();
+        assert_eq!(
+            out.report.completion_times(),
+            again.report.completion_times()
+        );
+    }
+
+    #[test]
     fn parse_rejects_malformed_specs() {
         let base = sample().to_text();
         for (needle, replacement, why) in [
@@ -414,6 +603,14 @@ mod tests {
         // Dropping a required key is also an error.
         let text = base.replace("link_mbps = 1000\n", "");
         assert!(ScenarioSpec::from_text(&text).is_err());
+        // Session lines need a sender, start, think, and >= 1 size.
+        for bad_line in ["session = 1 200 5000", "session = 1 200 x 14600"] {
+            let text = format!("{base}{bad_line}\n");
+            assert!(
+                ScenarioSpec::from_text(&text).is_err(),
+                "expected parse failure for `{bad_line}`"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! Regenerates the AQM matrix and RED stability cross-validation
+//! goldens via the campaign engine. Accepts the shared trim-bench flags
+//! (`--full`, `--jobs`, `--force`, ...); see `--help`.
+
+fn main() {
+    trim_experiments::single_experiment_main("aqm_matrix");
+}

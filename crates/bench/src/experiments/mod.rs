@@ -16,8 +16,10 @@
 //! | [`incast`] | extension: partition/aggregate query completion |
 //! | [`rto_sensitivity`] | extension: RTO_min sweep |
 //! | [`serve`] | extension: web-serving session SLOs + mean-field fast path |
+//! | [`aqm_matrix`] | extension: RED/CoDel tiny-buffer matrix + stability oracle |
 
 pub mod ablation;
+pub mod aqm_matrix;
 pub mod concurrency;
 pub mod convergence;
 pub mod fat_tree;

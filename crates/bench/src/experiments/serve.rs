@@ -225,6 +225,7 @@ fn fluid_point(proto: &str, n: u64) -> fluid::FluidOutcome {
         }],
         dt_ns: 1_000_000,
         horizon_ns: 60_000_000_000,
+        aqm: trim_core::fluid::FluidAqm::DropTail,
     })
 }
 

@@ -140,6 +140,12 @@ pub static ALL: &[ExperimentSpec] = &[
         artifacts: &["ext_serve_100k_slo", "ext_serve_100k_queue"],
     },
     ExperimentSpec {
+        id: "aqm_matrix",
+        title: "ext: AQM tiny-buffer matrix + RED stability crossval",
+        campaign: experiments::aqm_matrix::campaign,
+        artifacts: &["aqm_matrix", "aqm_stability"],
+    },
+    ExperimentSpec {
         id: "serve_meanfield",
         title: "ext: mean-field crossval + 1M-connection sweep",
         campaign: experiments::serve::campaign_meanfield,

@@ -2,14 +2,16 @@
 //! deterministically, independent of worker count, and reproduce the
 //! committed CSVs under `results/` within the documented tolerance.
 //!
-//! Three campaigns cover the artifact families: `trace` (simulation
+//! Four campaigns cover the artifact families: `trace` (simulation
 //! driven — exercises the event engine end to end, so any ordering or
 //! arithmetic drift in the engine shows up here), `kmodel`
 //! (analytical — exercises the harness/reduce path without a
-//! simulator), and `serve_slo` (the web-serving session workload over
-//! the fat-tree, whose A/B jobs share a seed key). Each runs at
-//! `--jobs 1` and `--jobs 8`; worker count must not leak into
-//! artifacts at all.
+//! simulator), `serve_slo` (the web-serving session workload over
+//! the fat-tree, whose A/B jobs share a seed key), and `aqm_matrix`
+//! (the RED/CoDel tiny-buffer sweep plus the RED stability
+//! cross-validation — exercises the AQM drop paths and the
+//! oscillation monitors). Each runs at `--jobs 1` and `--jobs 8`;
+//! worker count must not leak into artifacts at all.
 
 use std::path::{Path, PathBuf};
 
@@ -70,4 +72,9 @@ fn kmodel_campaign_is_jobs_invariant_and_matches_committed_goldens() {
 #[test]
 fn serve_campaign_is_jobs_invariant_and_matches_committed_goldens() {
     assert_campaign_reproduces_goldens("serve_slo");
+}
+
+#[test]
+fn aqm_campaign_is_jobs_invariant_and_matches_committed_goldens() {
+    assert_campaign_reproduces_goldens("aqm_matrix");
 }

@@ -32,8 +32,9 @@ pub mod monitors;
 
 pub use golden::{compare_csv_files, compare_csv_text, Mismatch, Tolerance};
 pub use monitors::{
-    standard_monitors, AckReductionBound, CwndRange, FifoOrder, MonotonicTime, PacketConservation,
-    ProbeLegality, ProbeWindow, QueueBound, SessionConservation,
+    stability_monitors, standard_monitors, AckReductionBound, CwndLimitCycle, CwndRange, FifoOrder,
+    MonotonicTime, PacketConservation, ProbeLegality, ProbeWindow, QueueBound, RedStability,
+    SessionConservation, StabilityConfig, StandingQueue,
 };
 
 use netsim::{InvariantMonitor, Payload, Simulator};

@@ -9,7 +9,7 @@ use std::collections::VecDeque;
 
 use netsim::hash::FastHashMap;
 use netsim::monitor::{AuditStats, InvariantMonitor, MonitorEvent, ProbeTransition, Violation};
-use netsim::{ChannelId, FlowId, SimTime};
+use netsim::{ChannelId, Dur, FlowId, SimTime};
 
 /// Slack for floating-point window comparisons: windows are `f64`
 /// arithmetic, so equality at the clamp boundaries is approximate.
@@ -238,6 +238,29 @@ impl InvariantMonitor for FifoOrder {
                     }),
                 }
             }
+            // A CoDel sojourn drop removes the *head* of the queue
+            // without a matching `Dequeued`: consume it here so later
+            // dequeues still line up.
+            MonitorEvent::SojournDrop {
+                channel, flow, uid, ..
+            } => match self.queues.entry(*channel).or_default().pop_front() {
+                Some((head_uid, _)) if head_uid == *uid => {}
+                Some((head_uid, head_flow)) => self.violations.push(Violation {
+                    at,
+                    monitor: "fifo-order",
+                    flow: Some(*flow),
+                    detail: format!(
+                        "{channel} sojourn-dropped pkt#{uid} but head of queue \
+                         is pkt#{head_uid} ({head_flow})"
+                    ),
+                }),
+                None => self.violations.push(Violation {
+                    at,
+                    monitor: "fifo-order",
+                    flow: Some(*flow),
+                    detail: format!("{channel} sojourn-dropped pkt#{uid} from an empty queue"),
+                }),
+            },
             _ => {}
         }
     }
@@ -687,6 +710,423 @@ impl InvariantMonitor for SessionConservation {
     }
 }
 
+// ---------------------------------------------------------------------
+// Stability oracle family (AQM & tiny-buffer scenarios).
+//
+// These monitors are deliberately NOT part of [`standard_monitors`]:
+// a legacy Reno sender on a drop-tail bottleneck oscillates by design
+// (the sawtooth is a legitimate limit cycle), so the detectors below
+// would false-positive on perfectly healthy baseline scenarios. Attach
+// them explicitly — via [`stability_monitors`] or the workload spec's
+// `stability = on` switch — on the AQM scenarios whose whole point is
+// that the control loop should converge.
+// ---------------------------------------------------------------------
+
+/// Tuning for the stability oracle family.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StabilityConfig {
+    /// Minimum peak-to-trough cwnd swing (in segments) for a reversal to
+    /// count as part of an oscillation.
+    pub min_amplitude: f64,
+    /// Minimum swing relative to the oscillation midpoint; filters slow
+    /// drift around a large window.
+    pub min_rel_amplitude: f64,
+    /// Full oscillation cycles (two reversals each) that must fall
+    /// inside the sliding window before the limit-cycle detector fires.
+    pub min_cycles: usize,
+    /// Sliding window for the limit-cycle detector.
+    pub window: Dur,
+    /// Queue occupancy (as a fraction of the per-packet capacity) above
+    /// which the queue counts as "standing".
+    pub queue_floor: f64,
+    /// Fraction of the observed span the occupancy must spend above the
+    /// floor for the standing-queue detector to fire.
+    pub queue_dwell: f64,
+}
+
+impl Default for StabilityConfig {
+    /// Conservative defaults sized to datacenter scenarios: a swing of
+    /// at least 4 segments and 25% of the midpoint, 4 full cycles inside
+    /// 200 ms; a standing queue is ≥ half the buffer for ≥ 90% of the
+    /// run.
+    fn default() -> Self {
+        StabilityConfig {
+            min_amplitude: 4.0,
+            min_rel_amplitude: 0.25,
+            min_cycles: 4,
+            window: Dur::from_millis(200),
+            queue_floor: 0.5,
+            queue_dwell: 0.9,
+        }
+    }
+}
+
+/// The stability oracle family, freshly constructed: the cwnd
+/// limit-cycle detector and the standing-queue detector. (The RED
+/// mean-field cross-check [`RedStability`] needs scenario parameters
+/// and is constructed explicitly.)
+pub fn stability_monitors(cfg: StabilityConfig) -> Vec<Box<dyn InvariantMonitor>> {
+    vec![
+        Box::new(CwndLimitCycle::new(cfg)),
+        Box::new(StandingQueue::new(cfg)),
+    ]
+}
+
+#[derive(Clone, Debug, Default)]
+struct CycleState {
+    /// Last observed window, and whether any observation happened yet.
+    prev: Option<f64>,
+    /// +1 rising, -1 falling, 0 unknown.
+    dir: i8,
+    /// Window value at the last reversal (or the first observation).
+    last_ext: f64,
+    /// Qualified reversals: (time, peak-to-trough swing).
+    turns: VecDeque<(SimTime, f64)>,
+    fired: bool,
+}
+
+/// Detects a sustained congestion-window limit cycle: reversals of the
+/// cwnd trajectory whose swing clears both the absolute and the
+/// relative amplitude floor, recurring often enough that
+/// `2·min_cycles` of them fall inside the sliding window. Fires at
+/// most once per flow, reporting the simulation time, flow, mean
+/// amplitude, and estimated period.
+///
+/// A converged controller (flat cwnd) never reverses; ACK-granularity
+/// noise reverses constantly but below the amplitude floors; a true
+/// limit cycle — e.g. Reno bouncing off a steep RED band — reverses
+/// with large swings every couple of RTTs and is caught within a few
+/// windows.
+#[derive(Debug, Default)]
+pub struct CwndLimitCycle {
+    cfg: Option<StabilityConfig>,
+    flows: FastHashMap<FlowId, CycleState>,
+    violations: Vec<Violation>,
+}
+
+impl CwndLimitCycle {
+    /// Creates the detector with the given tuning.
+    pub fn new(cfg: StabilityConfig) -> Self {
+        CwndLimitCycle {
+            cfg: Some(cfg),
+            flows: FastHashMap::default(),
+            violations: Vec::new(),
+        }
+    }
+
+    fn config(&self) -> StabilityConfig {
+        self.cfg.unwrap_or_default()
+    }
+}
+
+impl InvariantMonitor for CwndLimitCycle {
+    fn name(&self) -> &'static str {
+        "cwnd-limit-cycle"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        let MonitorEvent::CwndUpdate { flow, cwnd, .. } = ev else {
+            return;
+        };
+        let cfg = self.config();
+        let s = self.flows.entry(*flow).or_default();
+        let Some(prev) = s.prev else {
+            s.prev = Some(*cwnd);
+            s.last_ext = *cwnd;
+            return;
+        };
+        let d: i8 = if *cwnd > prev {
+            1
+        } else if *cwnd < prev {
+            -1
+        } else {
+            0
+        };
+        if d != 0 {
+            if s.dir != 0 && d != s.dir {
+                // `prev` was a local extremum: measure the swing since
+                // the previous extremum.
+                let swing = (prev - s.last_ext).abs();
+                let mid = 0.5 * (prev + s.last_ext);
+                if swing >= cfg.min_amplitude && swing >= cfg.min_rel_amplitude * mid {
+                    s.turns.push_back((at, swing));
+                }
+                s.last_ext = prev;
+            }
+            s.dir = d;
+        }
+        s.prev = Some(*cwnd);
+        // Prune reversals that slid out of the window, then test.
+        let cutoff = at.saturating_since(SimTime::ZERO);
+        let window_start = if cutoff > cfg.window {
+            SimTime::ZERO + (cutoff - cfg.window)
+        } else {
+            SimTime::ZERO
+        };
+        while s
+            .turns
+            .front()
+            .is_some_and(|&(turn_at, _)| turn_at < window_start)
+        {
+            s.turns.pop_front();
+        }
+        let needed = 2 * cfg.min_cycles;
+        if !s.fired && s.turns.len() >= needed {
+            s.fired = true;
+            let span = at.saturating_since(s.turns.front().map(|&(t0, _)| t0).unwrap_or(at));
+            let mean_amp = s.turns.iter().map(|&(_, a)| a).sum::<f64>() / s.turns.len() as f64;
+            let cycles = s.turns.len() as f64 / 2.0;
+            let period_us = span.as_nanos() as f64 / cycles / 1_000.0;
+            self.violations.push(Violation {
+                at,
+                monitor: "cwnd-limit-cycle",
+                flow: Some(*flow),
+                detail: format!(
+                    "sustained cwnd oscillation: {} reversals in {}us \
+                     (mean amplitude {:.1} segments, period ~{:.0}us)",
+                    s.turns.len(),
+                    span.as_nanos() / 1_000,
+                    mean_amp,
+                    period_us
+                ),
+            });
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ChannelOccupancy {
+    cap_pkts: Option<usize>,
+    len: usize,
+    last: Option<SimTime>,
+    above_ns: u128,
+    total_ns: u128,
+}
+
+/// Detects a standing queue: time-average occupancy that stays above
+/// `queue_floor · capacity` for at least `queue_dwell` of the observed
+/// span despite an AQM whose job is to drain it. Evaluated per packet-
+/// capacity channel at finalize; spans shorter than the limit-cycle
+/// window are ignored (too little evidence).
+///
+/// This is the Briscoe/De Schepper failure mode: at datacenter RTTs TCP
+/// overrides the AQM and rebuilds the standing queue, so latency stays
+/// pinned at the buffer ceiling even though the AQM keeps dropping.
+#[derive(Debug, Default)]
+pub struct StandingQueue {
+    cfg: Option<StabilityConfig>,
+    /// Per-channel occupancy accounting, in channel-id order of first
+    /// appearance (kept in a `Vec` so finalize iterates deterministically).
+    channels: Vec<(ChannelId, ChannelOccupancy)>,
+    violations: Vec<Violation>,
+    fired: bool,
+}
+
+impl StandingQueue {
+    /// Creates the detector with the given tuning.
+    pub fn new(cfg: StabilityConfig) -> Self {
+        StandingQueue {
+            cfg: Some(cfg),
+            channels: Vec::new(),
+            violations: Vec::new(),
+            fired: false,
+        }
+    }
+
+    fn config(&self) -> StabilityConfig {
+        self.cfg.unwrap_or_default()
+    }
+
+    fn state(&mut self, ch: ChannelId) -> &mut ChannelOccupancy {
+        if let Some(i) = self.channels.iter().position(|&(c, _)| c == ch) {
+            return &mut self.channels[i].1;
+        }
+        self.channels.push((ch, ChannelOccupancy::default()));
+        // trim-lint: allow(no-panic-in-library, reason = "entry pushed on the line above")
+        &mut self.channels.last_mut().expect("just pushed").1
+    }
+
+    fn advance(state: &mut ChannelOccupancy, floor: f64, at: SimTime) {
+        if let Some(last) = state.last {
+            let span = at.saturating_since(last).as_nanos() as u128;
+            state.total_ns += span;
+            if state.len as f64 > floor {
+                state.above_ns += span;
+            }
+        }
+        state.last = Some(at);
+    }
+}
+
+impl InvariantMonitor for StandingQueue {
+    fn name(&self) -> &'static str {
+        "standing-queue"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        let cfg = self.config();
+        match ev {
+            MonitorEvent::Enqueued {
+                channel,
+                len_after,
+                cap_pkts,
+                ..
+            } => {
+                let (len_after, cap_pkts) = (*len_after, *cap_pkts);
+                let floor_of = |s: &ChannelOccupancy| {
+                    s.cap_pkts
+                        .map_or(f64::INFINITY, |c| cfg.queue_floor * c as f64)
+                };
+                let s = self.state(*channel);
+                s.cap_pkts = cap_pkts.or(s.cap_pkts);
+                let floor = floor_of(s);
+                Self::advance(s, floor, at);
+                s.len = len_after;
+            }
+            MonitorEvent::Dequeued { channel, .. } | MonitorEvent::SojournDrop { channel, .. } => {
+                let cfg_floor = cfg.queue_floor;
+                let s = self.state(*channel);
+                let floor = s.cap_pkts.map_or(f64::INFINITY, |c| cfg_floor * c as f64);
+                Self::advance(s, floor, at);
+                s.len = s.len.saturating_sub(1);
+            }
+            _ => {}
+        }
+    }
+
+    fn finalize(&mut self, at: SimTime, _audit: &AuditStats) {
+        if self.fired {
+            return;
+        }
+        let cfg = self.config();
+        let min_span_ns = cfg.window.as_nanos() as u128;
+        for &(ch, ref s) in &self.channels {
+            let Some(cap) = s.cap_pkts else { continue };
+            if s.total_ns < min_span_ns || s.total_ns == 0 {
+                continue;
+            }
+            let dwell = s.above_ns as f64 / s.total_ns as f64;
+            if dwell >= cfg.queue_dwell {
+                self.fired = true;
+                self.violations.push(Violation {
+                    at,
+                    monitor: "standing-queue",
+                    flow: None,
+                    detail: format!(
+                        "{ch} occupancy above {:.0}% of the {cap}-packet buffer \
+                         for {:.0}% of the observed {}us",
+                        cfg.queue_floor * 100.0,
+                        dwell * 100.0,
+                        s.total_ns / 1_000
+                    ),
+                });
+            }
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// Cross-checks the *measured* cwnd behavior of a RED scenario against
+/// the mean-field stability predicate
+/// ([`trim_core::fluid::red_stability`], Reynier's condition): a
+/// scenario whose fluid model says "stable" must not exhibit a
+/// sustained limit cycle in the packet simulation, and one whose model
+/// says "unstable" must. Fires one violation on disagreement.
+///
+/// Construct with the scenario's bottleneck parameters; internally it
+/// runs a [`CwndLimitCycle`] as the measurement instrument.
+#[derive(Debug)]
+pub struct RedStability {
+    verdict: trim_core::fluid::RedStabilityVerdict,
+    cycle: CwndLimitCycle,
+    violations: Vec<Violation>,
+    fired: bool,
+}
+
+impl RedStability {
+    /// Creates the cross-check for one RED bottleneck scenario:
+    /// capacity in packets per second, base RTT, flow population, the
+    /// RED parameters, and the limit-cycle tuning used to measure the
+    /// packet-level behavior.
+    pub fn new(
+        capacity_pps: f64,
+        base_rtt_ns: u64,
+        n_flows: f64,
+        red: &trim_core::fluid::RedFluid,
+        cfg: StabilityConfig,
+    ) -> Self {
+        RedStability {
+            verdict: trim_core::fluid::red_stability(capacity_pps, base_rtt_ns, n_flows, red),
+            cycle: CwndLimitCycle::new(cfg),
+            violations: Vec::new(),
+            fired: false,
+        }
+    }
+
+    /// The mean-field verdict being checked against.
+    pub fn verdict(&self) -> trim_core::fluid::RedStabilityVerdict {
+        self.verdict
+    }
+
+    /// Whether the packet-level measurement saw a sustained limit cycle
+    /// so far.
+    pub fn measured_unstable(&self) -> bool {
+        !self.cycle.violations().is_empty()
+    }
+}
+
+impl InvariantMonitor for RedStability {
+    fn name(&self) -> &'static str {
+        "red-stability"
+    }
+
+    fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
+        self.cycle.observe(at, ev);
+    }
+
+    fn finalize(&mut self, at: SimTime, _audit: &AuditStats) {
+        if self.fired {
+            return;
+        }
+        self.fired = true;
+        let measured = self.measured_unstable();
+        let predicted = !self.verdict.stable;
+        if measured != predicted {
+            let v = &self.verdict;
+            self.violations.push(Violation {
+                at,
+                monitor: "red-stability",
+                flow: None,
+                detail: format!(
+                    "measured {} but the mean-field predicate says {} \
+                     (W* = {:.2}, q* = {:.1}, p* = {:.4}, margin = {:.3})",
+                    if measured {
+                        "a sustained limit cycle"
+                    } else {
+                        "convergence"
+                    },
+                    if predicted { "unstable" } else { "stable" },
+                    v.w_star,
+                    v.q_star,
+                    v.p_star,
+                    v.margin
+                ),
+            });
+        }
+    }
+
+    fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1099,5 +1539,243 @@ mod tests {
         m.observe(t(4), &ev(3, ProbeTransition::Resolve));
         assert_eq!(m.violations().len(), 3);
         assert!(m.violations().iter().all(|v| v.flow.is_some()));
+    }
+
+    // --- stability oracle family ---
+
+    fn t_ms(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn cwnd_ev(flow: u64, cwnd: f64) -> MonitorEvent {
+        MonitorEvent::CwndUpdate {
+            flow: FlowId(flow),
+            cwnd,
+            min_cwnd: 2.0,
+            max_cwnd: 1000.0,
+        }
+    }
+
+    /// Injected limit-cycle fault: a 4 ↔ 40 square wave must trip the
+    /// detector, and the violation must carry the sim time and flow id
+    /// plus amplitude/period diagnostics.
+    #[test]
+    fn limit_cycle_fires_on_square_wave() {
+        let mut m = CwndLimitCycle::new(StabilityConfig::default());
+        for i in 0..30u64 {
+            let w = if i % 2 == 0 { 4.0 } else { 40.0 };
+            m.observe(t_ms(2 * i), &cwnd_ev(7, w));
+        }
+        assert_eq!(m.violations().len(), 1, "{:?}", m.violations());
+        let v = &m.violations()[0];
+        assert_eq!(v.flow, Some(FlowId(7)), "violation names the flow");
+        assert!(v.at > SimTime::ZERO, "violation carries the sim time");
+        assert!(v.detail.contains("amplitude"), "{}", v.detail);
+        assert!(v.detail.contains("period"), "{}", v.detail);
+        // Square-wave swing is 36 segments.
+        assert!(v.detail.contains("36.0"), "{}", v.detail);
+    }
+
+    /// A converged trace — slow-start ramp, then flat forever — must
+    /// stay silent: there are no reversals at all.
+    #[test]
+    fn limit_cycle_silent_on_converged_trace() {
+        let mut m = CwndLimitCycle::new(StabilityConfig::default());
+        for (i, w) in [2.0, 4.0, 8.0, 16.0, 24.0].into_iter().enumerate() {
+            m.observe(t_ms(i as u64), &cwnd_ev(1, w));
+        }
+        for i in 5..300u64 {
+            m.observe(t_ms(i), &cwnd_ev(1, 24.0));
+        }
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+    }
+
+    /// ACK-granularity noise — constant reversals of ±1 segment around
+    /// a stable operating point — must stay silent: the swings never
+    /// clear the amplitude floor.
+    #[test]
+    fn limit_cycle_silent_on_noisy_but_stable_trace() {
+        let mut m = CwndLimitCycle::new(StabilityConfig::default());
+        for i in 0..500u64 {
+            let w = 20.0 + if i % 2 == 0 { 0.0 } else { 1.0 };
+            m.observe(t_ms(i), &cwnd_ev(1, w));
+        }
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+    }
+
+    /// Reversals must be *sustained*: a handful of large swings that
+    /// then damp out (converging oscillation) never accumulates the
+    /// required count inside the window.
+    #[test]
+    fn limit_cycle_needs_sustained_reversals() {
+        let mut m = CwndLimitCycle::new(StabilityConfig::default());
+        // Three big reversals (6 turns < 8 needed), then convergence.
+        let trace = [10.0, 40.0, 10.0, 40.0, 10.0, 40.0, 25.0, 25.0, 25.0];
+        for (i, w) in trace.into_iter().enumerate() {
+            m.observe(t_ms(2 * i as u64), &cwnd_ev(1, w));
+        }
+        for i in 20..400u64 {
+            m.observe(t_ms(i), &cwnd_ev(1, 25.0));
+        }
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+    }
+
+    /// The detector fires once per flow, and separately per flow.
+    #[test]
+    fn limit_cycle_fires_once_per_flow() {
+        let mut m = CwndLimitCycle::new(StabilityConfig::default());
+        for i in 0..60u64 {
+            let w = if i % 2 == 0 { 4.0 } else { 40.0 };
+            m.observe(t_ms(2 * i), &cwnd_ev(1, w));
+            m.observe(t_ms(2 * i), &cwnd_ev(2, w));
+        }
+        assert_eq!(m.violations().len(), 2, "{:?}", m.violations());
+        let flows: Vec<_> = m.violations().iter().map(|v| v.flow).collect();
+        assert!(flows.contains(&Some(FlowId(1))));
+        assert!(flows.contains(&Some(FlowId(2))));
+    }
+
+    fn enq_ev(ch: ChannelId, len_after: usize, cap: usize) -> MonitorEvent {
+        MonitorEvent::Enqueued {
+            channel: ch,
+            flow: FlowId(0),
+            uid: 0,
+            len_after,
+            cap_pkts: Some(cap),
+        }
+    }
+
+    /// A queue pinned near its ceiling for the whole run is a standing
+    /// queue; one that oscillates across the floor is not.
+    #[test]
+    fn standing_queue_fires_on_pinned_occupancy() {
+        let (_, ch) = ids();
+        let mut m = StandingQueue::new(StabilityConfig::default());
+        // Occupancy 13..15 of 16 for 500 ms.
+        for i in 0..500u64 {
+            let len = 13 + (i % 3) as usize;
+            m.observe(t_ms(i), &enq_ev(ch, len, 16));
+        }
+        let audit = AuditStats {
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+            queued_pkts: 0,
+            pending_arrivals: 0,
+            arena_live: 0,
+        };
+        m.finalize(t_ms(500), &audit);
+        assert_eq!(m.violations().len(), 1, "{:?}", m.violations());
+        assert!(m.violations()[0].detail.contains("16-packet"));
+    }
+
+    #[test]
+    fn standing_queue_silent_when_queue_drains() {
+        let (_, ch) = ids();
+        let mut m = StandingQueue::new(StabilityConfig::default());
+        // Occupancy swings 1..16: above the 8-packet floor only half
+        // the time.
+        for i in 0..500u64 {
+            let len = 1 + (i % 16) as usize;
+            m.observe(t_ms(i), &enq_ev(ch, len, 16));
+        }
+        let audit = AuditStats {
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+            queued_pkts: 0,
+            pending_arrivals: 0,
+            arena_live: 0,
+        };
+        m.finalize(t_ms(500), &audit);
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn standing_queue_ignores_short_spans() {
+        let (_, ch) = ids();
+        let mut m = StandingQueue::new(StabilityConfig::default());
+        // Pinned, but only observed for 50 ms < the 200 ms window.
+        for i in 0..50u64 {
+            m.observe(t_ms(i), &enq_ev(ch, 15, 16));
+        }
+        let audit = AuditStats {
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+            queued_pkts: 0,
+            pending_arrivals: 0,
+            arena_live: 0,
+        };
+        m.finalize(t_ms(50), &audit);
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+    }
+
+    /// The RED cross-check agrees in both directions and fires on
+    /// either kind of disagreement.
+    #[test]
+    fn red_stability_cross_check_fires_only_on_disagreement() {
+        use trim_core::fluid::RedFluid;
+        const C: f64 = 1e9 / (1460.0 * 8.0);
+        let steep = RedFluid {
+            min_th: 10.0,
+            max_th: 20.0,
+            max_p: 1.0,
+            wq: 0.01,
+        };
+        let gentle = RedFluid {
+            min_th: 15.0,
+            max_th: 45.0,
+            max_p: 0.1,
+            wq: 0.002,
+        };
+        let audit = AuditStats {
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+            queued_pkts: 0,
+            pending_arrivals: 0,
+            arena_live: 0,
+        };
+        let square = |m: &mut RedStability| {
+            for i in 0..30u64 {
+                let w = if i % 2 == 0 { 4.0 } else { 40.0 };
+                m.observe(t_ms(2 * i), &cwnd_ev(1, w));
+            }
+        };
+        let flat = |m: &mut RedStability| {
+            for i in 0..300u64 {
+                m.observe(t_ms(i), &cwnd_ev(1, 20.0));
+            }
+        };
+        let cfg = StabilityConfig::default();
+
+        // Unstable predicate + oscillating measurement: agreement.
+        let mut m = RedStability::new(C, 1_000_000, 4.0, &steep, cfg);
+        assert!(!m.verdict().stable);
+        square(&mut m);
+        m.finalize(t_ms(600), &audit);
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+
+        // Stable predicate + converged measurement: agreement.
+        let mut m = RedStability::new(C, 100_000, 8.0, &gentle, cfg);
+        assert!(m.verdict().stable);
+        flat(&mut m);
+        m.finalize(t_ms(600), &audit);
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+
+        // Stable predicate + oscillating measurement: disagreement.
+        let mut m = RedStability::new(C, 100_000, 8.0, &gentle, cfg);
+        square(&mut m);
+        m.finalize(t_ms(600), &audit);
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].detail.contains("limit cycle"));
+
+        // Unstable predicate + converged measurement: disagreement.
+        let mut m = RedStability::new(C, 1_000_000, 4.0, &steep, cfg);
+        flat(&mut m);
+        m.finalize(t_ms(600), &audit);
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].detail.contains("margin"));
     }
 }

@@ -48,6 +48,55 @@ pub enum FluidCc {
     },
 }
 
+/// RED parameters for the fluid bottleneck, mirroring the packet-level
+/// `RedConfig` (thresholds and probabilities in packets; `wq` is the
+/// per-packet EWMA weight, converted to a continuous-time averaging rate
+/// `a = wq·C` inside the integrator).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RedFluid {
+    /// Average queue length below which nothing is dropped.
+    pub min_th: f64,
+    /// Average queue length above which everything is dropped.
+    pub max_th: f64,
+    /// Drop probability at `max_th`.
+    pub max_p: f64,
+    /// Per-packet EWMA weight of the average-queue estimate.
+    pub wq: f64,
+}
+
+impl RedFluid {
+    /// The drop probability at average queue `avg` — the same
+    /// min/max-threshold interpolation as the packet-level queue.
+    pub fn prob(&self, avg: f64) -> f64 {
+        if avg <= self.min_th {
+            0.0
+        } else if avg >= self.max_th {
+            1.0
+        } else {
+            self.max_p * (avg - self.min_th) / (self.max_th - self.min_th)
+        }
+    }
+
+    /// The slope `dp/davg` inside the linear band, 0 outside it.
+    pub fn slope(&self, avg: f64) -> f64 {
+        if avg > self.min_th && avg < self.max_th {
+            self.max_p / (self.max_th - self.min_th)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The bottleneck's queue discipline in the fluid model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FluidAqm {
+    /// Pure drop-tail: losses only on buffer saturation.
+    DropTail,
+    /// RED early dropping from the EWMA queue estimate. The drop-tail
+    /// saturation backstop still applies at the buffer limit.
+    Red(RedFluid),
+}
+
 /// One class of statistically identical connections.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FluidClass {
@@ -74,11 +123,13 @@ pub struct FluidConfig {
     pub dt_ns: u64,
     /// Integration horizon in nanoseconds.
     pub horizon_ns: u64,
+    /// The bottleneck's queue discipline.
+    pub aqm: FluidAqm,
 }
 
 impl FluidConfig {
     /// Sensible defaults for one class on the paper's canonical 1 Gbps
-    /// bottleneck: 10 µs steps over a 2 s horizon.
+    /// bottleneck: 10 µs steps over a 2 s horizon, drop-tail.
     pub fn single_class(capacity_pps: f64, buffer_pkts: f64, class: FluidClass) -> Self {
         FluidConfig {
             capacity_pps,
@@ -86,7 +137,14 @@ impl FluidConfig {
             classes: vec![class],
             dt_ns: 10_000,
             horizon_ns: 2 * NS_PER_SEC as u64,
+            aqm: FluidAqm::DropTail,
         }
+    }
+
+    /// Switches the bottleneck to RED.
+    pub fn with_red(mut self, red: RedFluid) -> Self {
+        self.aqm = FluidAqm::Red(red);
+        self
     }
 }
 
@@ -109,6 +167,10 @@ pub struct FluidOutcome {
     pub per_flow_rate_pps: Vec<f64>,
     /// Time-averaged bottleneck utilization in `[0, 1]`.
     pub utilization: f64,
+    /// Peak-to-trough queue swing (max − min, in packets) over the
+    /// settled second half of the horizon. A converged system shows a
+    /// swing near zero; a limit cycle keeps a large swing forever.
+    pub settled_queue_swing: f64,
 }
 
 impl FluidOutcome {
@@ -168,6 +230,10 @@ pub fn integrate(cfg: &FluidConfig) -> FluidOutcome {
 
     let mut w: Vec<f64> = cfg.classes.iter().map(|_| W_FLOOR).collect();
     let mut q = 0.0f64;
+    // RED's EWMA queue estimate in continuous time: the per-packet
+    // weight wq applied at the arrival rate ~C becomes an averaging
+    // rate a = wq·C (Reynier's mean-field reduction of the estimator).
+    let mut q_avg = 0.0f64;
     // Synchronized Reno halving fires at most once per RTT per class.
     let mut next_halve_s: Vec<f64> = vec![0.0; cfg.classes.len()];
 
@@ -177,6 +243,8 @@ pub fn integrate(cfg: &FluidConfig) -> FluidOutcome {
     let mut acc_rate = vec![0.0f64; cfg.classes.len()];
     let mut acc_util = 0.0f64;
     let mut samples = 0usize;
+    let mut settled_min = f64::INFINITY;
+    let mut settled_max = f64::NEG_INFINITY;
 
     let mut rtts = vec![0.0f64; cfg.classes.len()];
     for step in 0..steps {
@@ -188,36 +256,52 @@ pub fn integrate(cfg: &FluidConfig) -> FluidOutcome {
             arrival += cl.n * w[i] / rtt;
         }
 
-        // Queue update, clamped to the buffer. Saturation with positive
-        // excess inflow is the drop signal for loss-driven classes.
-        let q_next = (q + (arrival - c) * dt).clamp(0.0, cfg.buffer_pkts);
+        // RED early-drop probability from the averaged queue.
+        let p_red = match cfg.aqm {
+            FluidAqm::DropTail => 0.0,
+            FluidAqm::Red(red) => red.prob(q_avg),
+        };
+
+        // Queue update, clamped to the buffer: RED sheds `p_red` of the
+        // arrivals before they enqueue. Saturation with positive excess
+        // inflow is the drop signal for loss-driven classes.
+        let q_next = (q + (arrival * (1.0 - p_red) - c) * dt).clamp(0.0, cfg.buffer_pkts);
         let saturated = q_next >= cfg.buffer_pkts && arrival > c;
 
         for (i, cl) in cfg.classes.iter().enumerate() {
             let rtt = rtts[i];
+            // Early losses hit each flow at rate p·W/RTT, and each
+            // halves the window: the classic −p·W²/(2·RTT) fluid term.
+            let red_cut = p_red * w[i] * w[i] / (2.0 * rtt) * dt;
             let dw = match cl.cc {
                 FluidCc::Reno => {
                     if saturated && t >= next_halve_s[i] {
                         next_halve_s[i] = t + rtt;
                         w[i] = (w[i] / 2.0).max(W_FLOOR);
                     }
-                    dt / rtt
+                    dt / rtt - red_cut
                 }
                 FluidCc::Trim { k_ns } => {
                     let k = k_ns as f64 / NS_PER_SEC;
                     let ep = if rtt > k { (rtt - k) / rtt } else { 0.0 };
-                    dt / rtt - ep / 2.0 * w[i] / rtt * dt
+                    dt / rtt - ep / 2.0 * w[i] / rtt * dt - red_cut
                 }
             };
             w[i] = (w[i] + dw).max(W_FLOOR);
         }
         q = q_next;
+        if let FluidAqm::Red(red) = cfg.aqm {
+            let alpha = (red.wq * c * dt).min(1.0);
+            q_avg += alpha * (q - q_avg);
+        }
         max_queue = max_queue.max(q);
 
         if step >= settle {
             samples += 1;
             acc_queue += q;
             acc_util += (arrival / c).min(1.0);
+            settled_min = settled_min.min(q);
+            settled_max = settled_max.max(q);
             for (i, _) in cfg.classes.iter().enumerate() {
                 acc_rtt[i] += rtts[i];
                 acc_rate[i] += w[i] / rtts[i];
@@ -234,6 +318,142 @@ pub fn integrate(cfg: &FluidConfig) -> FluidOutcome {
         mean_rtt_ns: acc_rtt.iter().map(|r| r / nsamp * NS_PER_SEC).collect(),
         per_flow_rate_pps: acc_rate.iter().map(|r| r / nsamp).collect(),
         utilization: acc_util / nsamp,
+        settled_queue_swing: if samples > 0 {
+            settled_max - settled_min
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Verdict of the RED mean-field stability predicate
+/// ([`red_stability`]): the fluid equilibrium and whether small
+/// perturbations around it decay (stable) or grow into a limit cycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RedStabilityVerdict {
+    /// Whether the equilibrium is locally asymptotically stable.
+    pub stable: bool,
+    /// Equilibrium per-flow window `W*` in packets.
+    pub w_star: f64,
+    /// Equilibrium queue `q*` in packets.
+    pub q_star: f64,
+    /// Equilibrium drop probability `p* = 2/W*²`.
+    pub p_star: f64,
+    /// Routh–Hurwitz margin `c2·c1 / c0`: stable iff > 1. The further
+    /// above 1, the better damped; far below 1 means a strong limit
+    /// cycle.
+    pub margin: f64,
+}
+
+/// Reynier-style mean-field stability condition for `n` synchronized
+/// AIMD (Reno) flows through one RED bottleneck of capacity
+/// `capacity_pps` and base round-trip `base_rtt_ns`.
+///
+/// The three-state fluid model is the one [`integrate`] solves
+/// numerically — per-flow window `W`, queue `q`, EWMA estimate `v`:
+///
+/// - `dW/dt = 1/R − p(v)·W²/(2R)` with `R = D + q/C`,
+/// - `dq/dt = N·W/R − C`,
+/// - `dv/dt = a·(q − v)` with averaging rate `a = wq·C`.
+///
+/// Its equilibrium solves `p(q*) = 2N²/(C·R*)²` (rate balance
+/// `N·W* = C·R*` plus window balance `p* = 2/W*²`); the unique root is
+/// found by bisection since `p` is nondecreasing in `q` while the
+/// demand side decreases. Linearizing around the equilibrium gives the
+/// characteristic cubic `λ³ + c2·λ² + c1·λ + c0` with
+///
+/// `c2 = a1+a2+a`, `c1 = a1a2 + a1a + a2a`, `c0 = a1a2a + a·ρ·C²/(2N)`
+///
+/// where `a1 = 2/(W*R*)`, `a2 = 1/R*`, and `ρ = dp/dq` is the RED band
+/// slope at `q*`. By Routh–Hurwitz the equilibrium is stable iff
+/// `c2·c1 > c0`: a steep RED band (`ρ` large), few flows (`N` small), or
+/// sluggish averaging destabilize the loop and the queue/windows settle
+/// into a sustained oscillation instead of a fixed point.
+///
+/// Windows pinned at the floor (`W* ≤ 2`, the transport's `min_cwnd`)
+/// cannot oscillate and are reported stable.
+///
+/// # Panics
+///
+/// Panics on non-positive `capacity_pps`, `base_rtt_ns`, or `n`, or on
+/// a degenerate RED band (`min_th >= max_th`).
+pub fn red_stability(
+    capacity_pps: f64,
+    base_rtt_ns: u64,
+    n: f64,
+    red: &RedFluid,
+) -> RedStabilityVerdict {
+    assert!(
+        capacity_pps.is_finite() && capacity_pps > 0.0,
+        "capacity must be positive"
+    );
+    assert!(base_rtt_ns > 0, "base RTT must be positive");
+    assert!(n.is_finite() && n > 0.0, "population must be positive");
+    assert!(red.min_th < red.max_th, "RED band must be non-degenerate");
+
+    let c = capacity_pps;
+    let d = base_rtt_ns as f64 / NS_PER_SEC;
+    let rtt = |q: f64| d + q / c;
+    // Drop probability the equilibrium demands at queue q:
+    // p = 2/W*² with W* = C·R(q)/N.
+    let demand = |q: f64| 2.0 * n * n / (c * rtt(q)).powi(2);
+    let excess = |q: f64| red.prob(q) - demand(q);
+
+    // Unique root of `excess` by bisection: supply is nondecreasing,
+    // demand strictly decreasing. Bracket from the empty queue up past
+    // the hard-drop threshold (where prob = 1 ≥ demand, unless demand
+    // exceeds 1 everywhere — the floor-pinned regime).
+    let mut lo = 0.0f64;
+    let mut hi = red.max_th.max(1.0) + 2.0 * n;
+    let q_star = if excess(lo) >= 0.0 {
+        lo
+    } else {
+        while excess(hi) < 0.0 {
+            hi *= 2.0;
+            if hi > 1e12 {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if excess(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+
+    let r_star = rtt(q_star);
+    let w_star = c * r_star / n;
+    let p_star = 2.0 / (w_star * w_star);
+    if w_star <= W_FLOOR + 1e-9 {
+        // Floor-pinned: the window cannot respond, so there is no loop
+        // to destabilize.
+        return RedStabilityVerdict {
+            stable: true,
+            w_star: W_FLOOR.max(w_star),
+            q_star,
+            p_star,
+            margin: f64::INFINITY,
+        };
+    }
+
+    let rho = red.slope(q_star);
+    let a1 = 2.0 / (w_star * r_star);
+    let a2 = 1.0 / r_star;
+    let a = red.wq * c;
+    let c2 = a1 + a2 + a;
+    let c1 = a1 * a2 + a1 * a + a2 * a;
+    let c0 = a1 * a2 * a + a * rho * c * c / (2.0 * n);
+    let margin = c2 * c1 / c0;
+    RedStabilityVerdict {
+        stable: margin > 1.0,
+        w_star,
+        q_star,
+        p_star,
+        margin,
     }
 }
 
@@ -338,6 +558,7 @@ mod tests {
                 classes: vec![trim_class(n, d_ns, k_ns)],
                 dt_ns: 1_000_000,
                 horizon_ns: 60_000_000_000,
+                aqm: FluidAqm::DropTail,
             })
         };
         let small = sweep(1_000.0);
@@ -362,6 +583,7 @@ mod tests {
             ],
             dt_ns: 10_000,
             horizon_ns: 1_000_000_000,
+            aqm: FluidAqm::DropTail,
         };
         let a = integrate(&cfg);
         let b = integrate(&cfg);
@@ -389,6 +611,151 @@ mod tests {
         assert!(arct > tiny);
     }
 
+    /// A steep RED band on a long-RTT, two-to-four-flow bottleneck sits
+    /// deep in the unstable region: the Routh–Hurwitz margin is far
+    /// below 1 and the integrated fluid queue keeps a sustained
+    /// limit-cycle swing instead of converging.
+    #[test]
+    fn red_predicate_and_integration_agree_on_instability() {
+        let red = RedFluid {
+            min_th: 10.0,
+            max_th: 20.0,
+            max_p: 1.0,
+            wq: 0.01,
+        };
+        for (d_ns, n) in [(1_000_000u64, 4.0f64), (500_000, 2.0)] {
+            let v = red_stability(C, d_ns, n, &red);
+            assert!(!v.stable, "D={d_ns} N={n}: margin {}", v.margin);
+            assert!(v.margin < 0.1, "deep instability, got {}", v.margin);
+            let out = integrate(
+                &FluidConfig {
+                    capacity_pps: C,
+                    buffer_pkts: 100.0,
+                    classes: vec![FluidClass {
+                        n,
+                        base_rtt_ns: d_ns,
+                        cc: FluidCc::Reno,
+                    }],
+                    dt_ns: 10_000,
+                    horizon_ns: 4 * NS_PER_SEC as u64,
+                    aqm: FluidAqm::DropTail,
+                }
+                .with_red(red),
+            );
+            assert!(
+                out.settled_queue_swing > 5.0,
+                "D={d_ns} N={n}: limit cycle must persist, swing {}",
+                out.settled_queue_swing
+            );
+        }
+    }
+
+    /// The default (gentle) RED band at datacenter RTTs is stable: the
+    /// margin clears 1 and the integrated queue converges to a fixed
+    /// point with (numerically) zero settled swing.
+    #[test]
+    fn red_predicate_and_integration_agree_on_stability() {
+        let red = RedFluid {
+            min_th: 15.0,
+            max_th: 45.0,
+            max_p: 0.1,
+            wq: 0.002,
+        };
+        for (d_ns, n) in [(100_000u64, 8.0f64), (100_000, 4.0)] {
+            let v = red_stability(C, d_ns, n, &red);
+            assert!(v.stable, "D={d_ns} N={n}: margin {}", v.margin);
+            assert!(v.margin > 2.0, "comfortably damped, got {}", v.margin);
+            let out = integrate(
+                &FluidConfig {
+                    capacity_pps: C,
+                    buffer_pkts: 100.0,
+                    classes: vec![FluidClass {
+                        n,
+                        base_rtt_ns: d_ns,
+                        cc: FluidCc::Reno,
+                    }],
+                    dt_ns: 10_000,
+                    horizon_ns: 4 * NS_PER_SEC as u64,
+                    aqm: FluidAqm::DropTail,
+                }
+                .with_red(red),
+            );
+            assert!(
+                out.settled_queue_swing < 1.0,
+                "D={d_ns} N={n}: must converge, swing {}",
+                out.settled_queue_swing
+            );
+        }
+    }
+
+    /// Equilibrium identities: rate balance `N·W* = C·R*` and window
+    /// balance `p* = 2/W*²` hold at the bisected fixed point, and the
+    /// RED curve supplies exactly the demanded probability inside the
+    /// band.
+    #[test]
+    fn red_equilibrium_satisfies_balance_equations() {
+        let red = RedFluid {
+            min_th: 15.0,
+            max_th: 45.0,
+            max_p: 0.1,
+            wq: 0.002,
+        };
+        let v = red_stability(C, 100_000, 8.0, &red);
+        let r_star = 100_000.0 / 1e9 + v.q_star / C;
+        assert!((8.0 * v.w_star - C * r_star).abs() / (C * r_star) < 1e-6);
+        assert!((v.p_star - 2.0 / (v.w_star * v.w_star)).abs() < 1e-9);
+        assert!(
+            (red.prob(v.q_star) - v.p_star).abs() < 1e-6,
+            "supply {} vs demand {}",
+            red.prob(v.q_star),
+            v.p_star
+        );
+    }
+
+    /// Massive populations pin the per-flow window at the floor: no
+    /// feedback loop left to destabilize, verdict is stable with an
+    /// infinite margin.
+    #[test]
+    fn red_floor_pinned_population_is_stable() {
+        let red = RedFluid {
+            min_th: 15.0,
+            max_th: 45.0,
+            max_p: 0.1,
+            wq: 0.002,
+        };
+        let v = red_stability(C, 100_000, 64.0, &red);
+        assert!(v.stable);
+        assert!(v.margin.is_infinite());
+        assert!((v.w_star - 2.0).abs() < 1e-6);
+    }
+
+    /// A RED band entirely above the physical buffer never engages: the
+    /// integration reduces to drop-tail (identical outcome).
+    #[test]
+    fn red_band_above_buffer_is_drop_tail() {
+        let base = FluidConfig {
+            capacity_pps: C,
+            buffer_pkts: 50.0,
+            classes: vec![FluidClass {
+                n: 8.0,
+                base_rtt_ns: 200_000,
+                cc: FluidCc::Reno,
+            }],
+            dt_ns: 10_000,
+            horizon_ns: NS_PER_SEC as u64,
+            aqm: FluidAqm::DropTail,
+        };
+        let red = base.clone().with_red(RedFluid {
+            min_th: 60.0, // above the 50-packet buffer: never reached
+            max_th: 120.0,
+            max_p: 1.0,
+            wq: 0.002,
+        });
+        let a = integrate(&base);
+        let b = integrate(&red);
+        assert_eq!(a, b);
+    }
+
     #[test]
     #[should_panic(expected = "class")]
     fn empty_class_list_is_rejected() {
@@ -398,6 +765,7 @@ mod tests {
             classes: vec![],
             dt_ns: 10_000,
             horizon_ns: 1_000_000,
+            aqm: FluidAqm::DropTail,
         });
     }
 }

@@ -19,11 +19,16 @@
 //!   sessions — per-sender response sequences with think times —
 //!   exercising the request/response lifecycle, the think-time
 //!   scheduler, and the session-aware goodput accounting.
+//! - **aqm** (every [`GenConfig::aqm_every`]-th iteration, saturation
+//!   and session taking precedence): RED or CoDel on every queue with
+//!   randomized integer-quantized parameters over small buffers,
+//!   exercising early-drop, ECN-marking, and sojourn-drop paths under
+//!   the full monitor suite.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use trim_workload::spec::{
-    ScenarioSpec, SpecCc, SpecFault, SpecSession, SpecTrain, SPEC_MSS_BYTES,
+    ScenarioSpec, SpecAqm, SpecCc, SpecFault, SpecSession, SpecTrain, SPEC_MSS_BYTES,
 };
 
 /// Knobs bounding the generated scenario space. The defaults suit the
@@ -39,9 +44,15 @@ pub struct GenConfig {
     /// Generate a session spec every Nth iteration (0 = never);
     /// saturation wins when an iteration matches both.
     pub session_every: u64,
+    /// Generate an AQM (RED/CoDel) spec every Nth iteration (0 =
+    /// never); saturation and session both win on a collision.
+    pub aqm_every: u64,
     /// Attach a queue over-admission fault to every burst spec (the
     /// detector self-test mode).
     pub fault_overadmit: bool,
+    /// Attach the stability oracles (cwnd limit-cycle, standing queue)
+    /// to every generated scenario — the instability-hunting mode.
+    pub stability: bool,
 }
 
 impl Default for GenConfig {
@@ -51,7 +62,9 @@ impl Default for GenConfig {
             max_total_bytes: 600_000,
             saturate_every: 4,
             session_every: 5,
+            aqm_every: 3,
             fault_overadmit: false,
+            stability: false,
         }
     }
 }
@@ -75,13 +88,17 @@ pub fn gen_spec(seed: u64, iteration: u64, cfg: &GenConfig) -> ScenarioSpec {
     let saturate =
         cfg.saturate_every != 0 && iteration % cfg.saturate_every == cfg.saturate_every - 1;
     let session = cfg.session_every != 0 && iteration % cfg.session_every == cfg.session_every - 1;
-    let spec = if saturate {
+    let aqm = cfg.aqm_every != 0 && iteration % cfg.aqm_every == cfg.aqm_every - 1;
+    let mut spec = if saturate {
         gen_saturation(&mut rng, seed, cfg)
     } else if session {
         gen_session(&mut rng, seed, cfg)
+    } else if aqm {
+        gen_aqm(&mut rng, seed, cfg)
     } else {
         gen_burst(&mut rng, seed, cfg)
     };
+    spec.stability = cfg.stability;
     debug_assert!(spec.validate().is_ok(), "generator produced invalid spec");
     spec
 }
@@ -141,6 +158,9 @@ fn gen_burst(rng: &mut StdRng, seed: u64, cfg: &GenConfig) -> ScenarioSpec {
         min_rto_us,
         horizon_ms,
         fault,
+        aqm: SpecAqm::DropTail,
+        stability: false,
+        expect: None,
         trains,
         sessions: Vec::new(),
     }
@@ -207,8 +227,77 @@ fn gen_session(rng: &mut StdRng, seed: u64, cfg: &GenConfig) -> ScenarioSpec {
         min_rto_us: pick(rng, &[10_000, 50_000, 200_000]),
         horizon_ms,
         fault: None,
+        aqm: SpecAqm::DropTail,
+        stability: false,
+        expect: None,
         trains: Vec::new(),
         sessions,
+    }
+}
+
+/// AQM bottlenecks: RED or CoDel with randomized integer-quantized
+/// parameters over small buffers, under persistent synchronized trains
+/// that keep the queue busy enough to exercise early drops, CE marks,
+/// and sojourn-time drops.
+fn gen_aqm(rng: &mut StdRng, seed: u64, cfg: &GenConfig) -> ScenarioSpec {
+    let senders = rng.random_range(2..=12.min(cfg.max_senders.max(2) as u64)) as usize;
+    let link_mbps: u64 = pick(rng, &[100, 1000]);
+    let delay_us: u64 = pick(rng, &[50, 100, 250]);
+    let buffer_pkts = rng.random_range(8..=64) as usize;
+    let aqm = if rng.random_range(0..2u64) == 0 {
+        let min_th = rng.random_range(1..=buffer_pkts as u64 / 2).max(1) as u32;
+        let band = rng.random_range(1..=buffer_pkts as u64) as u32;
+        SpecAqm::Red {
+            min_th,
+            max_th: min_th + band,
+            max_p_milli: pick(rng, &[20, 100, 200, 500, 1000]),
+            wq_micro: pick(rng, &[2_000, 10_000, 50_000, 200_000]),
+            ecn: rng.random_range(0..4u64) == 0,
+        }
+    } else {
+        let target_us = pick(rng, &[20, 50, 100, 500]);
+        SpecAqm::Codel {
+            target_us,
+            interval_us: target_us * pick(rng, &[4, 10, 20]),
+            ecn: rng.random_range(0..4u64) == 0,
+        }
+    };
+    let base_rtt_ns = 4 * delay_us * 1_000;
+    let cc = match rng.random_range(0..3u64) {
+        0 => SpecCc::Reno,
+        1 => SpecCc::TrimGuideline,
+        _ => SpecCc::TrimOverrideNs(rng.random_range(base_rtt_ns..=10 * base_rtt_ns)),
+    };
+    let horizon_ms: u64 = rng.random_range(200..=600);
+    // Persistent load: offer ~1.5x the bottleneck capacity over the
+    // horizon so the AQM sees a standing queue worth regulating.
+    let capacity_bytes = link_mbps * 125 * horizon_ms;
+    let per_sender = (3 * capacity_bytes / (2 * senders as u64))
+        .div_ceil(SPEC_MSS_BYTES)
+        .max(1)
+        * SPEC_MSS_BYTES;
+    let trains = (0..senders)
+        .map(|sender| SpecTrain {
+            sender,
+            at_us: rng.random_range(0..=200),
+            bytes: per_sender,
+        })
+        .collect();
+    ScenarioSpec {
+        seed,
+        senders,
+        link_mbps,
+        delay_us,
+        buffer_pkts,
+        cc,
+        min_rto_us: pick(rng, &[10_000, 50_000, 200_000]),
+        horizon_ms,
+        fault: None,
+        aqm,
+        stability: false,
+        expect: None,
+        trains,
+        sessions: Vec::new(),
     }
 }
 
@@ -241,6 +330,9 @@ fn gen_saturation(rng: &mut StdRng, seed: u64, cfg: &GenConfig) -> ScenarioSpec 
         min_rto_us: 200_000,
         horizon_ms,
         fault: None,
+        aqm: SpecAqm::DropTail,
+        stability: false,
+        expect: None,
         trains,
         sessions: Vec::new(),
     }
@@ -293,6 +385,7 @@ mod tests {
             fault_overadmit: true,
             saturate_every: 0,
             session_every: 0,
+            aqm_every: 0,
             ..Default::default()
         };
         for i in 0..10 {
@@ -309,6 +402,7 @@ mod tests {
         let cfg = GenConfig {
             max_total_bytes: 50_000,
             saturate_every: 0,
+            aqm_every: 0,
             ..Default::default()
         };
         for i in 0..20 {
@@ -321,6 +415,31 @@ mod tests {
                     .sum::<u64>();
             assert!(total <= 50_000 + SPEC_MSS_BYTES, "iteration {i}: {total}");
         }
+    }
+
+    #[test]
+    fn aqm_family_generates_red_and_codel_bottlenecks() {
+        let cfg = GenConfig {
+            saturate_every: 0,
+            session_every: 0,
+            aqm_every: 1,
+            ..Default::default()
+        };
+        let (mut red, mut codel) = (0, 0);
+        for i in 0..20 {
+            let spec = gen_spec(11, i, &cfg);
+            spec.validate().unwrap();
+            match spec.aqm {
+                SpecAqm::Red { .. } => red += 1,
+                SpecAqm::Codel { .. } => codel += 1,
+                SpecAqm::DropTail => panic!("iteration {i} fell back to drop-tail"),
+            }
+            assert!(spec.buffer_pkts <= 64, "iteration {i}: tiny buffers only");
+            // The text form round-trips the discipline exactly.
+            let parsed = ScenarioSpec::from_text(&spec.to_text()).unwrap();
+            assert_eq!(parsed, spec);
+        }
+        assert!(red > 0 && codel > 0, "both disciplines generated");
     }
 
     #[test]

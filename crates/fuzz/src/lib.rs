@@ -172,7 +172,12 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 .map(|v| v.key().as_deref() == Some(key.as_str()))
                 .unwrap_or(false)
         });
+        let mut shrunk = shrunk;
         let verdict = check_spec(&shrunk).expect("shrunk spec must run");
+        // Stamp the expected verdict into the spec so a committed corpus
+        // file carries its own replay expectation (`expect = monitor:...`
+        // / `oracle:...`) instead of the harness inferring one.
+        shrunk.expect = verdict.key();
         let artifact = cfg.store.as_ref().map(|store| {
             let stem = key.replace(':', "_");
             let rel = format!("fuzz/{stem}_s{}_i{iteration}.spec", cfg.seed);

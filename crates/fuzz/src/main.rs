@@ -11,8 +11,17 @@
 //!   fuzzer must re-find it (as a `queue-bound` violation) and shrink
 //!   it. Exit 0 when found, exit 2 when the detector missed it.
 //! - **replay**: `--replay <file-or-dir>` re-runs committed corpus
-//!   specs: specs with a `fault` line must reproduce their violation,
-//!   clean specs must stay clean. Exit 0/1.
+//!   specs: a spec with an `expect = monitor:<name>` / `oracle:<name>`
+//!   line must reproduce exactly that verdict; lacking one, specs with
+//!   a `fault` line must trip `queue-bound` and clean specs must stay
+//!   clean. Exit 0/1.
+//!
+//! `--family burst|session|saturate|aqm` restricts generation to one
+//! scenario family (default: the mixed schedule); `--stability`
+//! additionally attaches the stability oracles (cwnd limit-cycle,
+//! standing queue) to every generated scenario — the instability-hunting
+//! mode, whose findings are often legitimate Reno sawtooths rather than
+//! engine bugs, so it is not part of the clean-run CI gate.
 
 #![forbid(unsafe_code)]
 
@@ -28,6 +37,8 @@ struct Options {
     seed: u64,
     out: PathBuf,
     fault_overadmit: bool,
+    family: Option<String>,
+    stability: bool,
     replay: Option<PathBuf>,
     max_failures: usize,
     quiet: bool,
@@ -40,6 +51,8 @@ impl Default for Options {
             seed: 7,
             out: PathBuf::from("results"),
             fault_overadmit: false,
+            family: None,
+            stability: false,
             replay: None,
             max_failures: 3,
             quiet: false,
@@ -48,7 +61,8 @@ impl Default for Options {
 }
 
 const USAGE: &str = "usage: trim-fuzz [--iterations N] [--seed S] [--out DIR] \
-                     [--fault overadmit] [--replay FILE|DIR] [--max-failures M] [--quiet]";
+                     [--fault overadmit] [--family burst|session|saturate|aqm] [--stability] \
+                     [--replay FILE|DIR] [--max-failures M] [--quiet]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options::default();
@@ -71,6 +85,18 @@ fn parse_args() -> Result<Options, String> {
                 "overadmit" => opts.fault_overadmit = true,
                 other => return Err(format!("unknown fault `{other}` (want: overadmit)")),
             },
+            "--family" => {
+                let family = value("--family")?;
+                match family.as_str() {
+                    "burst" | "session" | "saturate" | "aqm" => opts.family = Some(family),
+                    other => {
+                        return Err(format!(
+                            "unknown family `{other}` (want: burst, session, saturate, aqm)"
+                        ))
+                    }
+                }
+            }
+            "--stability" => opts.stability = true,
             "--replay" => opts.replay = Some(PathBuf::from(value("--replay")?)),
             "--max-failures" => {
                 opts.max_failures = value("--max-failures")?
@@ -107,15 +133,29 @@ fn main() -> ExitCode {
 }
 
 fn fuzz(opts: &Options) -> ExitCode {
+    let mut gen = GenConfig {
+        fault_overadmit: opts.fault_overadmit,
+        stability: opts.stability,
+        ..GenConfig::default()
+    };
+    if opts.fault_overadmit {
+        // The detector self-test only makes sense on burst specs.
+        gen.saturate_every = 0;
+        gen.session_every = 0;
+        gen.aqm_every = 0;
+    }
+    match opts.family.as_deref() {
+        None => {}
+        Some("burst") => (gen.saturate_every, gen.session_every, gen.aqm_every) = (0, 0, 0),
+        Some("session") => (gen.saturate_every, gen.session_every, gen.aqm_every) = (0, 1, 0),
+        Some("saturate") => (gen.saturate_every, gen.session_every, gen.aqm_every) = (1, 0, 0),
+        Some("aqm") => (gen.saturate_every, gen.session_every, gen.aqm_every) = (0, 0, 1),
+        Some(_) => unreachable!("families validated at parse time"),
+    }
     let cfg = FuzzConfig {
         iterations: opts.iterations,
         seed: opts.seed,
-        gen: GenConfig {
-            fault_overadmit: opts.fault_overadmit,
-            // The detector self-test only makes sense on burst specs.
-            saturate_every: if opts.fault_overadmit { 0 } else { 4 },
-            ..GenConfig::default()
-        },
+        gen,
         max_failures: if opts.fault_overadmit {
             1
         } else {
@@ -207,12 +247,16 @@ fn replay(path: &Path, quiet: bool) -> ExitCode {
                 continue;
             }
         };
-        // A spec carrying an injected fault is a regression repro: it
-        // must still trip a monitor. A clean spec must stay clean.
-        let ok = if spec.fault.is_some() {
-            verdict.key().as_deref() == Some("monitor:queue-bound")
-        } else {
-            !verdict.failed()
+        // A spec carrying an `expect` line must reproduce exactly that
+        // verdict. Lacking one, an injected fault is a regression repro
+        // that must trip `queue-bound`, and a clean spec must stay clean.
+        let expected: Option<String> = spec
+            .expect
+            .clone()
+            .or_else(|| spec.fault.map(|_| "monitor:queue-bound".to_string()));
+        let ok = match &expected {
+            Some(key) => verdict.key().as_deref() == Some(key.as_str()),
+            None => !verdict.failed(),
         };
         if ok {
             if !quiet {
@@ -222,10 +266,9 @@ fn replay(path: &Path, quiet: bool) -> ExitCode {
             eprintln!(
                 "replay FAILED: {} — expected {}, got: {}",
                 file.display(),
-                if spec.fault.is_some() {
-                    "the fault to be caught"
-                } else {
-                    "a clean run"
+                match &expected {
+                    Some(key) => format!("`{key}`"),
+                    None => "a clean run".to_string(),
                 },
                 verdict.headline()
             );

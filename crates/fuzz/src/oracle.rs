@@ -209,6 +209,9 @@ mod tests {
             min_rto_us: 200_000,
             horizon_ms: 60,
             fault: None,
+            aqm: trim_workload::spec::SpecAqm::DropTail,
+            stability: false,
+            expect: None,
             trains: (0..2)
                 .map(|sender| SpecTrain {
                     sender,

@@ -17,7 +17,9 @@
 //! reaches a fixpoint; a hard cap on accepted steps backstops the
 //! argument.
 
-use trim_workload::spec::{ScenarioSpec, SpecFault, SpecSession, SpecTrain, SPEC_MSS_BYTES};
+use trim_workload::spec::{
+    ScenarioSpec, SpecAqm, SpecFault, SpecSession, SpecTrain, SPEC_MSS_BYTES,
+};
 
 /// How a shrink run went.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -197,7 +199,76 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         out.push(s);
     }
 
-    // 12. Weaken the fault to the smallest over-admission.
+    // 12. Canonicalize AQM parameters toward the defaults (idempotent
+    //     roundings, like pass 11). The discipline itself is never
+    //     shrunk to drop-tail: an AQM repro must stay an AQM repro, and
+    //     removing the discipline would usually erase the failure.
+    if let SpecAqm::Red {
+        min_th,
+        max_th,
+        max_p_milli,
+        wq_micro,
+        ecn,
+    } = spec.aqm
+    {
+        for aqm in [
+            SpecAqm::Red {
+                min_th,
+                max_th,
+                max_p_milli: 100,
+                wq_micro,
+                ecn,
+            },
+            SpecAqm::Red {
+                min_th,
+                max_th,
+                max_p_milli,
+                wq_micro: 2_000,
+                ecn,
+            },
+            SpecAqm::Red {
+                min_th,
+                max_th,
+                max_p_milli,
+                wq_micro,
+                ecn: false,
+            },
+        ] {
+            let mut s = spec.clone();
+            s.aqm = aqm;
+            out.push(s);
+        }
+    }
+    if let SpecAqm::Codel {
+        target_us,
+        interval_us,
+        ecn,
+    } = spec.aqm
+    {
+        for aqm in [
+            SpecAqm::Codel {
+                target_us: 50,
+                interval_us: interval_us.max(50),
+                ecn,
+            },
+            SpecAqm::Codel {
+                target_us,
+                interval_us: target_us.saturating_mul(20),
+                ecn,
+            },
+            SpecAqm::Codel {
+                target_us,
+                interval_us,
+                ecn: false,
+            },
+        ] {
+            let mut s = spec.clone();
+            s.aqm = aqm;
+            out.push(s);
+        }
+    }
+
+    // 13. Weaken the fault to the smallest over-admission.
     if let Some(SpecFault::QueueOveradmit { extra }) = spec.fault {
         if extra > 1 {
             let mut s = spec.clone();
@@ -312,6 +383,9 @@ mod tests {
             min_rto_us: 50_000,
             horizon_ms: 800,
             fault: Some(SpecFault::QueueOveradmit { extra: 5 }),
+            aqm: SpecAqm::DropTail,
+            stability: false,
+            expect: None,
             trains: (0..16)
                 .flat_map(|sender| {
                     (0..2).map(move |j| SpecTrain {
@@ -401,6 +475,45 @@ mod tests {
         assert_eq!(small.sessions.len(), 1);
         assert_eq!(small.sessions[0].sizes.len(), 2);
         assert!(stats.accepted > 0);
+    }
+
+    #[test]
+    fn aqm_parameters_canonicalize_but_the_discipline_survives() {
+        let mut spec = big_spec();
+        spec.aqm = SpecAqm::Red {
+            min_th: 3,
+            max_th: 17,
+            max_p_milli: 730,
+            wq_micro: 123_456,
+            ecn: true,
+        };
+        let (small, _) = shrink(&spec, |_| true);
+        assert_eq!(
+            small.aqm,
+            SpecAqm::Red {
+                min_th: 3,
+                max_th: 17,
+                max_p_milli: 100,
+                wq_micro: 2_000,
+                ecn: false,
+            },
+            "parameters round to defaults without losing the discipline"
+        );
+        let mut spec = big_spec();
+        spec.aqm = SpecAqm::Codel {
+            target_us: 37,
+            interval_us: 9_999,
+            ecn: true,
+        };
+        let (small, _) = shrink(&spec, |_| true);
+        assert_eq!(
+            small.aqm,
+            SpecAqm::Codel {
+                target_us: 50,
+                interval_us: 1_000,
+                ecn: false,
+            }
+        );
     }
 
     #[test]

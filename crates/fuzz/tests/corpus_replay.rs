@@ -1,7 +1,8 @@
 //! Replays every committed `corpus/*.spec` as an ordinary test case:
-//! fault-carrying repros must still trip their monitor, clean specs
-//! must stay clean under the full monitor + oracle suite, and replays
-//! must be deterministic.
+//! a spec with an `expect = monitor:<name>` / `oracle:<name>` line must
+//! reproduce exactly that verdict, fault-carrying repros must still trip
+//! `queue-bound`, clean specs must stay clean under the full monitor +
+//! oracle suite, and replays must be deterministic.
 
 use std::path::PathBuf;
 
@@ -32,25 +33,28 @@ fn every_corpus_spec_replays_with_its_expected_outcome() {
         let spec = ScenarioSpec::from_text(&text)
             .unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
         let verdict = check_spec(&spec).unwrap();
-        if spec.fault.is_some() {
-            assert_eq!(
+        let expected: Option<String> = spec
+            .expect
+            .clone()
+            .or_else(|| spec.fault.map(|_| "monitor:queue-bound".to_string()));
+        match expected {
+            Some(key) => assert_eq!(
                 verdict.key().as_deref(),
-                Some("monitor:queue-bound"),
-                "{}: fault repro no longer caught: {}",
+                Some(key.as_str()),
+                "{}: repro no longer produces its expected verdict: {}",
                 path.display(),
                 verdict.headline()
-            );
-        } else {
-            assert!(
+            ),
+            None => assert!(
                 !verdict.failed(),
                 "{}: clean spec now fails: {}",
                 path.display(),
                 verdict.headline()
-            );
+            ),
         }
     }
     assert!(
-        seen >= 4,
+        seen >= 5,
         "expected the committed corpus, found {seen} specs"
     );
 }
@@ -113,4 +117,39 @@ fn saturation_spec_exercises_the_utilization_oracle() {
         u >= trim_fuzz::oracle::UTILIZATION_FLOOR,
         "utilization {u} under the oracle floor"
     );
+}
+
+#[test]
+fn aqm_instability_repro_fires_the_stability_oracle_deterministically() {
+    let spec = load("aqm_red_limit_cycle.spec");
+    assert!(spec.stability, "repro must attach the stability oracles");
+    assert_eq!(spec.expect.as_deref(), Some("monitor:cwnd-limit-cycle"));
+    assert!(
+        !matches!(spec.aqm, trim_workload::spec::SpecAqm::DropTail),
+        "repro must keep its AQM discipline"
+    );
+    let a = spec.run().unwrap();
+    let v = a
+        .violations
+        .iter()
+        .find(|v| v.monitor == "cwnd-limit-cycle")
+        .unwrap_or_else(|| panic!("limit cycle no longer detected: {:?}", a.violations));
+    // The oracle's report is actionable: it names the oscillating flow
+    // and the simulation time the cycle qualified.
+    assert!(v.flow.is_some(), "violation carries the flow: {v}");
+    assert!(
+        v.at > netsim::SimTime::ZERO,
+        "violation carries sim time: {v}"
+    );
+    // No other invariant breaks: the oscillation is the only finding.
+    assert!(
+        a.violations
+            .iter()
+            .all(|v| v.monitor == "cwnd-limit-cycle" || v.monitor == "standing-queue"),
+        "unexpected violations: {:?}",
+        a.violations
+    );
+    let b = spec.run().unwrap();
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.report.completion_times(), b.report.completion_times());
 }

@@ -69,7 +69,9 @@ pub use eventq::EventQueue;
 pub use hash::{mix64, FastHashMap, FastHashSet};
 pub use monitor::{AuditStats, InvariantMonitor, MonitorEvent, ProbeTransition, Violation};
 pub use packet::{ChannelId, FlowId, NodeId, Packet, Payload, TagPayload};
-pub use queue::{Aqm, QueueConfig, QueueSample, QueueStats, RedConfig};
+pub use queue::{
+    Aqm, CoDelConfig, QueueConfig, QueueDiscipline, QueueSample, QueueStats, RedConfig,
+};
 pub use sim::{Ctx, Simulator, TimerId};
 pub use time::{Dur, SimTime};
 pub use trace::{PacketEvent, PacketEventKind, PacketTrace, Series, ThroughputMeter};
@@ -82,7 +84,7 @@ pub mod prelude {
         AuditStats, InvariantMonitor, MonitorEvent, ProbeTransition, Violation,
     };
     pub use crate::packet::{ChannelId, FlowId, NodeId, Packet, Payload, TagPayload};
-    pub use crate::queue::{Aqm, QueueConfig, QueueStats, RedConfig};
+    pub use crate::queue::{Aqm, CoDelConfig, QueueConfig, QueueDiscipline, QueueStats, RedConfig};
     pub use crate::sim::{Ctx, Simulator, TimerId};
     pub use crate::time::{Dur, SimTime};
     pub use crate::topology;

@@ -106,6 +106,39 @@ pub enum MonitorEvent {
         /// Wire size in bytes.
         size: u32,
     },
+    /// An AQM (RED) dropped a packet early — below capacity — at enqueue
+    /// time. Emitted *in addition to* [`MonitorEvent::Dropped`] for the
+    /// same packet, carrying the average-queue estimate that drove the
+    /// decision.
+    AqmEarlyDrop {
+        /// The channel whose queue made the decision.
+        channel: ChannelId,
+        /// Flow label of the packet.
+        flow: FlowId,
+        /// Engine-assigned unique packet id.
+        uid: u64,
+        /// Wire size in bytes.
+        size: u32,
+        /// The EWMA queue estimate (in packets) at the drop decision.
+        avg_queue: f64,
+    },
+    /// CoDel dropped a queued packet at *dequeue* time because its
+    /// sojourn stayed above target. Emitted *in addition to*
+    /// [`MonitorEvent::Dropped`] for the same packet, carrying the
+    /// measured sojourn. The dropped packet was the queue head, so FIFO
+    /// monitors treat this as a head removal.
+    SojournDrop {
+        /// The channel whose queue made the decision.
+        channel: ChannelId,
+        /// Flow label of the packet.
+        flow: FlowId,
+        /// Engine-assigned unique packet id.
+        uid: u64,
+        /// Wire size in bytes.
+        size: u32,
+        /// How long the packet sat in the queue, in nanoseconds.
+        sojourn_ns: u64,
+    },
     /// A packet was accepted into a channel's queue.
     Enqueued {
         /// The channel.

@@ -195,50 +195,65 @@ impl<P: Payload> Core<P> {
         self.cancelled.insert(id.0);
     }
 
-    /// Hands a packet to a channel: straight to the transmitter when idle,
-    /// into the queue otherwise (dropped when full).
-    fn channel_send(&mut self, ch: ChannelId, now: SimTime, pkt: Packet<P>) {
-        let (src, dst, flow, size, uid) = (pkt.src, pkt.dst, pkt.flow, pkt.size, pkt.uid);
-        let c = &mut self.channels[ch.index()];
-        let cap_pkts = match c.queue.config().capacity {
-            QueueCapacity::Packets(n) => Some(n),
-            QueueCapacity::Bytes(_) => None,
+    /// Accounts for an enqueue that dropped the packet (capacity, RED, or
+    /// injected fault). Returns `true` when the packet was dropped.
+    #[allow(clippy::too_many_arguments)]
+    fn note_enqueue_drop(
+        &mut self,
+        ch: ChannelId,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        flow: FlowId,
+        size: u32,
+        uid: u64,
+        outcome: crate::queue::EnqueueOutcome,
+    ) -> bool {
+        let early_avg = match outcome {
+            crate::queue::EnqueueOutcome::Accepted => return false,
+            crate::queue::EnqueueOutcome::Dropped => None,
+            crate::queue::EnqueueOutcome::EarlyDropped { avg_queue } => Some(avg_queue),
         };
-        if c.busy {
-            if c.queue.enqueue(now, pkt) == crate::queue::EnqueueOutcome::Dropped {
-                self.dropped_pkts += 1;
-                if let Some(t) = &mut self.ptrace {
-                    t.record(PacketEvent {
-                        at: now,
-                        kind: PacketEventKind::Dropped { channel: ch },
-                        src,
-                        dst,
-                        flow,
-                        size,
-                    });
-                }
-                self.emit(MonitorEvent::Dropped {
-                    channel: ch,
-                    flow,
-                    uid,
-                    size,
-                });
-            } else if self.monitors_on {
-                let len_after = self.channels[ch.index()].queue.len();
-                self.emit(MonitorEvent::Enqueued {
-                    channel: ch,
-                    flow,
-                    uid,
-                    len_after,
-                    cap_pkts,
-                });
-            }
+        self.dropped_pkts += 1;
+        if let Some(t) = &mut self.ptrace {
+            t.record(PacketEvent {
+                at: now,
+                kind: PacketEventKind::Dropped { channel: ch },
+                src,
+                dst,
+                flow,
+                size,
+            });
+        }
+        self.emit(MonitorEvent::Dropped {
+            channel: ch,
+            flow,
+            uid,
+            size,
+        });
+        if let Some(avg_queue) = early_avg {
+            self.emit(MonitorEvent::AqmEarlyDrop {
+                channel: ch,
+                flow,
+                uid,
+                size,
+                avg_queue,
+            });
+        }
+        true
+    }
+
+    /// Accounts for packets a CoDel queue dropped during a dequeue:
+    /// engine drop counter, packet trace, and the `Dropped` +
+    /// `SojournDrop` monitor events, in queue order.
+    fn drain_sojourn_drops(&mut self, ch: ChannelId, now: SimTime) {
+        if !self.channels[ch.index()].queue.has_sojourn_drops() {
             return;
         }
-        // Count packets that bypass the queue in the queue stats so that
-        // enqueue/dequeued reflect every packet offered to the channel.
-        // The enqueue can still fail (zero capacity, injected fault).
-        if c.queue.enqueue(now, pkt) == crate::queue::EnqueueOutcome::Dropped {
+        let drops = self.channels[ch.index()].queue.take_sojourn_drops();
+        for d in drops {
+            let (src, dst, flow, size, uid) =
+                (d.pkt.src, d.pkt.dst, d.pkt.flow, d.pkt.size, d.pkt.uid);
             self.dropped_pkts += 1;
             if let Some(t) = &mut self.ptrace {
                 t.record(PacketEvent {
@@ -256,6 +271,46 @@ impl<P: Payload> Core<P> {
                 uid,
                 size,
             });
+            self.emit(MonitorEvent::SojournDrop {
+                channel: ch,
+                flow,
+                uid,
+                size,
+                sojourn_ns: d.sojourn.as_nanos(),
+            });
+        }
+    }
+
+    /// Hands a packet to a channel: straight to the transmitter when idle,
+    /// into the queue otherwise (dropped when full).
+    fn channel_send(&mut self, ch: ChannelId, now: SimTime, pkt: Packet<P>) {
+        let (src, dst, flow, size, uid) = (pkt.src, pkt.dst, pkt.flow, pkt.size, pkt.uid);
+        let c = &mut self.channels[ch.index()];
+        let cap_pkts = match c.queue.config().capacity {
+            QueueCapacity::Packets(n) => Some(n),
+            QueueCapacity::Bytes(_) => None,
+        };
+        if c.busy {
+            let outcome = c.queue.enqueue(now, pkt);
+            if !self.note_enqueue_drop(ch, now, src, dst, flow, size, uid, outcome)
+                && self.monitors_on
+            {
+                let len_after = self.channels[ch.index()].queue.len();
+                self.emit(MonitorEvent::Enqueued {
+                    channel: ch,
+                    flow,
+                    uid,
+                    len_after,
+                    cap_pkts,
+                });
+            }
+            return;
+        }
+        // Count packets that bypass the queue in the queue stats so that
+        // enqueue/dequeued reflect every packet offered to the channel.
+        // The enqueue can still fail (zero capacity, injected fault).
+        let outcome = c.queue.enqueue(now, pkt);
+        if self.note_enqueue_drop(ch, now, src, dst, flow, size, uid, outcome) {
             return;
         }
         if self.monitors_on {
@@ -270,6 +325,8 @@ impl<P: Payload> Core<P> {
         }
         let c = &mut self.channels[ch.index()];
         c.busy = true;
+        // CoDel never drops the last remaining packet, so the dequeue
+        // directly after a successful enqueue always yields one.
         let head = c.queue.dequeue(now).expect("just enqueued"); // trim-lint: allow(no-panic-in-library, reason = "dequeue directly follows the enqueue in this call")
         self.transmit(ch, now, head);
     }
@@ -277,9 +334,13 @@ impl<P: Payload> Core<P> {
     fn on_tx_done(&mut self, ch: ChannelId) {
         let now = self.now;
         let c = &mut self.channels[ch.index()];
-        match c.queue.dequeue(now) {
+        let head = c.queue.dequeue(now);
+        // CoDel may have dropped queued packets during that dequeue;
+        // account for them before the survivor's `Dequeued` event.
+        self.drain_sojourn_drops(ch, now);
+        match head {
             Some(pkt) => self.transmit(ch, now, pkt),
-            None => c.busy = false,
+            None => self.channels[ch.index()].busy = false,
         }
     }
 

@@ -120,6 +120,39 @@ proptest! {
         prop_assert!((from_series - total as f64).abs() < 1.0);
     }
 
+    /// RED drop probability is monotone in the average queue depth: for
+    /// any valid threshold configuration and any count state, a deeper
+    /// average never yields a smaller drop probability, and the result
+    /// stays inside [0, 1].
+    #[test]
+    fn red_drop_probability_monotone_in_average(
+        min_th in 0u32..100,
+        band in 1u32..100,
+        max_p_milli in 1u32..=1000,
+        count in 0u64..50,
+        avg_lo_milli in 0u64..200_000,
+        delta_milli in 0u64..200_000,
+    ) {
+        let red = netsim::queue::RedConfig {
+            min_th: min_th as f64,
+            max_th: (min_th + band) as f64,
+            max_p: max_p_milli as f64 / 1000.0,
+            ..netsim::queue::RedConfig::default()
+        };
+        let lo = avg_lo_milli as f64 / 1000.0;
+        let hi = lo + delta_milli as f64 / 1000.0;
+        let p_lo = red.drop_probability(lo, count);
+        let p_hi = red.drop_probability(hi, count);
+        prop_assert!((0.0..=1.0).contains(&p_lo), "p({lo}) = {p_lo}");
+        prop_assert!((0.0..=1.0).contains(&p_hi), "p({hi}) = {p_hi}");
+        prop_assert!(
+            p_hi >= p_lo,
+            "deeper average must not drop less: p({lo}) = {p_lo}, p({hi}) = {p_hi}"
+        );
+        // The base probability is monotone as well (count = 0 case).
+        prop_assert!(red.base_probability(hi) >= red.base_probability(lo));
+    }
+
     /// End-to-end conservation: with random fan-in, every injected packet
     /// is either delivered to its destination or dropped at a queue.
     #[test]

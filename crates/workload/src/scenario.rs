@@ -178,6 +178,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the queue discipline (drop-tail, RED, or CoDel) on every
+    /// queue. Per-link overrides go through [`ScenarioBuilder::sender_links`]
+    /// / [`ScenarioBuilder::front_end_link`] with a discipline already set
+    /// on the [`LinkSpec`]'s queue config.
+    pub fn queue_discipline(mut self, aqm: netsim::QueueDiscipline) -> Self {
+        self.sender_link.queue.aqm = aqm;
+        self.front_end_link.queue.aqm = aqm;
+        self
+    }
+
     /// Enables ECN marking above `pkts` on every queue (for DCTCP/L2DCT).
     pub fn ecn_threshold(mut self, pkts: usize) -> Self {
         self.sender_link.queue.ecn_threshold = Some(pkts);

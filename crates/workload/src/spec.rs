@@ -17,7 +17,7 @@
 
 use netsim::time::{Dur, SimTime};
 use netsim::topology::LinkSpec;
-use netsim::{Bandwidth, QueueConfig};
+use netsim::{Bandwidth, CoDelConfig, QueueConfig, QueueDiscipline, RedConfig};
 use trim_tcp::{CcKind, TcpConfig};
 
 use crate::scenario::{Report, Scenario, ScenarioBuilder, TrainSpec};
@@ -36,6 +36,120 @@ pub enum SpecCc {
     TrimGuideline,
     /// TCP-TRIM with an explicit `K` override in nanoseconds.
     TrimOverrideNs(u64),
+}
+
+/// Queue-discipline selection for a spec, in integer-quantized units so
+/// the text form round-trips exactly (no floats in the corpus).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpecAqm {
+    /// Plain drop-tail on every queue (the historical default; omitted
+    /// from the text form).
+    #[default]
+    DropTail,
+    /// RED early dropping (or ECN marking) on every queue.
+    Red {
+        /// Minimum threshold in packets.
+        min_th: u32,
+        /// Maximum threshold in packets (must exceed `min_th`).
+        max_th: u32,
+        /// Maximum drop probability in thousandths (1..=1000).
+        max_p_milli: u32,
+        /// EWMA weight in millionths (1..=1_000_000).
+        wq_micro: u32,
+        /// Mark ECT packets CE instead of dropping.
+        ecn: bool,
+    },
+    /// CoDel sojourn-time dropping (or ECN marking) on every queue.
+    Codel {
+        /// Acceptable standing sojourn time in microseconds.
+        target_us: u32,
+        /// Sliding window over which the sojourn must stay above the
+        /// target, in microseconds (must be >= `target_us`).
+        interval_us: u32,
+        /// Mark ECT packets CE instead of dropping.
+        ecn: bool,
+    },
+}
+
+impl SpecAqm {
+    /// The runnable `netsim` discipline this selection quantizes.
+    pub fn discipline(&self) -> QueueDiscipline {
+        match *self {
+            SpecAqm::DropTail => QueueDiscipline::DropTail,
+            SpecAqm::Red {
+                min_th,
+                max_th,
+                max_p_milli,
+                wq_micro,
+                ecn,
+            } => QueueDiscipline::Red(RedConfig {
+                min_th: f64::from(min_th),
+                max_th: f64::from(max_th),
+                max_p: f64::from(max_p_milli) / 1_000.0,
+                wq: f64::from(wq_micro) / 1_000_000.0,
+                ecn,
+                ..RedConfig::default()
+            }),
+            SpecAqm::Codel {
+                target_us,
+                interval_us,
+                ecn,
+            } => QueueDiscipline::CoDel(CoDelConfig {
+                target: Dur::from_micros(u64::from(target_us)),
+                interval: Dur::from_micros(u64::from(interval_us)),
+                ecn,
+            }),
+        }
+    }
+
+    fn to_token(self) -> Option<String> {
+        match self {
+            SpecAqm::DropTail => None,
+            SpecAqm::Red {
+                min_th,
+                max_th,
+                max_p_milli,
+                wq_micro,
+                ecn,
+            } => {
+                let head = if ecn { "red-ecn" } else { "red" };
+                Some(format!("{head}:{min_th}:{max_th}:{max_p_milli}:{wq_micro}"))
+            }
+            SpecAqm::Codel {
+                target_us,
+                interval_us,
+                ecn,
+            } => {
+                let head = if ecn { "codel-ecn" } else { "codel" };
+                Some(format!("{head}:{target_us}:{interval_us}"))
+            }
+        }
+    }
+
+    fn from_token(value: &str) -> Option<SpecAqm> {
+        if value == "drop-tail" {
+            return Some(SpecAqm::DropTail);
+        }
+        let (head, rest) = value.split_once(':')?;
+        let fields: Option<Vec<u32>> = rest.split(':').map(|f| f.parse::<u32>().ok()).collect();
+        match (head, fields.as_deref()) {
+            ("red" | "red-ecn", Some(&[min_th, max_th, max_p_milli, wq_micro])) => {
+                Some(SpecAqm::Red {
+                    min_th,
+                    max_th,
+                    max_p_milli,
+                    wq_micro,
+                    ecn: head == "red-ecn",
+                })
+            }
+            ("codel" | "codel-ecn", Some(&[target_us, interval_us])) => Some(SpecAqm::Codel {
+                target_us,
+                interval_us,
+                ecn: head == "codel-ecn",
+            }),
+            _ => None,
+        }
+    }
 }
 
 /// A deterministic fault to inject before the run.
@@ -101,6 +215,17 @@ pub struct ScenarioSpec {
     pub horizon_ms: u64,
     /// Optional injected fault.
     pub fault: Option<SpecFault>,
+    /// Queue discipline on every queue (drop-tail when omitted).
+    pub aqm: SpecAqm,
+    /// Attach the `trim-check` stability oracles (cwnd limit-cycle and
+    /// standing-queue detectors) during [`ScenarioSpec::run`].
+    pub stability: bool,
+    /// Expected replay verdict for a committed corpus spec:
+    /// `monitor:<name>` (a violation from that monitor must fire) or
+    /// `oracle:<name>` (that post-run oracle must fail). `None` means
+    /// the replay harness derives the expectation (fault implies
+    /// `monitor:queue-bound`, otherwise a clean run).
+    pub expect: Option<String>,
     /// The packet trains, in no particular order.
     pub trains: Vec<SpecTrain>,
     /// Persistent-HTTP sessions, at most one per sender.
@@ -142,6 +267,51 @@ impl ScenarioSpec {
         }
         if let Some(SpecFault::QueueOveradmit { extra: 0 }) = self.fault {
             return Err("overadmit extra must be >= 1".into());
+        }
+        match self.aqm {
+            SpecAqm::DropTail => {}
+            SpecAqm::Red {
+                min_th,
+                max_th,
+                max_p_milli,
+                wq_micro,
+                ..
+            } => {
+                if min_th >= max_th {
+                    return Err(format!("red min_th {min_th} must be < max_th {max_th}"));
+                }
+                if !(1..=1_000).contains(&max_p_milli) {
+                    return Err("red max_p_milli must be in 1..=1000".into());
+                }
+                // trim-lint: allow(no-raw-unit-literal, reason = "fixed-point scale of the dimensionless EWMA weight, not a unit")
+                if !(1..=1_000_000).contains(&wq_micro) {
+                    return Err("red wq_micro must be in 1..=1000000".into());
+                }
+            }
+            SpecAqm::Codel {
+                target_us,
+                interval_us,
+                ..
+            } => {
+                if target_us == 0 {
+                    return Err("codel target_us must be >= 1".into());
+                }
+                if interval_us < target_us {
+                    return Err(format!(
+                        "codel interval_us {interval_us} must be >= target_us {target_us}"
+                    ));
+                }
+            }
+        }
+        if let Some(expect) = &self.expect {
+            let valid = ["monitor:", "oracle:"]
+                .iter()
+                .any(|p| expect.strip_prefix(p).is_some_and(|n| !n.is_empty()));
+            if !valid {
+                return Err(format!(
+                    "expect must be `monitor:<name>` or `oracle:<name>`, got `{expect}`"
+                ));
+            }
         }
         if self.trains.is_empty() && self.sessions.is_empty() {
             return Err("at least one train or session is required".into());
@@ -244,6 +414,7 @@ impl ScenarioSpec {
         let tcp = TcpConfig::default().with_min_rto(Dur::from_micros(self.min_rto_us));
         let b = ScenarioBuilder::many_to_one(self.senders)
             .links(link)
+            .queue_discipline(self.aqm.discipline())
             .tcp_config(tcp);
         match self.cc {
             SpecCc::Reno => b.congestion_control(CcKind::Reno),
@@ -265,6 +436,11 @@ impl ScenarioSpec {
         let mut sc = self.build();
         if !sc.sim_mut().monitors_enabled() {
             trim_check::attach_standard(sc.sim_mut());
+        }
+        if self.stability {
+            for m in trim_check::stability_monitors(trim_check::StabilityConfig::default()) {
+                sc.sim_mut().attach_monitor(m);
+            }
         }
         if let Some(SpecFault::QueueOveradmit { extra }) = self.fault {
             let ch = sc.net().bottleneck;
@@ -315,6 +491,15 @@ impl ScenarioSpec {
         if let Some(SpecFault::QueueOveradmit { extra }) = self.fault {
             s.push_str(&format!("fault = overadmit:{extra}\n"));
         }
+        if let Some(aqm) = self.aqm.to_token() {
+            s.push_str(&format!("aqm = {aqm}\n"));
+        }
+        if self.stability {
+            s.push_str("stability = on\n");
+        }
+        if let Some(expect) = &self.expect {
+            s.push_str(&format!("expect = {expect}\n"));
+        }
         for t in &self.trains {
             s.push_str(&format!("train = {} {} {}\n", t.sender, t.at_us, t.bytes));
         }
@@ -346,6 +531,9 @@ impl ScenarioSpec {
         let mut min_rto_us = None;
         let mut horizon_ms = None;
         let mut fault = None;
+        let mut aqm = None;
+        let mut stability = None;
+        let mut expect = None;
         let mut trains = Vec::new();
         let mut sessions = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
@@ -386,6 +574,15 @@ impl ScenarioSpec {
                 "horizon_ms" => {
                     horizon_ms = Some(value.parse::<u64>().map_err(|_| bad("horizon_ms"))?)
                 }
+                "aqm" => aqm = Some(SpecAqm::from_token(value).ok_or_else(|| bad("aqm"))?),
+                "stability" => {
+                    stability = Some(match value {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(bad("stability (want `on` or `off`)")),
+                    })
+                }
+                "expect" => expect = Some(value.to_string()),
                 "fault" => match value.strip_prefix("overadmit:") {
                     Some(extra) => {
                         fault = Some(SpecFault::QueueOveradmit {
@@ -448,6 +645,9 @@ impl ScenarioSpec {
             min_rto_us: min_rto_us.ok_or_else(req("min_rto_us"))?,
             horizon_ms: horizon_ms.ok_or_else(req("horizon_ms"))?,
             fault,
+            aqm: aqm.unwrap_or_default(),
+            stability: stability.unwrap_or(false),
+            expect,
             trains,
             sessions,
         };
@@ -471,6 +671,9 @@ mod tests {
             min_rto_us: 200_000,
             horizon_ms: 500,
             fault: None,
+            aqm: SpecAqm::DropTail,
+            stability: false,
+            expect: None,
             trains: vec![
                 SpecTrain {
                     sender: 0,
@@ -584,6 +787,159 @@ mod tests {
     }
 
     #[test]
+    fn aqm_and_stability_specs_round_trip_exactly() {
+        let red = SpecAqm::Red {
+            min_th: 10,
+            max_th: 30,
+            max_p_milli: 200,
+            wq_micro: 2_000,
+            ecn: false,
+        };
+        let red_ecn = SpecAqm::Red {
+            min_th: 15,
+            max_th: 45,
+            max_p_milli: 100,
+            wq_micro: 2_000,
+            ecn: true,
+        };
+        let codel = SpecAqm::Codel {
+            target_us: 50,
+            interval_us: 1_000,
+            ecn: false,
+        };
+        let codel_ecn = SpecAqm::Codel {
+            target_us: 50,
+            interval_us: 1_000,
+            ecn: true,
+        };
+        for aqm in [SpecAqm::DropTail, red, red_ecn, codel, codel_ecn] {
+            for stability in [false, true] {
+                let mut spec = sample();
+                spec.aqm = aqm;
+                spec.stability = stability;
+                if stability {
+                    spec.expect = Some("monitor:cwnd-limit-cycle".into());
+                }
+                let text = spec.to_text();
+                let parsed = ScenarioSpec::from_text(&text).unwrap();
+                assert_eq!(parsed, spec);
+                assert_eq!(parsed.to_text(), text);
+            }
+        }
+        // Canonical token spellings.
+        let mut spec = sample();
+        spec.aqm = red;
+        assert!(spec.to_text().contains("aqm = red:10:30:200:2000\n"));
+        spec.aqm = codel_ecn;
+        assert!(spec.to_text().contains("aqm = codel-ecn:50:1000\n"));
+        // Defaults stay omitted, so pre-AQM corpus text is unchanged.
+        let legacy = sample().to_text();
+        assert!(!legacy.contains("aqm"));
+        assert!(!legacy.contains("stability"));
+        assert!(!legacy.contains("expect"));
+    }
+
+    #[test]
+    fn aqm_validation_rejects_degenerate_parameters() {
+        let with_aqm = |aqm| ScenarioSpec { aqm, ..sample() };
+        // Inverted RED band, out-of-range probability and weight.
+        for (min_th, max_th, max_p_milli, wq_micro) in [
+            (30, 30, 200, 2_000),
+            (40, 30, 200, 2_000),
+            (10, 30, 0, 2_000),
+            (10, 30, 1_001, 2_000),
+            (10, 30, 200, 0),
+            (10, 30, 200, 1_000_001),
+        ] {
+            let spec = with_aqm(SpecAqm::Red {
+                min_th,
+                max_th,
+                max_p_milli,
+                wq_micro,
+                ecn: false,
+            });
+            assert!(
+                spec.validate().is_err(),
+                "red {min_th}/{max_th}/{max_p_milli}/{wq_micro} must be rejected"
+            );
+        }
+        // CoDel: zero target, interval below target.
+        for (target_us, interval_us) in [(0, 1_000), (100, 50)] {
+            let spec = with_aqm(SpecAqm::Codel {
+                target_us,
+                interval_us,
+                ecn: false,
+            });
+            assert!(spec.validate().is_err());
+        }
+        // Malformed expect strings.
+        for expect in ["cwnd-limit-cycle", "monitor:", "oracle:", "watch:x"] {
+            let mut spec = sample();
+            spec.expect = Some(expect.into());
+            assert!(
+                spec.validate().is_err(),
+                "expect `{expect}` must be rejected"
+            );
+        }
+        for expect in ["monitor:cwnd-limit-cycle", "oracle:goodput-conservation"] {
+            let mut spec = sample();
+            spec.expect = Some(expect.into());
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn red_spec_replays_deterministically_with_early_drops() {
+        let mut spec = sample();
+        spec.buffer_pkts = 16;
+        spec.aqm = SpecAqm::Red {
+            min_th: 2,
+            max_th: 6,
+            max_p_milli: 500,
+            wq_micro: 500_000,
+            ecn: false,
+        };
+        spec.trains = (0..spec.senders)
+            .map(|s| SpecTrain {
+                sender: s,
+                at_us: 100,
+                bytes: 146_000,
+            })
+            .collect();
+        let a = spec.run().unwrap();
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert!(
+            a.report.bottleneck.dropped > 0,
+            "a tight RED band over synchronized trains must drop early"
+        );
+        let b = spec.run().unwrap();
+        assert_eq!(a.report.bottleneck.dropped, b.report.bottleneck.dropped);
+        assert_eq!(a.report.completion_times(), b.report.completion_times());
+    }
+
+    #[test]
+    fn codel_spec_replays_cleanly_under_monitors() {
+        let mut spec = sample();
+        spec.buffer_pkts = 16;
+        spec.aqm = SpecAqm::Codel {
+            target_us: 50,
+            interval_us: 1_000,
+            ecn: false,
+        };
+        spec.stability = true;
+        spec.trains = (0..spec.senders)
+            .map(|s| SpecTrain {
+                sender: s,
+                at_us: 100,
+                bytes: 73_000,
+            })
+            .collect();
+        let out = spec.run().unwrap();
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.report.completed_trains(), spec.senders);
+    }
+
+    #[test]
     fn parse_rejects_malformed_specs() {
         let base = sample().to_text();
         for (needle, replacement, why) in [
@@ -603,6 +959,22 @@ mod tests {
         // Dropping a required key is also an error.
         let text = base.replace("link_mbps = 1000\n", "");
         assert!(ScenarioSpec::from_text(&text).is_err());
+        // Malformed aqm tokens, stability flags, and expect values.
+        for bad_line in [
+            "aqm = red:10:30:200",
+            "aqm = red:10:30:200:2000:9",
+            "aqm = codel:50",
+            "aqm = fq-codel:50:1000",
+            "aqm = red:ten:30:200:2000",
+            "stability = maybe",
+            "expect = cwnd-limit-cycle",
+        ] {
+            let text = format!("{base}{bad_line}\n");
+            assert!(
+                ScenarioSpec::from_text(&text).is_err(),
+                "expected parse failure for `{bad_line}`"
+            );
+        }
         // Session lines need a sender, start, think, and >= 1 size.
         for bad_line in ["session = 1 200 5000", "session = 1 200 x 14600"] {
             let text = format!("{base}{bad_line}\n");

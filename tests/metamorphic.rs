@@ -99,6 +99,91 @@ fn bandwidth_delay_rescaling_contracts_completion_times() {
     }
 }
 
+/// An incast over an explicit bottleneck queue configuration, same
+/// link rate/delay/schedule as [`incast`] but with Reno senders so the
+/// AQM drop paths are actually exercised.
+fn aqm_incast(senders: usize, queue: QueueConfig) -> tcp_trim::workload::scenario::Scenario {
+    let link = LinkSpec::new(Bandwidth::gbps(1), Dur::from_micros(50), queue);
+    let mut sc = ScenarioBuilder::many_to_one(senders).links(link).build();
+    for s in 0..senders {
+        sc.send_train(s, TrainSpec::at_secs(0.001, 250_000));
+    }
+    sc
+}
+
+/// [`run_digest`] without the no-violations assertion, for runs where
+/// the stability oracles are *expected* to report (a tiny-buffer Reno
+/// incast oscillates by design — that is data, not a bug).
+fn run_digest_unchecked(mut sc: tcp_trim::workload::scenario::Scenario, secs: f64) -> String {
+    sc.sim_mut().run_until(SimTime::from_secs_f64(secs));
+    let report = sc.report_unchecked();
+    format!(
+        "ct={:?} timeouts={} queue={:?}",
+        report.completion_times(),
+        report.total_timeouts(),
+        report.bottleneck
+    )
+}
+
+/// Observe-only monitoring extends to the AQM disciplines: attaching
+/// the full standard set *plus* the stability oracle family on top of a
+/// RED or CoDel bottleneck leaves every measurable output — including
+/// the early-drop and sojourn-drop counters — bit-identical.
+#[test]
+fn attached_monitors_never_perturb_aqm_simulations() {
+    let red = QueueConfig::drop_tail(16).with_red(RedConfig {
+        min_th: 4.0,
+        max_th: 12.0,
+        ..RedConfig::default()
+    });
+    let codel = QueueConfig::drop_tail(16).with_codel(CoDelConfig::datacenter());
+    for queue in [red, codel] {
+        let baseline = run_digest_unchecked(aqm_incast(8, queue), 5.0);
+        let mut sc = aqm_incast(8, queue);
+        trim_check::attach_standard(sc.sim_mut());
+        for m in trim_check::stability_monitors(trim_check::StabilityConfig::default()) {
+            sc.sim_mut().attach_monitor(m);
+        }
+        assert!(sc.sim_mut().monitors_enabled());
+        let monitored = run_digest_unchecked(sc, 5.0);
+        assert_eq!(
+            baseline, monitored,
+            "monitors perturbed the AQM event stream ({queue:?})"
+        );
+    }
+}
+
+/// RED with both thresholds above the physical buffer can never reach
+/// its early-drop region (the average is an EWMA of occupancies capped
+/// by the buffer), so the queue must degenerate to drop-tail exactly:
+/// same completion times, same timeouts, same queue history.
+#[test]
+fn red_with_thresholds_above_buffer_reproduces_drop_tail() {
+    let buffer = 32;
+    let drop_tail = run_digest(aqm_incast(8, QueueConfig::drop_tail(buffer)), 5.0);
+    let inert_red = QueueConfig::drop_tail(buffer).with_red(RedConfig {
+        min_th: 2.0 * buffer as f64,
+        max_th: 4.0 * buffer as f64,
+        ..RedConfig::default()
+    });
+    let red = run_digest(aqm_incast(8, inert_red), 5.0);
+    assert_eq!(drop_tail, red, "inert RED diverged from drop-tail");
+}
+
+/// The stability oracle family is quiet on a healthy converged run:
+/// TRIM over the standard drop-tail incast keeps the queue bounded and
+/// the windows monotone, so neither the limit-cycle nor the
+/// standing-queue detector may fire.
+#[test]
+fn stability_oracles_stay_silent_on_healthy_runs() {
+    let mut sc = incast(8, true);
+    for m in trim_check::stability_monitors(trim_check::StabilityConfig::default()) {
+        sc.sim_mut().attach_monitor(m);
+    }
+    sc.sim_mut().run_until(SimTime::from_secs(5));
+    sc.sim_mut().assert_no_violations();
+}
+
 /// The full monitor set is clean on a healthy run and catches a
 /// deliberately injected queue over-admission, attributing it to a
 /// simulation time and flow.

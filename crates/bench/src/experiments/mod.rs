@@ -17,6 +17,7 @@
 //! | [`rto_sensitivity`] | extension: RTO_min sweep |
 //! | [`serve`] | extension: web-serving session SLOs + mean-field fast path |
 //! | [`aqm_matrix`] | extension: RED/CoDel tiny-buffer matrix + stability oracle |
+//! | [`million_flow`] | extension: packed incast stressing the wheel + flow slab |
 
 pub mod ablation;
 pub mod aqm_matrix;
@@ -27,6 +28,7 @@ pub mod impairment;
 pub mod incast;
 pub mod kmodel;
 pub mod large_scale;
+pub mod million_flow;
 pub mod multihop;
 pub mod properties;
 pub mod rto_sensitivity;

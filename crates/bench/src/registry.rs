@@ -151,6 +151,12 @@ pub static ALL: &[ExperimentSpec] = &[
         campaign: experiments::serve::campaign_meanfield,
         artifacts: &["ext_serve_crossval", "ext_serve_sweep"],
     },
+    ExperimentSpec {
+        id: "million_flow",
+        title: "ext: packed incast stressing the wheel + flow slab (1M at --full)",
+        campaign: experiments::million_flow::campaign,
+        artifacts: &["million_flow"],
+    },
 ];
 
 /// Looks an experiment up by id.

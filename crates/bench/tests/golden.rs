@@ -2,16 +2,19 @@
 //! deterministically, independent of worker count, and reproduce the
 //! committed CSVs under `results/` within the documented tolerance.
 //!
-//! Four campaigns cover the artifact families: `trace` (simulation
+//! Five campaigns cover the artifact families: `trace` (simulation
 //! driven — exercises the event engine end to end, so any ordering or
 //! arithmetic drift in the engine shows up here), `kmodel`
 //! (analytical — exercises the harness/reduce path without a
 //! simulator), `serve_slo` (the web-serving session workload over
-//! the fat-tree, whose A/B jobs share a seed key), and `aqm_matrix`
+//! the fat-tree, whose A/B jobs share a seed key), `aqm_matrix`
 //! (the RED/CoDel tiny-buffer sweep plus the RED stability
 //! cross-validation — exercises the AQM drop paths and the
-//! oscillation monitors). Each runs at `--jobs 1` and `--jobs 8`;
-//! worker count must not leak into artifacts at all.
+//! oscillation monitors), and `million_flow` (the packed incast with
+//! hundreds of senders per host — drives the timing wheel's RTO storm
+//! path and the flow slab's checkout/writeback on every event). Each
+//! runs at `--jobs 1` and `--jobs 8`; worker count must not leak into
+//! artifacts at all.
 
 use std::path::{Path, PathBuf};
 
@@ -77,4 +80,9 @@ fn serve_campaign_is_jobs_invariant_and_matches_committed_goldens() {
 #[test]
 fn aqm_campaign_is_jobs_invariant_and_matches_committed_goldens() {
     assert_campaign_reproduces_goldens("aqm_matrix");
+}
+
+#[test]
+fn million_flow_campaign_is_jobs_invariant_and_matches_committed_goldens() {
+    assert_campaign_reproduces_goldens("million_flow");
 }

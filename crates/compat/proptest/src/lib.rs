@@ -93,12 +93,114 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn generate(&self, rng: &mut StdRng) -> Self::Value {
         (**self).generate(rng)
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy yielding clones of one fixed value (upstream's `Just`).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Copy)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: std::fmt::Debug, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").field("source", &self.source).finish()
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Boxes a strategy behind the object-safe [`Strategy`] trait so
+/// heterogeneous arms can share one element type ([`prop_oneof!`]).
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+/// Weighted union of strategies over one value type; built by
+/// [`prop_oneof!`]. Each draw picks an arm with probability
+/// proportional to its weight, then delegates to that arm.
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u64,
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("arms", &self.arms.len())
+            .finish()
+    }
+}
+
+impl<V: std::fmt::Debug> Union<V> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! arms need a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let mut pick = rand::RngExt::random_range(rng, 0..self.total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick exceeded total")
     }
 }
 
@@ -258,8 +360,8 @@ pub fn run_cases<V: std::fmt::Debug>(
 /// Everything a property-test file needs in scope.
 pub mod prelude {
     pub use super::{
-        any, collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
-        ProptestConfig, Strategy, TestCaseError,
+        any, collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, Just, ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -311,6 +413,21 @@ macro_rules! prop_assert_ne {
             a
         );
     }};
+}
+
+/// Weighted choice among strategies producing one value type
+/// (upstream's `prop_oneof!`). Arms are `weight => strategy`, or bare
+/// strategies for uniform weight 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Skips the current case unless the precondition holds.
@@ -394,6 +511,38 @@ mod tests {
             let (_b, n) = pair;
             prop_assert!((1..5).contains(&n));
         }
+
+        #[test]
+        fn prop_map_transforms_draws(even in (0u64..50).prop_map(|x| x * 2)) {
+            prop_assert_eq!(even % 2, 0);
+            prop_assert!(even < 100);
+        }
+
+        #[test]
+        fn oneof_draws_only_from_arms(x in prop_oneof![
+            3 => 0u64..10,
+            1 => 100u64..110,
+            1 => Just(777u64),
+        ]) {
+            prop_assert!(x < 10 || (100..110).contains(&x) || x == 777);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(crate::seed_for("oneof_weights"));
+        let strat = prop_oneof![9 => Just(0u8), 1 => Just(1u8)];
+        let n = 4000;
+        let ones: u32 = (0..n)
+            .map(|_| u32::from(Strategy::generate(&strat, &mut rng)))
+            .sum();
+        // Expected ~400 of 4000; allow a wide band, just not ~uniform.
+        assert!(
+            ones > 100 && ones < 1000,
+            "weight-1 arm drawn {ones}/{n} times, expected ~{}",
+            n / 10
+        );
     }
 
     #[test]

@@ -109,10 +109,36 @@ impl<T> EventQueue<T> {
         self.sift_up(self.heap.len() - 1);
     }
 
+    /// Schedules `value` at `at` under a caller-supplied sequence
+    /// number instead of the queue's own counter. The engine uses this
+    /// to merge the queue deterministically with the timing wheel: both
+    /// draw from one global sequence, so `(at, seq)` totally orders
+    /// events across the two structures. Caller-supplied sequences must
+    /// be unique; they do not advance [`Self::pushed`].
+    #[inline]
+    pub fn push_with_seq(&mut self, at: SimTime, seq: u64, value: T) {
+        self.heap.push(Entry { at, seq, value });
+        self.sift_up(self.heap.len() - 1);
+    }
+
     /// Timestamp of the earliest pending event.
     #[inline]
     pub fn peek_at(&self) -> Option<SimTime> {
         self.heap.first().map(|e| e.at)
+    }
+
+    /// `(time, seq)` key of the earliest pending event — comparable
+    /// against [`crate::wheel::TimerWheel::peek_key`] when both share a
+    /// sequence counter.
+    #[inline]
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.first().map(|e| e.key())
+    }
+
+    /// Borrows the earliest pending event along with its key.
+    #[inline]
+    pub fn peek(&self) -> Option<(SimTime, u64, &T)> {
+        self.heap.first().map(|e| (e.at, e.seq, &e.value))
     }
 
     /// Removes and returns the earliest event (ties in insertion
@@ -238,6 +264,19 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.pushed(), 2, "pushed counts lifetime insertions");
+    }
+
+    #[test]
+    fn push_with_seq_orders_by_caller_sequence() {
+        let mut q = EventQueue::new();
+        q.push_with_seq(t(7), 10, "b");
+        q.push_with_seq(t(7), 3, "a");
+        q.push_with_seq(t(2), 99, "first");
+        assert_eq!(q.peek_key(), Some((t(2), 99)));
+        assert_eq!(q.peek(), Some((t(2), 99, &"first")));
+        assert_eq!(q.pop(), Some((t(2), "first")));
+        assert_eq!(q.pop(), Some((t(7), "a")));
+        assert_eq!(q.pop(), Some((t(7), "b")));
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 pub mod units;
+pub mod wheel;
 
 pub use agent::{Agent, SinkAgent};
 pub use arena::{PacketArena, PacketRef};
@@ -76,6 +77,7 @@ pub use sim::{Ctx, Simulator, TimerId};
 pub use time::{Dur, SimTime};
 pub use trace::{PacketEvent, PacketEventKind, PacketTrace, Series, ThroughputMeter};
 pub use units::{Bandwidth, QueueCapacity};
+pub use wheel::TimerWheel;
 
 /// Convenient glob import for simulator users.
 pub mod prelude {

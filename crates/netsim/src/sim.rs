@@ -29,29 +29,33 @@ use crate::agent::Agent;
 use crate::arena::{PacketArena, PacketRef};
 use crate::channel::Channel;
 use crate::eventq::EventQueue;
-use crate::hash::{FastHashMap, FastHashSet};
+use crate::hash::FastHashMap;
 use crate::monitor::{AuditStats, InvariantMonitor, MonitorEvent, Violation};
 use crate::packet::{ChannelId, FlowId, NodeId, Packet, Payload};
 use crate::queue::{QueueConfig, QueueSample, QueueStats};
 use crate::time::{Dur, SimTime};
 use crate::trace::{PacketEvent, PacketEventKind, PacketTrace};
 use crate::units::{Bandwidth, QueueCapacity};
+use crate::wheel::TimerWheel;
 
-/// Handle to a pending timer, used for cancellation.
+/// Handle to a pending timer, used for cancellation. Wraps the timing
+/// wheel's generational handle, so a stale id (already fired or already
+/// cancelled) is always a harmless no-op even after its internal slot
+/// has been recycled for a newer timer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TimerId(u64);
 
 /// An engine event. Deliberately small and `Copy`: packets referenced by
 /// `Arrival` live in the packet arena, not in the event queue, so heap
-/// sifts move 24-byte records regardless of the payload type.
+/// sifts move 24-byte records regardless of the payload type. Timers do
+/// not appear here — they live in the [`TimerWheel`] and merge with this
+/// queue by `(time, seq)` in the run loop.
 #[derive(Clone, Copy, Debug)]
 enum Ev {
     /// Packet finishes propagation and arrives at a node.
     Arrival { node: NodeId, pkt: PacketRef },
     /// A channel's transmitter finishes serializing a packet.
     TxDone { ch: ChannelId },
-    /// A timer set by an agent fires.
-    Timer { node: NodeId, token: u64, id: u64 },
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,6 +105,22 @@ struct RouteTable {
 struct Core<P: Payload> {
     now: SimTime,
     events: EventQueue<Ev>,
+    /// Timer events, keyed by `(deadline, seq)` like the event queue.
+    /// Timers dominate the event population at high flow counts and are
+    /// overwhelmingly cancelled before firing (every ACK re-arms the
+    /// RTO), which is exactly the workload a wheel handles in O(1).
+    wheel: TimerWheel<(NodeId, u64)>,
+    /// Global insertion sequence shared by `events` and `wheel`; makes
+    /// `(time, seq)` a total order across both structures, so the merged
+    /// stream is identical to what a single queue would produce.
+    seq: u64,
+    /// Deadlines of cancelled-while-live timers. The previous engine
+    /// left cancelled timers in the queue as tombstones that still
+    /// popped (advancing the clock and `events_processed`); the wheel
+    /// removes them in place. Counting the tombstones that would have
+    /// popped keeps `events_processed` — which committed campaign
+    /// artifacts record — bit-identical across the engine swap.
+    ghost_deadlines: Vec<SimTime>,
     arena: PacketArena<P>,
     kinds: Vec<NodeKind>,
     channels: Vec<Channel<P>>,
@@ -108,8 +128,6 @@ struct Core<P: Payload> {
     adjacency: Vec<Vec<(NodeId, ChannelId)>>,
     routes: RouteTable,
     routes_built: bool,
-    cancelled: FastHashSet<u64>,
-    next_timer: u64,
     delivered_pkts: u64,
     delivered_bytes: u64,
     injected_pkts: u64,
@@ -159,7 +177,8 @@ impl<P: Payload> Core<P> {
     #[inline]
     fn schedule(&mut self, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.now, "scheduling into the past");
-        self.events.push(at, ev);
+        self.seq += 1;
+        self.events.push_with_seq(at, self.seq, ev);
     }
 
     /// Takes a packet off a queue's head and puts it on the wire:
@@ -185,14 +204,58 @@ impl<P: Payload> Core<P> {
     }
 
     fn set_timer(&mut self, node: NodeId, delay: Dur, token: u64) -> TimerId {
-        self.next_timer += 1;
-        let id = self.next_timer;
-        self.schedule(self.now + delay, Ev::Timer { node, token, id });
-        TimerId(id)
+        self.seq += 1;
+        TimerId(
+            self.wheel
+                .schedule(self.now + delay, self.seq, (node, token)),
+        )
     }
 
     fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled.insert(id.0);
+        // A live cancel leaves the tombstone the old engine would have
+        // popped; a stale cancel (fired or already cancelled) was a
+        // no-op there too — the tombstone id could never pop twice.
+        if let Some(at) = self.wheel.cancel(id.0) {
+            self.ghost_deadlines.push(at);
+        }
+    }
+
+    /// The per-event bookkeeping the run loop performs before handling
+    /// any event, in the exact order the engine has always done it:
+    /// clock emission (observed at the *previous* instant), clock
+    /// advance, event count.
+    #[inline]
+    fn step_clock(&mut self, at: SimTime) {
+        if self.monitors_on {
+            self.emit(MonitorEvent::Clock { to: at });
+        }
+        self.now = at;
+        self.events_processed += 1;
+    }
+
+    /// Delivery bookkeeping for a packet that terminated at host `node`:
+    /// engine counters, packet trace, and the `Delivered` monitor event.
+    fn note_delivery(&mut self, node: NodeId, pkt: &Packet<P>) {
+        self.delivered_pkts += 1;
+        self.delivered_bytes += pkt.size as u64;
+        if let Some(t) = &mut self.ptrace {
+            t.record(PacketEvent {
+                at: self.now,
+                kind: PacketEventKind::Delivered { node },
+                src: pkt.src,
+                dst: pkt.dst,
+                flow: pkt.flow,
+                size: pkt.size,
+            });
+        }
+        if self.monitors_on {
+            self.emit(MonitorEvent::Delivered {
+                node,
+                flow: pkt.flow,
+                uid: pkt.uid,
+                size: pkt.size,
+            });
+        }
     }
 
     /// Accounts for an enqueue that dropped the packet (capacity, RED, or
@@ -629,14 +692,15 @@ impl<P: Payload> Simulator<P> {
             core: Core {
                 now: SimTime::ZERO,
                 events: EventQueue::new(),
+                wheel: TimerWheel::new(),
+                seq: 0,
+                ghost_deadlines: Vec::new(),
                 arena: PacketArena::new(),
                 kinds: Vec::new(),
                 channels: Vec::new(),
                 adjacency: Vec::new(),
                 routes: RouteTable::default(),
                 routes_built: false,
-                cancelled: FastHashSet::default(),
-                next_timer: 0,
                 delivered_pkts: 0,
                 delivered_bytes: 0,
                 injected_pkts: 0,
@@ -919,58 +983,53 @@ impl<P: Payload> Simulator<P> {
 
     /// Processes every event with timestamp `<= horizon`, then advances the
     /// clock to `horizon` (when finite) so statistics settle consistently.
+    ///
+    /// Events come from two sources — the event queue (packets, links)
+    /// and the timing wheel (timers) — merged by `(time, seq)`. Both
+    /// draw sequence numbers from one global counter, so the merge is a
+    /// total order identical to the single-queue engine's pop order.
     pub fn run_until(&mut self, horizon: SimTime) {
         self.ensure_ready();
-        while let Some(at) = self.core.events.peek_at() {
-            if at > horizon {
-                break;
-            }
-            let (at, ev) = self.core.events.pop().expect("peeked"); // trim-lint: allow(no-panic-in-library, reason = "peek_at returned Some on the loop condition")
-            if self.core.monitors_on {
-                self.core.emit(MonitorEvent::Clock { to: at });
-            }
-            self.core.now = at;
-            self.core.events_processed += 1;
-            match ev {
-                Ev::TxDone { ch } => self.core.on_tx_done(ch),
-                Ev::Arrival { node, pkt } => {
-                    self.core.pending_arrivals -= 1;
-                    let pkt = self.core.arena.free(pkt);
-                    match self.core.kinds[node.index()] {
-                        NodeKind::Switch => self.core.forward(node, pkt),
-                        NodeKind::Host => {
-                            self.core.delivered_pkts += 1;
-                            self.core.delivered_bytes += pkt.size as u64;
-                            if let Some(t) = &mut self.core.ptrace {
-                                t.record(PacketEvent {
-                                    at: self.core.now,
-                                    kind: PacketEventKind::Delivered { node },
-                                    src: pkt.src,
-                                    dst: pkt.dst,
-                                    flow: pkt.flow,
-                                    size: pkt.size,
-                                });
-                            }
-                            if self.core.monitors_on {
-                                self.core.emit(MonitorEvent::Delivered {
-                                    node,
-                                    flow: pkt.flow,
-                                    uid: pkt.uid,
-                                    size: pkt.size,
-                                });
-                            }
-                            self.dispatch(node, |agent, ctx| agent.on_packet(ctx, pkt));
-                        }
+        loop {
+            let timer_first = match (self.core.events.peek_key(), self.core.wheel.peek_key()) {
+                (None, None) => break,
+                (Some(e), None) => {
+                    if e.0 > horizon {
+                        break;
                     }
+                    false
                 }
-                Ev::Timer { node, token, id } => {
-                    if !self.core.cancelled.is_empty() && self.core.cancelled.remove(&id) {
-                        continue;
+                (None, Some(w)) => {
+                    if w.0 > horizon {
+                        break;
                     }
-                    self.dispatch(node, |agent, ctx| agent.on_timer(ctx, token));
+                    true
                 }
+                (Some(e), Some(w)) => {
+                    if e.0.min(w.0) > horizon {
+                        break;
+                    }
+                    w < e
+                }
+            };
+            if timer_first {
+                self.fire_timer_batch();
+            } else {
+                self.process_event();
             }
         }
+        // The old engine popped cancelled timers as tombstones; see
+        // `Core::ghost_deadlines`. Count the ones this horizon covers.
+        let mut ghost_pops = 0u64;
+        self.core.ghost_deadlines.retain(|&at| {
+            if at <= horizon {
+                ghost_pops += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.core.events_processed += ghost_pops;
         if horizon != SimTime::MAX && horizon > self.core.now {
             self.core.now = horizon;
         }
@@ -985,15 +1044,110 @@ impl<P: Payload> Simulator<P> {
         }
     }
 
-    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut Box<dyn Agent<P>>, &mut Ctx<'_, P>)) {
+    /// Pops and dispatches the minimal timer, keeping its host's agent
+    /// checked out while further timers for the same node at the same
+    /// instant are next in the merged order — same-tick batching, so a
+    /// fan-in burst of RTO/delayed-ACK deadlines touches each host once
+    /// per tick. Every per-event step (clock emission, clock advance,
+    /// event count) still happens inside the loop in merge order, so a
+    /// batched run is observationally identical to an unbatched one.
+    fn fire_timer_batch(&mut self) {
+        let Some((at, _seq, (node, token))) = self.core.wheel.pop() else {
+            return;
+        };
+        self.core.step_clock(at);
         let mut agent = self.agents[node.index()]
             .take()
-            .expect("packet or timer delivered to switch"); // trim-lint: allow(no-panic-in-library, reason = "events are only ever scheduled for hosts; a switch delivery is engine corruption")
+            .expect("timer delivered to switch"); // trim-lint: allow(no-panic-in-library, reason = "timers are only ever set by host agents; a switch timer is engine corruption")
         let mut ctx = Ctx {
             core: &mut self.core,
             node,
         };
-        f(&mut agent, &mut ctx);
+        agent.on_timer(&mut ctx, token);
+        while let Some((wat, wseq, (wnode, wtoken))) = self.core.wheel.peek() {
+            if wat != at || wnode != node {
+                break;
+            }
+            // A packet/link event with a smaller key preempts the batch.
+            if let Some(ek) = self.core.events.peek_key() {
+                if ek < (wat, wseq) {
+                    break;
+                }
+            }
+            self.core.wheel.pop();
+            self.core.step_clock(wat);
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                node,
+            };
+            agent.on_timer(&mut ctx, wtoken);
+        }
+        self.agents[node.index()] = Some(agent);
+    }
+
+    /// Pops and handles the minimal packet/link event. Same-instant
+    /// arrivals to the same host batch under one agent checkout, exactly
+    /// like [`Self::fire_timer_batch`].
+    fn process_event(&mut self) {
+        let Some((at, ev)) = self.core.events.pop() else {
+            return;
+        };
+        // Timers are strictly later than this event, so the wheel's
+        // placement windows can advance to the present.
+        self.core.wheel.advance_to(at);
+        self.core.step_clock(at);
+        match ev {
+            Ev::TxDone { ch } => self.core.on_tx_done(ch),
+            Ev::Arrival { node, pkt } => {
+                self.core.pending_arrivals -= 1;
+                let pkt = self.core.arena.free(pkt);
+                match self.core.kinds[node.index()] {
+                    NodeKind::Switch => self.core.forward(node, pkt),
+                    NodeKind::Host => self.deliver_batch(node, at, pkt),
+                }
+            }
+        }
+    }
+
+    /// Delivers `first` to host `node` and keeps the agent checked out
+    /// while further arrivals for the same host at the same instant are
+    /// next in the merged order.
+    fn deliver_batch(&mut self, node: NodeId, at: SimTime, first: Packet<P>) {
+        self.core.note_delivery(node, &first);
+        let mut agent = self.agents[node.index()]
+            .take()
+            .expect("packet delivered to switch"); // trim-lint: allow(no-panic-in-library, reason = "the caller matched NodeKind::Host for this node")
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+        };
+        agent.on_packet(&mut ctx, first);
+        loop {
+            let next_is_same = match self.core.events.peek() {
+                Some((eat, eseq, Ev::Arrival { node: n, .. })) if eat == at && *n == node => {
+                    // A timer with a smaller key preempts the batch.
+                    !matches!(self.core.wheel.peek_key(), Some(wk) if wk < (eat, eseq))
+                }
+                _ => false,
+            };
+            if !next_is_same {
+                break;
+            }
+            match self.core.events.pop() {
+                Some((_, Ev::Arrival { pkt, .. })) => {
+                    self.core.step_clock(at);
+                    self.core.pending_arrivals -= 1;
+                    let pkt = self.core.arena.free(pkt);
+                    self.core.note_delivery(node, &pkt);
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node,
+                    };
+                    agent.on_packet(&mut ctx, pkt);
+                }
+                _ => break, // unreachable: peeked an Arrival above
+            }
+        }
         self.agents[node.index()] = Some(agent);
     }
 }
@@ -1533,5 +1687,179 @@ mod tests {
         assert_eq!(unmon_closures, 0, "detached run must build zero events");
         assert_eq!(mon_closures, 7, "monitored run builds one per packet");
         assert_eq!(unmon_now, mon_now, "monitoring never perturbs the run");
+    }
+
+    /// Arms two timers for the same deadline; the first fire cancels the
+    /// second from inside `on_timer` — the cancel races the same-tick
+    /// fire that is already next in the merged order.
+    #[derive(Debug, Default)]
+    struct RacingAgent {
+        victim: Option<TimerId>,
+        fired: Vec<u64>,
+    }
+    impl Agent<TagPayload> for RacingAgent {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TagPayload>) {
+            ctx.set_timer(Dur::from_micros(10), 1);
+            self.victim = Some(ctx.set_timer(Dur::from_micros(10), 2));
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_, TagPayload>, _pkt: Packet<TagPayload>) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TagPayload>, token: u64) {
+            self.fired.push(token);
+            if let Some(v) = self.victim.take() {
+                ctx.cancel_timer(v);
+            }
+        }
+    }
+
+    /// Regression for the cancel-racing-same-tick-fire edge: a timer
+    /// cancelled by an earlier fire at the same instant must not fire,
+    /// and the engine must still count its ghost pop (the old
+    /// tombstone-heap engine popped the cancelled entry, so
+    /// `events_processed` includes it — committed goldens depend on it).
+    #[test]
+    fn cancel_racing_same_tick_fire_is_deterministic() {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let h = sim.add_host(Box::new(RacingAgent::default()));
+        let _ = h;
+        sim.run();
+        assert_eq!(sim.host::<RacingAgent>(h).fired, vec![1]);
+        // 1 real fire + 1 ghost pop of the same-tick victim.
+        assert_eq!(sim.events_processed(), 2);
+        assert_eq!(sim.now(), SimTime::from_nanos(10_000));
+    }
+
+    /// Cancels a handle whose timer already fired, after a later timer
+    /// has been armed (which may recycle the fired timer's wheel slot).
+    #[derive(Debug, Default)]
+    struct StaleCancelAgent {
+        first: Option<TimerId>,
+        fired: Vec<u64>,
+    }
+    impl Agent<TagPayload> for StaleCancelAgent {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TagPayload>) {
+            self.first = Some(ctx.set_timer(Dur::from_micros(1), 1));
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_, TagPayload>, _pkt: Packet<TagPayload>) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TagPayload>, token: u64) {
+            self.fired.push(token);
+            if token == 1 {
+                // Arm the next timer first so it can recycle slot 0,
+                // then cancel the stale handle of the fired timer.
+                ctx.set_timer(Dur::from_micros(1), 2);
+                let stale = self.first.take().expect("armed in on_start");
+                ctx.cancel_timer(stale);
+            }
+        }
+    }
+
+    /// Regression for the ghost-cancel edge at the engine level: a stale
+    /// `TimerId` (its timer already fired) must not kill a newly armed
+    /// timer that recycled the wheel slot, and must not add a ghost pop.
+    #[test]
+    fn stale_cancel_cannot_kill_recycled_timer() {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let h = sim.add_host(Box::new(StaleCancelAgent::default()));
+        sim.run();
+        assert_eq!(sim.host::<StaleCancelAgent>(h).fired, vec![1, 2]);
+        // 2 real fires, no ghosts: the stale cancel was a no-op.
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    /// Ghost-pop accounting: the old engine popped cancelled timers as
+    /// tombstones, counting them in `events_processed`; committed golden
+    /// CSVs carry those counts, so the wheel engine must reproduce them.
+    #[test]
+    fn ghost_timer_pops_count_toward_events_processed() {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let h = sim.add_host(Box::new(TimerAgent::default()));
+        sim.run();
+        // TimerAgent arms 3 timers and cancels one: 2 fires + 1 ghost.
+        assert_eq!(sim.host::<TimerAgent>(h).fired, vec![1, 3]);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    /// A cancelled timer past the stop horizon is NOT a ghost pop yet —
+    /// the old engine would not have reached it either. It becomes one
+    /// only when the horizon passes its deadline.
+    #[test]
+    fn ghost_pops_respect_the_run_horizon() {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let h = sim.add_host(Box::new(TimerAgent::default()));
+        let _ = h;
+        // TimerAgent cancels its 2ms timer. Stop at 1.5ms: only the 1ms
+        // fire has happened; the ghost at 2ms is still pending.
+        sim.run_until(SimTime::from_nanos(1_500_000));
+        assert_eq!(sim.events_processed(), 1);
+        // Crossing 2ms accounts the ghost; 3ms fires the last timer.
+        sim.run_until(SimTime::from_nanos(2_500_000));
+        assert_eq!(sim.events_processed(), 2);
+        sim.run();
+        assert_eq!(sim.events_processed(), 3);
+        assert_eq!(sim.host::<TimerAgent>(h).fired, vec![1, 3]);
+    }
+
+    /// Arms `n` timers for one deadline with ascending tokens.
+    #[derive(Debug, Default)]
+    struct FifoTimerAgent {
+        n: u64,
+        fired: Vec<u64>,
+    }
+    impl Agent<TagPayload> for FifoTimerAgent {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TagPayload>) {
+            for token in 0..self.n {
+                ctx.set_timer(Dur::from_micros(25), token);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_, TagPayload>, _pkt: Packet<TagPayload>) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, TagPayload>, token: u64) {
+            self.fired.push(token);
+        }
+    }
+
+    /// Same-deadline timers on one host fire in arm order (the batched
+    /// fire path keeps the agent checked out across the whole tick).
+    #[test]
+    fn same_deadline_timer_batch_fires_in_fifo_order() {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let h = sim.add_host(Box::new(FifoTimerAgent {
+            n: 5,
+            ..Default::default()
+        }));
+        sim.run();
+        assert_eq!(sim.host::<FifoTimerAgent>(h).fired, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    /// Records the arrival order of packet flow ids.
+    #[derive(Debug, Default)]
+    struct RecordingAgent {
+        seen: Vec<u64>,
+    }
+    impl Agent<TagPayload> for RecordingAgent {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_, TagPayload>, pkt: Packet<TagPayload>) {
+            self.seen.push(pkt.flow.0);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, TagPayload>, _token: u64) {}
+    }
+
+    /// Two same-instant arrivals on one host (over two direct links with
+    /// identical latency) are delivered in injection-sequence order by
+    /// the batched delivery path.
+    #[test]
+    fn same_instant_arrivals_deliver_in_sequence_order() {
+        let mut sim: Simulator<TagPayload> = Simulator::new();
+        let dst = sim.add_host(Box::new(RecordingAgent::default()));
+        let s0 = sim.add_host(Box::new(SinkAgent::default()));
+        let s1 = sim.add_host(Box::new(SinkAgent::default()));
+        let cfg = QueueConfig::default();
+        sim.connect(s0, dst, Bandwidth::gbps(1), Dur::from_micros(50), cfg);
+        sim.connect(s1, dst, Bandwidth::gbps(1), Dur::from_micros(50), cfg);
+        sim.inject(s1, Packet::new(s1, dst, FlowId(9), 1000, TagPayload(0)));
+        sim.inject(s0, Packet::new(s0, dst, FlowId(4), 1000, TagPayload(0)));
+        sim.run();
+        // Identical links and sizes: both land at 8us ser + 50us prop.
+        assert_eq!(sim.now(), SimTime::from_nanos(58_000));
+        // Injection order (9 then 4), not node order, decides the tie.
+        assert_eq!(sim.host::<RecordingAgent>(dst).seen, vec![9, 4]);
     }
 }

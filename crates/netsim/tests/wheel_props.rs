@@ -1,0 +1,297 @@
+//! Differential property tests pinning [`netsim::TimerWheel`] to a
+//! `BinaryHeap` reference scheduler (mirrors `eventq_props.rs`).
+//!
+//! The wheel replaces per-flow timer events in the engine's single
+//! queue, so its one obligation is to fire timers in exactly the order
+//! the queue would have: ascending `(deadline, sequence)`, with cancel
+//! an in-place delete instead of a tombstone. These tests drive the
+//! wheel and a `BinaryHeap<Reverse<(SimTime, u64, u64)>>` reference
+//! with identical operation streams — schedule, cancel, reschedule, and
+//! time advancement across cascade boundaries — and require identical
+//! fire order at every step.
+//!
+//! Deadline generators deliberately straddle the wheel's geometry: slot
+//! width 2^12 ns at level 0, fan-out 64 per level, six levels (horizon
+//! 2^48 ns), overflow list beyond that. Regression seeds at the bottom
+//! pin the cancel-racing-fire and recycled-slot ("ghost cancel") edges.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+
+use netsim::time::SimTime;
+use netsim::TimerWheel;
+
+/// Reference model: the exact structure `sim.rs` used for timers before
+/// the wheel — one global heap keyed `(deadline, seq)` with lazy
+/// tombstone cancellation. `cancelled` marks entries by value; a popped
+/// tombstone is skipped, exactly like the old engine's run loop.
+#[derive(Default)]
+struct ReferenceScheduler {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    cancelled: std::collections::BTreeSet<u64>,
+}
+
+impl ReferenceScheduler {
+    fn schedule(&mut self, at: SimTime, seq: u64, value: u64) {
+        self.heap.push(Reverse((at, seq, value)));
+    }
+
+    fn cancel(&mut self, value: u64) {
+        self.cancelled.insert(value);
+    }
+
+    /// Next live timer, skipping tombstones.
+    fn pop(&mut self) -> Option<(SimTime, u64, u64)> {
+        while let Some(Reverse((at, seq, v))) = self.heap.pop() {
+            if self.cancelled.remove(&v) {
+                continue;
+            }
+            return Some((at, seq, v));
+        }
+        None
+    }
+}
+
+/// One operation of a randomized schedule/cancel/pop/advance stream.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule a timer `delta` ns past the current wheel time.
+    Schedule { delta: u64 },
+    /// Cancel the k-th oldest live handle (no-op when none).
+    Cancel { k: usize },
+    /// Cancel a handle that already fired or was already cancelled.
+    StaleCancel { k: usize },
+    /// Pop one timer from both schedulers and compare.
+    Pop,
+    /// Advance wheel time to the next pending deadline minus `back` ns
+    /// (how the engine advances: never past a pending timer).
+    Advance { back: u64 },
+}
+
+/// Deltas spanning every level of the wheel plus the overflow list:
+/// level 0 (< 2^18 ns), mid levels, top level (~2^48), and beyond.
+fn delta_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0u64..(1 << 18),
+        3 => (1u64 << 18)..(1 << 30),
+        2 => (1u64 << 30)..(1 << 42),
+        1 => (1u64 << 42)..(1 << 49),
+        1 => (1u64 << 49)..(1 << 55),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => delta_strategy().prop_map(|delta| Op::Schedule { delta }),
+        2 => (0usize..8).prop_map(|k| Op::Cancel { k }),
+        1 => (0usize..8).prop_map(|k| Op::StaleCancel { k }),
+        3 => Just(Op::Pop),
+        2 => (0u64..4096).prop_map(|back| Op::Advance { back }),
+    ]
+}
+
+/// Drives both schedulers through `ops`, comparing every pop. Returns
+/// the number of timers fired, so callers can assert coverage.
+fn run_differential(ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let mut model = ReferenceScheduler::default();
+    let mut seq = 0u64;
+    let mut next_value = 0u64;
+    // (wheel handle, value) of possibly-live timers, oldest first.
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    // Handles whose timers fired or were cancelled: must all be no-ops.
+    let mut stale: Vec<u64> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Schedule { delta } => {
+                seq += 1;
+                let at = SimTime::from_nanos(wheel.now_nanos().saturating_add(delta));
+                let h = wheel.schedule(at, seq, next_value);
+                model.schedule(at, seq, next_value);
+                live.push((h, next_value));
+                next_value += 1;
+            }
+            Op::Cancel { k } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (h, v) = live.remove(k % live.len());
+                let went = wheel.cancel(h);
+                // The handle may have gone stale if its timer already
+                // popped; mirror into the model only live cancels.
+                if went.is_some() {
+                    model.cancel(v);
+                }
+                stale.push(h);
+            }
+            Op::StaleCancel { k } => {
+                if stale.is_empty() {
+                    continue;
+                }
+                let h = stale[k % stale.len()];
+                let before = wheel.len();
+                prop_assert_eq!(wheel.cancel(h), None, "stale handle cancelled a live timer");
+                prop_assert_eq!(wheel.len(), before);
+            }
+            Op::Pop => {
+                let got = wheel.pop();
+                let want = model.pop();
+                prop_assert_eq!(got, want);
+                if let Some((_, _, v)) = got {
+                    live.retain(|&(_, lv)| lv != v);
+                }
+            }
+            Op::Advance { back } => {
+                // Advance like the engine: to just below the next
+                // pending deadline (never past a live timer).
+                if let Some((at, _)) = wheel.peek_key() {
+                    let to = at.as_nanos().saturating_sub(back);
+                    wheel.advance_to(SimTime::from_nanos(to));
+                }
+            }
+        }
+        prop_assert_eq!(wheel.len(), model.heap.len() - model.cancelled.len());
+    }
+    // Drain both to the same tail.
+    loop {
+        let (got, want) = (wheel.pop(), model.pop());
+        prop_assert_eq!(got, want);
+        if want.is_none() {
+            break;
+        }
+    }
+    prop_assert!(wheel.is_empty());
+    Ok(())
+}
+
+proptest! {
+    /// Randomized schedule/cancel/stale-cancel/pop/advance streams agree
+    /// with the tombstone-heap reference at every pop, across all wheel
+    /// levels and the overflow list.
+    #[test]
+    fn matches_binary_heap_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        run_differential(ops)?;
+    }
+
+    /// Same-deadline timers fire in insertion-sequence order (FIFO),
+    /// regardless of which levels they were first placed at and how many
+    /// cascades they survived before firing.
+    #[test]
+    fn same_deadline_fifo_is_stable(
+        deadline_delta in 1u64..(1 << 44),
+        n in 2usize..40,
+        pre_advance in proptest::collection::vec(any::<bool>(), 0..8),
+    ) {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        let at = SimTime::from_nanos(deadline_delta);
+        // Interleave schedules with partial advances toward the deadline
+        // so successive timers land at different levels for the same
+        // deadline tick as the cursor closes in.
+        let mut seq = 0u64;
+        let mut scheduled = 0u64;
+        let mut steps = pre_advance.iter();
+        for v in 0..n as u64 {
+            seq += 1;
+            wheel.schedule(at, seq, v);
+            scheduled += 1;
+            if steps.next().copied().unwrap_or(false) {
+                let cur = wheel.now_nanos();
+                let to = cur + (deadline_delta.saturating_sub(cur)) / 2;
+                wheel.advance_to(SimTime::from_nanos(to));
+            }
+        }
+        let mut fired = Vec::new();
+        while let Some((t, _, v)) = wheel.pop() {
+            prop_assert_eq!(t, at);
+            fired.push(v);
+        }
+        prop_assert_eq!(fired.len() as u64, scheduled);
+        prop_assert_eq!(fired, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    /// Deadlines exactly on cascade boundaries (multiples of slot/level
+    /// widths, the off-by-one-prone keys) fire in order and exactly once.
+    #[test]
+    fn cascade_boundary_deadlines_fire_exactly_once(
+        shifts in proptest::collection::vec((12u32..49, -1i64..=1), 1..30),
+    ) {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        let mut keys: Vec<(SimTime, u64)> = Vec::new();
+        let mut seq = 0u64;
+        for (i, &(s, off)) in shifts.iter().enumerate() {
+            let at = ((1u64 << s) as i64 + off).max(1) as u64;
+            seq += 1;
+            wheel.schedule(SimTime::from_nanos(at), seq, i as u64);
+            keys.push((SimTime::from_nanos(at), seq));
+        }
+        keys.sort();
+        let mut fired = Vec::new();
+        while let Some((at, s, _)) = wheel.pop() {
+            fired.push((at, s));
+        }
+        prop_assert_eq!(fired, keys);
+    }
+}
+
+/// Regression: a cancel racing a same-tick fire. Two timers share a
+/// deadline; the first fires and cancels the second before the engine
+/// reaches it. The second must not fire, and the cancel must report it
+/// was live — deterministically, whatever level the tick lives at.
+#[test]
+fn cancel_racing_same_tick_fire_is_deterministic() {
+    for shift in [0u32, 13, 20, 27, 40] {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        let at = SimTime::from_nanos(100u64 << shift);
+        wheel.schedule(at, 1, 1);
+        let victim = wheel.schedule(at, 2, 2);
+        let (fat, fseq, fv) = wheel.pop().expect("first timer fires");
+        assert_eq!((fat, fseq, fv), (at, 1, 1));
+        assert_eq!(
+            wheel.cancel(victim),
+            Some(at),
+            "same-tick victim was still live at shift {shift}"
+        );
+        assert_eq!(wheel.pop(), None, "victim must not fire (shift {shift})");
+    }
+}
+
+/// Regression: the ghost-cancel / double-fire edge. A handle whose timer
+/// already fired must stay inert even after the wheel recycles the slab
+/// slot for a new timer — and no sequence of fire/cancel can make one
+/// timer fire twice.
+#[test]
+fn fired_handle_stays_inert_after_slot_reuse() {
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let ghost = wheel.schedule(SimTime::from_nanos(10), 1, 1);
+    assert_eq!(wheel.pop(), Some((SimTime::from_nanos(10), 1, 1)));
+    // The new timer recycles the fired timer's slab slot.
+    let live = wheel.schedule(SimTime::from_nanos(20), 2, 2);
+    assert_eq!(
+        wheel.cancel(ghost),
+        None,
+        "ghost cancel must not kill the recycled slot"
+    );
+    assert_eq!(wheel.len(), 1);
+    // And the fired timer cannot fire again.
+    assert_eq!(wheel.pop(), Some((SimTime::from_nanos(20), 2, 2)));
+    assert_eq!(wheel.pop(), None);
+    assert_eq!(wheel.cancel(live), None, "handle of a fired timer is stale");
+}
+
+/// Max-horizon deadlines: keys at and beyond the top level's window go
+/// through the overflow list and still merge into the global order.
+#[test]
+fn max_horizon_deadlines_merge_with_near_timers() {
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let top = 1u64 << 48;
+    wheel.schedule(SimTime::from_nanos(top - 1), 1, 1); // top level
+    wheel.schedule(SimTime::from_nanos(top + 1), 2, 2); // overflow
+    wheel.schedule(SimTime::from_nanos(5), 3, 3); // level 0
+    wheel.schedule(SimTime::from_nanos(top + 1), 4, 4); // overflow, same deadline
+    let fired: Vec<u64> = std::iter::from_fn(|| wheel.pop().map(|(_, _, v)| v)).collect();
+    assert_eq!(fired, vec![3, 1, 2, 4]);
+}

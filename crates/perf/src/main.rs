@@ -2,13 +2,16 @@
 //! performance baselines.
 //!
 //! ```text
-//! trim-perf                  # micro suite + incast 1k/10k/100k + churn
+//! trim-perf                  # micro suite + incast 1k/10k/100k/1m + churn
 //! trim-perf --quick          # micro suite + incast 1k + churn
 //! trim-perf --smoke          # re-measure the 1k incast, compare vs the
 //!                            # committed baseline, exit 1 on >5x regression
+//! trim-perf --smoke-1m       # reduced-horizon million-flow incast vs the
+//!                            # committed incast_1m baseline, same 5x gate
 //! trim-perf --out DIR        # results root (default results/)
 //! trim-perf --baseline FILE  # smoke baseline
-//!                            # (default results/perf/incast_1k.json)
+//!                            # (default results/perf/incast_1k.json,
+//!                            #  incast_1m.json for --smoke-1m)
 //! ```
 //!
 //! Full runs write one JSON per benchmark under `<out>/perf/`; `--smoke`
@@ -28,34 +31,41 @@ use trim_workload::scale::ScaleConfig;
 
 struct Options {
     smoke: bool,
+    smoke_1m: bool,
     quick: bool,
     out: String,
-    baseline: String,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         smoke: false,
+        smoke_1m: false,
         quick: false,
         out: "results".to_string(),
-        baseline: "results/perf/incast_1k.json".to_string(),
+        baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => opts.smoke = true,
+            "--smoke-1m" => opts.smoke_1m = true,
             "--quick" => opts.quick = true,
             "--out" => opts.out = args.next().ok_or("--out needs a directory")?,
-            "--baseline" => opts.baseline = args.next().ok_or("--baseline needs a file")?,
+            "--baseline" => opts.baseline = Some(args.next().ok_or("--baseline needs a file")?),
             "--help" | "-h" => {
                 println!(
-                    "usage: trim-perf [--smoke] [--quick] [--out DIR] [--baseline FILE]\n\
+                    "usage: trim-perf [--smoke] [--smoke-1m] [--quick] [--out DIR] \
+                     [--baseline FILE]\n\
                      Measures the event engine; writes JSON baselines under <out>/perf/."
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown option '{other}' (see --help)")),
         }
+    }
+    if opts.smoke && opts.smoke_1m {
+        return Err("--smoke and --smoke-1m are mutually exclusive".into());
     }
     Ok(opts)
 }
@@ -68,26 +78,22 @@ fn print_macro(r: &trim_perf::MacroResult) {
     );
 }
 
-fn smoke(opts: &Options) -> ExitCode {
-    let baseline = match std::fs::read_to_string(&opts.baseline) {
+fn smoke(name: &str, cfg: &ScaleConfig, baseline_path: &str) -> ExitCode {
+    let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!(
-                "trim-perf: cannot read baseline {}: {e}\n\
-                 (run `trim-perf` once and commit results/perf/ to create it)",
-                opts.baseline
+                "trim-perf: cannot read baseline {baseline_path}: {e}\n\
+                 (run `trim-perf` once and commit results/perf/ to create it)"
             );
             return ExitCode::FAILURE;
         }
     };
     let Some(base_eps) = baseline_events_per_sec(&baseline) else {
-        eprintln!(
-            "trim-perf: baseline {} has no events_per_sec field",
-            opts.baseline
-        );
+        eprintln!("trim-perf: baseline {baseline_path} has no events_per_sec field");
         return ExitCode::FAILURE;
     };
-    let r = incast_macro("incast_1k", &ScaleConfig::with_flows(1_000));
+    let r = incast_macro(name, cfg);
     print_macro(&r);
     let ratio = r.events_per_sec / base_eps;
     println!(
@@ -104,7 +110,7 @@ fn smoke(opts: &Options) -> ExitCode {
         }
         SmokeVerdict::Regressed => {
             eprintln!(
-                "trim-perf: PERF REGRESSION — 1k-flow incast runs {:.1}x slower than the \
+                "trim-perf: PERF REGRESSION — {name} runs {:.1}x slower than the \
                  committed baseline",
                 1.0 / ratio
             );
@@ -141,6 +147,12 @@ fn full(opts: &Options) -> ExitCode {
         write(format!("perf/{name}.json"), macro_json(&r));
     }
 
+    if !opts.quick {
+        let r = incast_macro("incast_1m", &ScaleConfig::million_flow());
+        print_macro(&r);
+        write("perf/incast_1m.json".into(), macro_json(&r));
+    }
+
     let churn = churn_macro(200, 25, 8_000);
     print_macro(&churn);
     write("perf/churn.json".into(), macro_json(&churn));
@@ -161,7 +173,22 @@ fn main() -> ExitCode {
         }
     };
     if opts.smoke {
-        smoke(&opts)
+        let baseline = opts
+            .baseline
+            .as_deref()
+            .unwrap_or("results/perf/incast_1k.json");
+        smoke("incast_1k", &ScaleConfig::with_flows(1_000), baseline)
+    } else if opts.smoke_1m {
+        // Reduced horizon: same workload shape as the committed
+        // incast_1m baseline, cut short so the CI gate stays cheap.
+        // events/sec is horizon-insensitive, so the 5x gate still holds.
+        let mut cfg = ScaleConfig::million_flow();
+        cfg.horizon = netsim::time::Dur::from_millis(1_500);
+        let baseline = opts
+            .baseline
+            .as_deref()
+            .unwrap_or("results/perf/incast_1m.json");
+        smoke("incast_1m", &cfg, baseline)
     } else {
         full(&opts)
     }

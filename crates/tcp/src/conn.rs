@@ -5,6 +5,22 @@
 //! The policy half (window growth/shrink, TRIM probing) lives in the
 //! pluggable [`CcAlgo`]; this module is the mechanism half. Sequence
 //! numbers count packets, as in NS2.
+//!
+//! ## State layout
+//!
+//! A sender's state is split for the million-flow engine:
+//!
+//! - [`HotFlow`](crate::slab::HotFlow) — the per-ACK working set (window,
+//!   RTO estimator, sequence cursors, recovery flags), a `Copy` record
+//!   gathered from / scattered to the [`FlowSlab`](crate::slab::FlowSlab)
+//!   struct-of-arrays columns;
+//! - [`ColdConn`] — everything touched rarely or only at the ends of a
+//!   run (config, controller box, SACK scoreboard, train queue, stats),
+//!   boxed per flow.
+//!
+//! [`ConnCore`] borrows one of each and carries the whole state machine;
+//! [`ConnRef`] is the read-only public view returned by
+//! [`TcpHost::connection`](crate::TcpHost::connection).
 
 use std::collections::{BTreeSet, VecDeque};
 
@@ -15,6 +31,7 @@ use crate::cc::{AckInfo, CcAlgo, PreSendAction, WindowState};
 use crate::config::TcpConfig;
 use crate::rto::RtoEstimator;
 use crate::segment::{SackBlocks, Segment};
+use crate::slab::HotFlow;
 
 /// Timer-token kind for retransmission timeouts (dispatched by `TcpHost`).
 pub(crate) const KIND_RTO: u64 = 0;
@@ -90,29 +107,17 @@ struct ProbePending {
     timer: TimerId,
 }
 
-/// One sending TCP connection on a persistent HTTP session.
+/// The rarely-touched half of a sending connection, boxed per flow in
+/// the [`FlowSlab`](crate::slab::FlowSlab).
 #[derive(Debug)]
-pub struct Connection {
-    flow: FlowId,
+pub(crate) struct ColdConn {
+    pub(crate) flow: FlowId,
     dst: NodeId,
-    cfg: TcpConfig,
+    pub(crate) cfg: TcpConfig,
     cc: Box<dyn CcAlgo>,
-    win: WindowState,
-    /// Local index within the owning host, used to build timer tokens.
-    local_idx: u64,
-
-    next_seq: u64,
-    high_ack: u64,
-    max_seq_sent: u64,
-    total_pkts: u64,
-
-    dup_acks: u32,
-    in_recovery: bool,
-    recover: u64,
-
-    rto_est: RtoEstimator,
-    backoff: u32,
-    rto_timer: Option<TimerId>,
+    /// Dense slab id within the owning host, used to build timer tokens.
+    /// Assigned by `FlowSlab::insert`.
+    pub(crate) local_idx: u64,
 
     probe: Option<ProbePending>,
 
@@ -124,123 +129,165 @@ pub struct Connection {
 
     trains: VecDeque<TrainProgress>,
     next_train_id: u64,
-    completed: Vec<TrainRecord>,
+    pub(crate) completed: Vec<TrainRecord>,
 
     stats: ConnStats,
     cwnd_series: Option<Series>,
 }
 
-impl Connection {
-    /// Creates a connection sending to `dst` with flow label `flow`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg` fails validation.
-    pub fn new(
-        flow: FlowId,
-        dst: NodeId,
-        cfg: TcpConfig,
-        cc: Box<dyn CcAlgo>,
-        local_idx: u64,
-    ) -> Self {
-        cfg.validate()
-            .unwrap_or_else(|e| panic!("invalid TcpConfig: {e}")); // trim-lint: allow(no-panic-in-library, reason = "constructor contract: configs are validated at build time")
-        Connection {
-            flow,
-            dst,
-            win: WindowState::new(cfg.init_cwnd, cfg.init_ssthresh, cfg.min_cwnd, cfg.max_cwnd),
-            rto_est: RtoEstimator::new(cfg.min_rto, cfg.max_rto),
-            cfg,
-            cc,
-            local_idx,
-            next_seq: 0,
-            high_ack: 0,
-            max_seq_sent: 0,
-            total_pkts: 0,
-            dup_acks: 0,
-            in_recovery: false,
-            recover: 0,
-            backoff: 1,
-            rto_timer: None,
-            probe: None,
-            sacked: BTreeSet::new(),
-            rtx_this_recovery: BTreeSet::new(),
-            trains: VecDeque::new(),
-            next_train_id: 0,
-            completed: Vec::new(),
-            stats: ConnStats::default(),
-            cwnd_series: None,
+impl ColdConn {
+    /// Cancels and forgets any timers this connection holds (called on
+    /// teardown so a recycled slab slot cannot receive stale fires).
+    pub(crate) fn cancel_timers(&mut self, ctx: &mut Ctx<'_, Segment>, hot: &mut HotFlow) {
+        if let Some(t) = hot.rto_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        if let Some(p) = self.probe.take() {
+            ctx.cancel_timer(p.timer);
         }
     }
+}
 
+/// Builds the split state for a new connection sending to `dst` with
+/// flow label `flow`. The cold half's `local_idx` is assigned when the
+/// pair is inserted into a [`FlowSlab`](crate::slab::FlowSlab).
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation.
+pub(crate) fn new_conn(
+    flow: FlowId,
+    dst: NodeId,
+    cfg: TcpConfig,
+    cc: Box<dyn CcAlgo>,
+) -> (HotFlow, Box<ColdConn>) {
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid TcpConfig: {e}")); // trim-lint: allow(no-panic-in-library, reason = "constructor contract: configs are validated at build time")
+    let hot = HotFlow {
+        win: WindowState::new(cfg.init_cwnd, cfg.init_ssthresh, cfg.min_cwnd, cfg.max_cwnd),
+        rto_est: RtoEstimator::new(cfg.min_rto, cfg.max_rto),
+        next_seq: 0,
+        high_ack: 0,
+        max_seq_sent: 0,
+        total_pkts: 0,
+        recover: 0,
+        dup_acks: 0,
+        backoff: 1,
+        in_recovery: false,
+        rto_timer: None,
+    };
+    let cold = Box::new(ColdConn {
+        flow,
+        dst,
+        cfg,
+        cc,
+        local_idx: 0,
+        probe: None,
+        sacked: BTreeSet::new(),
+        rtx_this_recovery: BTreeSet::new(),
+        trains: VecDeque::new(),
+        next_train_id: 0,
+        completed: Vec::new(),
+        stats: ConnStats::default(),
+        cwnd_series: None,
+    });
+    (hot, cold)
+}
+
+/// Read-only view of one sending connection, assembled from the slab's
+/// hot columns and the boxed cold half. `Copy`, so reference-returning
+/// accessors consume `self` and borrow from the host instead.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnRef<'a> {
+    pub(crate) hot: HotFlow,
+    pub(crate) cold: &'a ColdConn,
+}
+
+impl<'a> ConnRef<'a> {
     /// The connection's flow label.
     pub fn flow(&self) -> FlowId {
-        self.flow
+        self.cold.flow
     }
 
     /// The congestion controller's report name.
     pub fn cc_name(&self) -> &'static str {
-        self.cc.name()
+        self.cold.cc.name()
     }
 
     /// The controller itself, for algorithm-specific inspection.
-    pub fn cc(&self) -> &dyn CcAlgo {
-        self.cc.as_ref()
+    pub fn cc(self) -> &'a dyn CcAlgo {
+        self.cold.cc.as_ref()
     }
 
     /// Current congestion window in packets.
     pub fn cwnd(&self) -> f64 {
-        self.win.cwnd
+        self.hot.win.cwnd
     }
 
     /// The smoothed RTT estimate, if any Karn-valid sample has arrived
     /// (echoes of retransmitted packets never contribute samples).
     pub fn srtt(&self) -> Option<Dur> {
-        self.rto_est.srtt()
+        self.hot.rto_est.srtt()
     }
 
     /// Counters accumulated so far.
     pub fn stats(&self) -> ConnStats {
-        self.stats
+        self.cold.stats
     }
 
     /// Trains fully acknowledged so far, in completion order.
-    pub fn completed_trains(&self) -> &[TrainRecord] {
-        &self.completed
+    pub fn completed_trains(self) -> &'a [TrainRecord] {
+        &self.cold.completed
     }
 
     /// Whether every queued train has been fully acknowledged.
     pub fn is_idle(&self) -> bool {
-        self.high_ack == self.total_pkts
+        self.hot.high_ack == self.hot.total_pkts
     }
 
     /// Packets currently unacknowledged.
     pub fn flight(&self) -> u64 {
-        self.next_seq - self.high_ack
-    }
-
-    /// Starts recording a `(time, cwnd)` point at every window change.
-    pub fn enable_cwnd_recording(&mut self) {
-        if self.cwnd_series.is_none() {
-            self.cwnd_series = Some(Series::new());
-        }
+        self.hot.next_seq - self.hot.high_ack
     }
 
     /// The recorded window series, if enabled.
-    pub fn cwnd_series(&self) -> Option<&Series> {
-        self.cwnd_series.as_ref()
+    pub fn cwnd_series(self) -> Option<&'a Series> {
+        self.cold.cwnd_series.as_ref()
+    }
+}
+
+/// Mutable working view over one connection's split state: the whole
+/// sender state machine lives here. The host gathers `hot` from the
+/// slab, drives one or more events through this view, and scatters the
+/// result back.
+pub(crate) struct ConnCore<'a> {
+    pub(crate) hot: &'a mut HotFlow,
+    pub(crate) cold: &'a mut ColdConn,
+}
+
+impl ConnCore<'_> {
+    /// Packets currently unacknowledged.
+    fn flight(&self) -> u64 {
+        self.hot.next_seq - self.hot.high_ack
+    }
+
+    /// Starts recording a `(time, cwnd)` point at every window change.
+    pub(crate) fn enable_cwnd_recording(&mut self) {
+        if self.cold.cwnd_series.is_none() {
+            self.cold.cwnd_series = Some(Series::new());
+        }
     }
 
     fn record_cwnd(&mut self, now: SimTime) {
-        if let Some(s) = &mut self.cwnd_series {
-            s.push(now, self.win.cwnd);
+        if let Some(s) = &mut self.cold.cwnd_series {
+            s.push(now, self.hot.win.cwnd);
         }
     }
 
     /// Reports the current window to any attached invariant monitors
     /// (`cwnd-range` checks it stays within `[min_cwnd, max_cwnd]`).
     fn emit_cwnd(&self, ctx: &mut Ctx<'_, Segment>) {
-        let (flow, win) = (self.flow, &self.win);
+        let (flow, win) = (self.cold.flow, &self.hot.win);
         ctx.emit_monitor_with(|| MonitorEvent::CwndUpdate {
             flow,
             cwnd: win.cwnd,
@@ -253,7 +300,7 @@ impl Connection {
     /// invariant monitors (`ack-reduction-bound` checks that no single
     /// ACK cuts the window below legacy TCP's halving, per Eq. 2–3).
     fn emit_ack_window(&self, ctx: &mut Ctx<'_, Segment>, before: f64, probe_echo: bool) {
-        let (flow, after) = (self.flow, self.win.cwnd);
+        let (flow, after) = (self.cold.flow, self.hot.win.cwnd);
         ctx.emit_monitor_with(|| MonitorEvent::AckWindow {
             flow,
             before,
@@ -265,12 +312,12 @@ impl Connection {
     /// Reports an Algorithm-1 probe state-machine transition to any
     /// attached invariant monitors (`probe-legality` checks ordering).
     fn emit_probe(&self, ctx: &mut Ctx<'_, Segment>, transition: ProbeTransition) {
-        let flow = self.flow;
+        let flow = self.cold.flow;
         ctx.emit_monitor_with(|| MonitorEvent::ProbeTransition { flow, transition });
     }
 
     fn token(&self, kind: u64) -> u64 {
-        (self.local_idx << KIND_BITS) | kind
+        (self.cold.local_idx << KIND_BITS) | kind
     }
 
     /// Discards all application data that has not yet been transmitted:
@@ -279,17 +326,17 @@ impl Connection {
     /// normally. Models an application closing its response stream
     /// (used by the convergence and multi-hop experiments to stop LPTs
     /// at a scheduled time).
-    pub fn truncate_unsent(&mut self) {
-        self.total_pkts = self.next_seq;
-        while let Some(last) = self.trains.back() {
-            if last.start_seq >= self.total_pkts {
-                self.trains.pop_back();
+    pub(crate) fn truncate_unsent(&mut self) {
+        self.hot.total_pkts = self.hot.next_seq;
+        while let Some(last) = self.cold.trains.back() {
+            if last.start_seq >= self.hot.total_pkts {
+                self.cold.trains.pop_back();
             } else {
                 break;
             }
         }
-        if let Some(last) = self.trains.back_mut() {
-            last.end_seq = last.end_seq.min(self.total_pkts);
+        if let Some(last) = self.cold.trains.back_mut() {
+            last.end_seq = last.end_seq.min(self.hot.total_pkts);
         }
     }
 
@@ -299,46 +346,50 @@ impl Connection {
     /// # Panics
     ///
     /// Panics if `bytes` is zero.
-    pub fn enqueue_train(&mut self, ctx: &mut Ctx<'_, Segment>, bytes: u64) {
+    pub(crate) fn enqueue_train(&mut self, ctx: &mut Ctx<'_, Segment>, bytes: u64) {
         assert!(bytes > 0, "empty train");
-        let pkts = bytes.div_ceil(self.cfg.mss_bytes as u64);
-        let start_seq = self.total_pkts;
-        self.total_pkts += pkts;
-        self.trains.push_back(TrainProgress {
-            id: self.next_train_id,
+        let pkts = bytes.div_ceil(self.cold.cfg.mss_bytes as u64);
+        let start_seq = self.hot.total_pkts;
+        self.hot.total_pkts += pkts;
+        self.cold.trains.push_back(TrainProgress {
+            id: self.cold.next_train_id,
             bytes,
             start_seq,
-            end_seq: self.total_pkts,
+            end_seq: self.hot.total_pkts,
             enqueued_at: ctx.now(),
             first_sent_at: None,
         });
-        self.next_train_id += 1;
+        self.cold.next_train_id += 1;
         self.try_send(ctx);
     }
 
     /// Transmits as much new data as the window, the probe state, and the
     /// application queue allow.
-    pub fn try_send(&mut self, ctx: &mut Ctx<'_, Segment>) {
+    pub(crate) fn try_send(&mut self, ctx: &mut Ctx<'_, Segment>) {
         loop {
-            if self.win.suspended || self.next_seq >= self.total_pkts {
+            if self.hot.win.suspended || self.hot.next_seq >= self.hot.total_pkts {
                 break;
             }
             // With SACK, sacked packets have left the network: they do
             // not occupy the window (pipe accounting).
-            let flight = (self.next_seq - self.high_ack) - self.sacked.len() as u64;
-            let wnd = self.win.cwnd.floor().max(1.0) as u64;
+            let flight = (self.hot.next_seq - self.hot.high_ack) - self.cold.sacked.len() as u64;
+            let wnd = self.hot.win.cwnd.floor().max(1.0) as u64;
             if flight >= wnd {
                 break;
             }
             // Algorithm 1 applies only to fresh data, not go-back-N
             // resends.
-            if self.probe.is_none() && self.next_seq >= self.max_seq_sent {
-                let available = self.total_pkts - self.next_seq;
-                match self.cc.pre_send(&mut self.win, ctx.now(), available) {
+            if self.cold.probe.is_none() && self.hot.next_seq >= self.hot.max_seq_sent {
+                let available = self.hot.total_pkts - self.hot.next_seq;
+                match self
+                    .cold
+                    .cc
+                    .pre_send(&mut self.hot.win, ctx.now(), available)
+                {
                     PreSendAction::Continue => {}
                     PreSendAction::StartProbe { probes, deadline } => {
                         let timer = ctx.set_timer(deadline, self.token(KIND_PROBE));
-                        self.probe = Some(ProbePending {
+                        self.cold.probe = Some(ProbePending {
                             remaining: probes,
                             timer,
                         });
@@ -349,18 +400,18 @@ impl Connection {
                     }
                 }
             }
-            let seq = self.next_seq;
-            let is_probe = self.probe.is_some();
+            let seq = self.hot.next_seq;
+            let is_probe = self.cold.probe.is_some();
             self.transmit(ctx, seq, is_probe);
-            self.next_seq += 1;
-            self.max_seq_sent = self.max_seq_sent.max(self.next_seq);
-            if let Some(p) = &mut self.probe {
-                self.stats.probes_sent += 1;
+            self.hot.next_seq += 1;
+            self.hot.max_seq_sent = self.hot.max_seq_sent.max(self.hot.next_seq);
+            if let Some(p) = &mut self.cold.probe {
+                self.cold.stats.probes_sent += 1;
                 p.remaining -= 1;
                 if p.remaining == 0 {
                     // Algorithm 1 line 6: suspend until the probe result.
-                    self.win.suspended = true;
-                    let flow = self.flow;
+                    self.hot.win.suspended = true;
+                    let flow = self.cold.flow;
                     ctx.emit_monitor_with(|| MonitorEvent::ProbeTransition {
                         flow,
                         transition: ProbeTransition::Suspend,
@@ -372,19 +423,25 @@ impl Connection {
 
     fn transmit(&mut self, ctx: &mut Ctx<'_, Segment>, seq: u64, is_probe: bool) {
         let now = ctx.now();
-        let is_rtx = seq < self.max_seq_sent;
-        let seg = Segment::data(seq, is_probe, is_rtx, now, self.cc.uses_ecn());
-        let pkt = Packet::new(ctx.node(), self.dst, self.flow, self.cfg.mss_bytes, seg);
+        let is_rtx = seq < self.hot.max_seq_sent;
+        let seg = Segment::data(seq, is_probe, is_rtx, now, self.cold.cc.uses_ecn());
+        let pkt = Packet::new(
+            ctx.node(),
+            self.cold.dst,
+            self.cold.flow,
+            self.cold.cfg.mss_bytes,
+            seg,
+        );
         ctx.send(pkt);
-        self.cc.note_sent(now);
-        self.stats.pkts_sent += 1;
+        self.cold.cc.note_sent(now);
+        self.cold.stats.pkts_sent += 1;
         if is_rtx {
-            self.stats.rtx_sent += 1;
+            self.cold.stats.rtx_sent += 1;
         }
         if !is_rtx {
             self.note_first_send(seq, now);
         }
-        if self.rto_timer.is_none() {
+        if self.hot.rto_timer.is_none() {
             self.arm_rto(ctx);
         }
     }
@@ -392,11 +449,12 @@ impl Connection {
     fn note_first_send(&mut self, seq: u64, now: SimTime) {
         // Binary search the (start_seq-sorted) pending trains.
         let idx = self
+            .cold
             .trains
             .partition_point(|t| t.start_seq <= seq)
             .checked_sub(1);
         if let Some(i) = idx {
-            let t = &mut self.trains[i];
+            let t = &mut self.cold.trains[i];
             if seq < t.end_seq && t.first_sent_at.is_none() {
                 t.first_sent_at = Some(now);
             }
@@ -405,15 +463,16 @@ impl Connection {
 
     fn arm_rto(&mut self, ctx: &mut Ctx<'_, Segment>) {
         let rto = self
+            .hot
             .rto_est
             .rto()
-            .mul_f64(self.backoff as f64)
-            .min(self.cfg.max_rto);
-        self.rto_timer = Some(ctx.set_timer(rto, self.token(KIND_RTO)));
+            .mul_f64(self.hot.backoff as f64)
+            .min(self.cold.cfg.max_rto);
+        self.hot.rto_timer = Some(ctx.set_timer(rto, self.token(KIND_RTO)));
     }
 
     fn cancel_rto(&mut self, ctx: &mut Ctx<'_, Segment>) {
-        if let Some(t) = self.rto_timer.take() {
+        if let Some(t) = self.hot.rto_timer.take() {
             ctx.cancel_timer(t);
         }
     }
@@ -427,7 +486,7 @@ impl Connection {
 
     /// Processes an arriving cumulative ACK (with optional SACK blocks).
     #[allow(clippy::too_many_arguments)]
-    pub fn on_ack(
+    pub(crate) fn on_ack(
         &mut self,
         ctx: &mut Ctx<'_, Segment>,
         ack_seq: u64,
@@ -438,16 +497,16 @@ impl Connection {
         sack: &SackBlocks,
     ) {
         let now = ctx.now();
-        if self.cfg.sack {
+        if self.cold.cfg.sack {
             for block in sack.iter().flatten() {
                 for seq in block.0..block.1 {
-                    if seq >= self.high_ack && seq < self.next_seq {
-                        self.sacked.insert(seq);
+                    if seq >= self.hot.high_ack && seq < self.hot.next_seq {
+                        self.cold.sacked.insert(seq);
                     }
                 }
             }
         }
-        self.stats.acks_received += 1;
+        self.cold.stats.acks_received += 1;
         // Karn's rule: no RTT sample from a retransmitted packet's echo.
         let rtt = if echo_rtx {
             None
@@ -456,70 +515,71 @@ impl Connection {
         };
         if let Some(r) = rtt {
             if r > Dur::ZERO {
-                self.rto_est.observe(r);
+                self.hot.rto_est.observe(r);
             }
         }
 
-        if ack_seq > self.high_ack {
-            let newly = ack_seq - self.high_ack;
-            self.high_ack = ack_seq;
+        if ack_seq > self.hot.high_ack {
+            let newly = ack_seq - self.hot.high_ack;
+            self.hot.high_ack = ack_seq;
             // After go-back-N the ACK may cover packets sent before the
             // timeout that were still in flight; never send below the
             // cumulative ACK.
-            self.next_seq = self.next_seq.max(self.high_ack);
-            self.max_seq_sent = self.max_seq_sent.max(self.next_seq);
-            self.backoff = 1;
-            self.sacked = self.sacked.split_off(&self.high_ack);
-            if self.in_recovery {
-                if ack_seq >= self.recover {
+            self.hot.next_seq = self.hot.next_seq.max(self.hot.high_ack);
+            self.hot.max_seq_sent = self.hot.max_seq_sent.max(self.hot.next_seq);
+            self.hot.backoff = 1;
+            self.cold.sacked = self.cold.sacked.split_off(&self.hot.high_ack);
+            if self.hot.in_recovery {
+                if ack_seq >= self.hot.recover {
                     // Full ACK: leave recovery, deflate to ssthresh.
-                    self.in_recovery = false;
-                    self.dup_acks = 0;
-                    self.rtx_this_recovery.clear();
-                    self.win.cwnd = self.win.ssthresh;
-                    self.win.clamp_cwnd();
-                } else if self.cfg.sack {
+                    self.hot.in_recovery = false;
+                    self.hot.dup_acks = 0;
+                    self.cold.rtx_this_recovery.clear();
+                    self.hot.win.cwnd = self.hot.win.ssthresh;
+                    self.hot.win.clamp_cwnd();
+                } else if self.cold.cfg.sack {
                     // SACK recovery: repair the lowest unrepaired hole.
                     self.retransmit_next_hole(ctx);
                 } else {
                     // NewReno partial ACK: the next hole is lost too.
-                    self.transmit_rtx(ctx, self.high_ack);
-                    self.win.cwnd = (self.win.cwnd - newly as f64 + 1.0).max(self.win.min_cwnd);
+                    self.transmit_rtx(ctx, self.hot.high_ack);
+                    self.hot.win.cwnd =
+                        (self.hot.win.cwnd - newly as f64 + 1.0).max(self.hot.win.min_cwnd);
                 }
             } else {
-                self.dup_acks = 0;
+                self.hot.dup_acks = 0;
                 let info = AckInfo {
                     now,
                     rtt,
                     newly_acked: newly,
                     ack_seq,
-                    next_seq: self.next_seq,
-                    flight: self.next_seq - self.high_ack,
+                    next_seq: self.hot.next_seq,
+                    flight: self.hot.next_seq - self.hot.high_ack,
                     ece,
                     probe_echo: echo_probe,
                 };
-                let before = self.win.cwnd;
-                self.cc.on_ack(&mut self.win, &info);
+                let before = self.hot.win.cwnd;
+                self.cold.cc.on_ack(&mut self.hot.win, &info);
                 self.emit_ack_window(ctx, before, echo_probe);
             }
             self.complete_trains(now);
             self.rearm_rto(ctx);
         } else {
             // Duplicate ACK.
-            if self.next_seq > self.high_ack {
-                self.dup_acks += 1;
-                self.stats.dup_acks_received += 1;
-                if self.in_recovery {
-                    if self.cfg.sack {
+            if self.hot.next_seq > self.hot.high_ack {
+                self.hot.dup_acks += 1;
+                self.cold.stats.dup_acks_received += 1;
+                if self.hot.in_recovery {
+                    if self.cold.cfg.sack {
                         // SACK recovery: the scoreboard says what is
                         // missing; repair it instead of inflating.
                         self.retransmit_next_hole(ctx);
                     } else {
                         // Window inflation keeps the pipe full.
-                        self.win.cwnd += 1.0;
-                        self.win.clamp_cwnd();
+                        self.hot.win.cwnd += 1.0;
+                        self.hot.win.clamp_cwnd();
                     }
-                } else if self.dup_acks == self.cfg.dupack_threshold {
+                } else if self.hot.dup_acks == self.cold.cfg.dupack_threshold {
                     self.enter_fast_recovery(ctx, now);
                 } else {
                     // Still feed the controller: TRIM needs every RTT
@@ -530,24 +590,24 @@ impl Connection {
                         rtt,
                         newly_acked: 0,
                         ack_seq,
-                        next_seq: self.next_seq,
-                        flight: self.next_seq - self.high_ack,
+                        next_seq: self.hot.next_seq,
+                        flight: self.hot.next_seq - self.hot.high_ack,
                         ece,
                         probe_echo: echo_probe,
                     };
-                    let before = self.win.cwnd;
-                    self.cc.on_ack(&mut self.win, &info);
+                    let before = self.hot.win.cwnd;
+                    self.cold.cc.on_ack(&mut self.hot.win, &info);
                     self.emit_ack_window(ctx, before, echo_probe);
                 }
             }
         }
 
         // Did the controller resolve a probe phase?
-        if let Some(p) = &self.probe {
-            if p.remaining == 0 && !self.win.suspended {
+        if let Some(p) = &self.cold.probe {
+            if p.remaining == 0 && !self.hot.win.suspended {
                 let timer = p.timer;
                 ctx.cancel_timer(timer);
-                self.probe = None;
+                self.cold.probe = None;
                 self.emit_probe(ctx, ProbeTransition::Resolve);
             }
         }
@@ -557,28 +617,36 @@ impl Connection {
     }
 
     fn enter_fast_recovery(&mut self, ctx: &mut Ctx<'_, Segment>, now: SimTime) {
-        self.in_recovery = true;
-        self.recover = self.next_seq;
-        self.rtx_this_recovery.clear();
-        self.rtx_this_recovery.insert(self.high_ack);
-        self.stats.fast_retransmits += 1;
+        self.hot.in_recovery = true;
+        self.hot.recover = self.hot.next_seq;
+        self.cold.rtx_this_recovery.clear();
+        self.cold.rtx_this_recovery.insert(self.hot.high_ack);
+        self.cold.stats.fast_retransmits += 1;
         let flight = self.flight();
-        self.cc.on_fast_retransmit(&mut self.win, flight, now);
+        self.cold
+            .cc
+            .on_fast_retransmit(&mut self.hot.win, flight, now);
         // Standard inflation by the duplicate threshold.
-        self.win.cwnd += self.cfg.dupack_threshold as f64;
-        self.win.clamp_cwnd();
-        self.transmit_rtx(ctx, self.high_ack);
+        self.hot.win.cwnd += self.cold.cfg.dupack_threshold as f64;
+        self.hot.win.clamp_cwnd();
+        self.transmit_rtx(ctx, self.hot.high_ack);
         self.rearm_rto(ctx);
     }
 
     fn transmit_rtx(&mut self, ctx: &mut Ctx<'_, Segment>, seq: u64) {
         let now = ctx.now();
-        let seg = Segment::data(seq, false, true, now, self.cc.uses_ecn());
-        let pkt = Packet::new(ctx.node(), self.dst, self.flow, self.cfg.mss_bytes, seg);
+        let seg = Segment::data(seq, false, true, now, self.cold.cc.uses_ecn());
+        let pkt = Packet::new(
+            ctx.node(),
+            self.cold.dst,
+            self.cold.flow,
+            self.cold.cfg.mss_bytes,
+            seg,
+        );
         ctx.send(pkt);
-        self.cc.note_sent(now);
-        self.stats.pkts_sent += 1;
-        self.stats.rtx_sent += 1;
+        self.cold.cc.note_sent(now);
+        self.cold.stats.pkts_sent += 1;
+        self.cold.stats.rtx_sent += 1;
     }
 
     /// Retransmits the lowest sequence in `[high_ack, recover)` that is
@@ -587,15 +655,15 @@ impl Connection {
     /// `dupack_threshold` SACKed sequences lie above it (otherwise the
     /// packet may simply still be in flight).
     fn retransmit_next_hole(&mut self, ctx: &mut Ctx<'_, Segment>) {
-        let thresh = self.cfg.dupack_threshold as usize;
-        let mut seq = self.high_ack;
-        while seq < self.recover {
-            if !self.sacked.contains(&seq) && !self.rtx_this_recovery.contains(&seq) {
-                let reported_above = self.sacked.range(seq + 1..).take(thresh).count();
+        let thresh = self.cold.cfg.dupack_threshold as usize;
+        let mut seq = self.hot.high_ack;
+        while seq < self.hot.recover {
+            if !self.cold.sacked.contains(&seq) && !self.cold.rtx_this_recovery.contains(&seq) {
+                let reported_above = self.cold.sacked.range(seq + 1..).take(thresh).count();
                 if reported_above < thresh {
                     return; // not yet known lost; wait for more reports
                 }
-                self.rtx_this_recovery.insert(seq);
+                self.cold.rtx_this_recovery.insert(seq);
                 self.transmit_rtx(ctx, seq);
                 return;
             }
@@ -605,42 +673,42 @@ impl Connection {
 
     /// The retransmission timer fired: collapse the window, back off the
     /// timer, and go-back-N from the last cumulative ACK.
-    pub fn on_rto_fire(&mut self, ctx: &mut Ctx<'_, Segment>) {
-        self.rto_timer = None;
+    pub(crate) fn on_rto_fire(&mut self, ctx: &mut Ctx<'_, Segment>) {
+        self.hot.rto_timer = None;
         if self.flight() == 0 {
             return; // stale: everything got acknowledged meanwhile
         }
         let now = ctx.now();
-        self.stats.timeouts += 1;
+        self.cold.stats.timeouts += 1;
         let flight = self.flight();
-        self.cc.on_timeout(&mut self.win, flight, now);
-        self.win.cwnd = self.cfg.restart_cwnd;
-        self.win.suspended = false;
-        self.win.clamp_cwnd();
-        if let Some(p) = self.probe.take() {
+        self.cold.cc.on_timeout(&mut self.hot.win, flight, now);
+        self.hot.win.cwnd = self.cold.cfg.restart_cwnd;
+        self.hot.win.suspended = false;
+        self.hot.win.clamp_cwnd();
+        if let Some(p) = self.cold.probe.take() {
             ctx.cancel_timer(p.timer);
             self.emit_probe(ctx, ProbeTransition::Abort);
         }
-        self.in_recovery = false;
-        self.dup_acks = 0;
-        self.rtx_this_recovery.clear();
-        self.sacked.clear();
-        self.backoff = (self.backoff * 2).min(64);
+        self.hot.in_recovery = false;
+        self.hot.dup_acks = 0;
+        self.cold.rtx_this_recovery.clear();
+        self.cold.sacked.clear();
+        self.hot.backoff = (self.hot.backoff * 2).min(64);
         // Go-back-N: resume from the last cumulative ACK.
-        self.next_seq = self.high_ack;
+        self.hot.next_seq = self.hot.high_ack;
         self.record_cwnd(now);
         self.emit_cwnd(ctx);
         self.try_send(ctx);
-        if self.rto_timer.is_none() && self.flight() > 0 {
+        if self.hot.rto_timer.is_none() && self.flight() > 0 {
             self.arm_rto(ctx);
         }
     }
 
     /// The TRIM probe deadline fired without all probe ACKs.
-    pub fn on_probe_deadline_fire(&mut self, ctx: &mut Ctx<'_, Segment>) {
-        if self.probe.take().is_some() {
+    pub(crate) fn on_probe_deadline_fire(&mut self, ctx: &mut Ctx<'_, Segment>) {
+        if self.cold.probe.take().is_some() {
             self.emit_probe(ctx, ProbeTransition::Timeout);
-            self.cc.on_probe_deadline(&mut self.win);
+            self.cold.cc.on_probe_deadline(&mut self.hot.win);
             self.record_cwnd(ctx.now());
             self.emit_cwnd(ctx);
             self.try_send(ctx);
@@ -648,12 +716,12 @@ impl Connection {
     }
 
     fn complete_trains(&mut self, now: SimTime) {
-        while let Some(front) = self.trains.front() {
-            if self.high_ack < front.end_seq {
+        while let Some(front) = self.cold.trains.front() {
+            if self.hot.high_ack < front.end_seq {
                 break;
             }
-            let t = self.trains.pop_front().expect("front exists"); // trim-lint: allow(no-panic-in-library, reason = "front() returned Some in the loop condition")
-            self.completed.push(TrainRecord {
+            let t = self.cold.trains.pop_front().expect("front exists"); // trim-lint: allow(no-panic-in-library, reason = "front() returned Some in the loop condition")
+            self.cold.completed.push(TrainRecord {
                 id: t.id,
                 bytes: t.bytes,
                 pkts: t.end_seq - t.start_seq,

@@ -1,6 +1,14 @@
 //! The host agent: demultiplexes packets and timers to the TCP
 //! connections and receivers living on one simulated host, and injects
 //! scheduled application trains.
+//!
+//! Sender state lives in a [`FlowSlab`]: the per-ACK working set in
+//! struct-of-arrays columns, the rest boxed per flow. Each event
+//! gathers a [`HotFlow`] record, drives the state machine through
+//! [`ConnCore`], and scatters the result back. A one-row cache keeps
+//! the hot record checked out across consecutive events for the same
+//! flow — during an incast tick the engine delivers ACK bursts
+//! back-to-back, so same-tick ACK runs skip the gather/scatter entirely.
 
 use netsim::hash::FastHashMap;
 use netsim::prelude::*;
@@ -8,9 +16,12 @@ use netsim::time::SimTime;
 
 use crate::cc::CcKind;
 use crate::config::TcpConfig;
-use crate::conn::{Connection, KIND_APP, KIND_BITS, KIND_DELACK, KIND_PROBE, KIND_RTO, KIND_SEQ};
+use crate::conn::{
+    new_conn, ConnCore, ConnRef, KIND_APP, KIND_BITS, KIND_DELACK, KIND_PROBE, KIND_RTO, KIND_SEQ,
+};
 use crate::receiver::Receiver;
 use crate::segment::{SegKind, Segment};
+use crate::slab::{FlowSlab, HotFlow, SlabAudit};
 
 #[derive(Clone, Copy, Debug)]
 enum AppEvent {
@@ -22,12 +33,17 @@ enum AppEvent {
     },
     /// Discard the sender's unsent data at `at`.
     Stop { at: SimTime, sender_idx: usize },
+    /// Tear the sender down at `at`: cancel its timers and free its
+    /// slab slot for reuse.
+    Teardown { at: SimTime, sender_idx: usize },
 }
 
 impl AppEvent {
     fn at(&self) -> SimTime {
         match *self {
-            AppEvent::Train { at, .. } | AppEvent::Stop { at, .. } => at,
+            AppEvent::Train { at, .. }
+            | AppEvent::Stop { at, .. }
+            | AppEvent::Teardown { at, .. } => at,
         }
     }
 }
@@ -51,6 +67,16 @@ struct ResponseSequence {
     /// prove the session-conservation monitor fires; never set in
     /// healthy runs.
     fault_early_end: bool,
+}
+
+/// The one-row hot cache: the last-touched flow's [`HotFlow`] record,
+/// kept checked out between events. The slab columns for this id are
+/// stale until [`TcpHost::flush_hot`] scatters the record back; every
+/// read path consults the cache first, so the staleness is invisible.
+#[derive(Clone, Copy, Debug)]
+struct HotCache {
+    idx: usize,
+    hot: HotFlow,
 }
 
 /// A host running any number of sending connections and receivers.
@@ -88,7 +114,8 @@ struct ResponseSequence {
 /// ```
 #[derive(Debug, Default)]
 pub struct TcpHost {
-    senders: Vec<Connection>,
+    flows: FlowSlab,
+    cache: Option<HotCache>,
     receivers: Vec<Receiver>,
     // Flow demux maps are on the per-packet hot path; FastHashMap keeps
     // the lookups cheap and deterministic. Neither map is ever iterated.
@@ -106,20 +133,29 @@ impl TcpHost {
         TcpHost::default()
     }
 
-    /// Adds a sending connection toward `dst`; returns its local index.
+    /// Creates a host with slab capacity reserved for `senders` flows.
+    pub fn with_sender_capacity(senders: usize) -> Self {
+        TcpHost {
+            flows: FlowSlab::with_capacity(senders),
+            ..TcpHost::default()
+        }
+    }
+
+    /// Adds a sending connection toward `dst`; returns its dense flow id
+    /// (reusing the id of a torn-down sender when one is free).
     ///
     /// # Panics
     ///
     /// Panics if the flow already has a sender on this host or `cfg` is
     /// invalid.
     pub fn add_sender(&mut self, flow: FlowId, dst: NodeId, cfg: TcpConfig, cc: &CcKind) -> usize {
-        let idx = self.senders.len();
+        self.flush_hot();
+        let (hot, cold) = new_conn(flow, dst, cfg, cc.build());
+        let idx = self.flows.insert(hot, cold);
         assert!(
             self.send_by_flow.insert(flow.0, idx).is_none(),
             "duplicate sender for flow {flow}"
         );
-        self.senders
-            .push(Connection::new(flow, dst, cfg, cc.build(), idx as u64));
         idx
     }
 
@@ -143,9 +179,9 @@ impl TcpHost {
     ///
     /// # Panics
     ///
-    /// Panics if `sender_idx` is out of range.
+    /// Panics if `sender_idx` is not a live sender.
     pub fn schedule_train(&mut self, sender_idx: usize, at: SimTime, bytes: u64) {
-        assert!(sender_idx < self.senders.len(), "no such sender");
+        assert!(self.flows.contains(sender_idx), "no such sender");
         self.schedule.push(AppEvent::Train {
             at,
             sender_idx,
@@ -158,10 +194,24 @@ impl TcpHost {
     ///
     /// # Panics
     ///
-    /// Panics if `sender_idx` is out of range.
+    /// Panics if `sender_idx` is not a live sender.
     pub fn schedule_stop(&mut self, sender_idx: usize, at: SimTime) {
-        assert!(sender_idx < self.senders.len(), "no such sender");
+        assert!(self.flows.contains(sender_idx), "no such sender");
         self.schedule.push(AppEvent::Stop { at, sender_idx });
+    }
+
+    /// Schedules sender `sender_idx` to be torn down at `at`: its timers
+    /// are cancelled, its flow demux entry removed, and its slab slot
+    /// freed for reuse by later `add_sender` calls. In-flight packets
+    /// for the flow arriving afterwards are dropped silently, like any
+    /// unknown flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender_idx` is not a live sender.
+    pub fn schedule_teardown(&mut self, sender_idx: usize, at: SimTime) {
+        assert!(self.flows.contains(sender_idx), "no such sender");
+        self.schedule.push(AppEvent::Teardown { at, sender_idx });
     }
 
     /// Schedules a sequential request/response exchange: the first
@@ -171,8 +221,8 @@ impl TcpHost {
     ///
     /// # Panics
     ///
-    /// Panics if `sender_idx` is out of range, `sizes` is empty, or the
-    /// sender already has a sequence.
+    /// Panics if `sender_idx` is not a live sender, `sizes` is empty, or
+    /// the sender already has a sequence.
     pub fn schedule_response_sequence(
         &mut self,
         sender_idx: usize,
@@ -180,7 +230,7 @@ impl TcpHost {
         sizes: Vec<u64>,
         think: netsim::time::Dur,
     ) {
-        assert!(sender_idx < self.senders.len(), "no such sender");
+        assert!(self.flows.contains(sender_idx), "no such sender");
         assert!(!sizes.is_empty(), "empty response sequence");
         let idx = self.sequences.len();
         assert!(
@@ -215,28 +265,66 @@ impl TcpHost {
         self.sequences[idx].fault_early_end = true;
     }
 
-    /// Borrows a sending connection by local index.
+    /// Fault injection: leak the slab slot of the next torn-down sender.
+    /// Exists to prove [`Self::slab_audit`] / `FlowSlab::leak_check`
+    /// catch lifecycle bugs.
+    pub fn inject_slot_leak(&mut self) {
+        self.flows.inject_slot_leak();
+    }
+
+    /// Borrows a sending connection by dense flow id. The view reflects
+    /// the hot cache, so it is current even mid-run.
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of range.
-    pub fn connection(&self, idx: usize) -> &Connection {
-        &self.senders[idx]
+    /// Panics if `idx` is not a live sender.
+    pub fn connection(&self, idx: usize) -> ConnRef<'_> {
+        let hot = match &self.cache {
+            Some(c) if c.idx == idx => c.hot,
+            _ => self.flows.checkout(idx),
+        };
+        ConnRef {
+            hot,
+            cold: self.flows.cold(idx),
+        }
     }
 
-    /// Mutably borrows a sending connection by local index (e.g. to enable
-    /// window recording before the run).
+    /// Mutably adjusts a sending connection by dense flow id (e.g. to
+    /// enable window recording before the run).
     ///
     /// # Panics
     ///
-    /// Panics if `idx` is out of range.
-    pub fn connection_mut(&mut self, idx: usize) -> &mut Connection {
-        &mut self.senders[idx]
+    /// Panics if `idx` is not a live sender.
+    pub fn connection_mut(&mut self, idx: usize) -> ConnMut<'_> {
+        ConnMut { host: self, idx }
     }
 
-    /// All sending connections on this host.
-    pub fn connections(&self) -> &[Connection] {
-        &self.senders
+    /// Read-only views of all live sending connections, ascending by id.
+    pub fn connections(&self) -> impl Iterator<Item = ConnRef<'_>> {
+        self.flows.live_ids().map(|id| self.connection(id))
+    }
+
+    /// Number of live sending connections.
+    pub fn sender_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Slab lifecycle accounting (allocations, frees, high water).
+    pub fn slab_audit(&self) -> SlabAudit {
+        self.flows.audit()
+    }
+
+    /// Verifies the sender slab's lifecycle books balance; returns the
+    /// first discrepancy found. Cross-check this with the engine's
+    /// packet-conservation audit after teardown-heavy runs.
+    pub fn slab_leak_check(&self) -> Result<(), String> {
+        self.flows.leak_check()
+    }
+
+    /// The slot birth count for a flow id (0 for a first occupant);
+    /// observable proof of id reuse in lifecycle tests.
+    pub fn sender_generation(&self, idx: usize) -> u32 {
+        self.flows.generation(idx)
     }
 
     /// Borrows a receiver by local index.
@@ -268,7 +356,70 @@ impl TcpHost {
     }
 }
 
+/// Mutable handle to one sending connection, for pre-run configuration.
+#[derive(Debug)]
+pub struct ConnMut<'a> {
+    host: &'a mut TcpHost,
+    idx: usize,
+}
+
+impl ConnMut<'_> {
+    /// Starts recording a `(time, cwnd)` point at every window change.
+    pub fn enable_cwnd_recording(&mut self) {
+        let idx = self.idx;
+        self.host
+            .with_core(idx, |core| core.enable_cwnd_recording());
+    }
+}
+
 impl TcpHost {
+    /// Scatters the cached hot record back into the slab columns.
+    fn flush_hot(&mut self) {
+        if let Some(c) = self.cache.take() {
+            self.flows.writeback(c.idx, &c.hot);
+        }
+    }
+
+    /// Gathers the hot record for `idx`, preferring the cache (and
+    /// flushing it first when it holds a different flow).
+    fn checkout_hot(&mut self, idx: usize) -> HotFlow {
+        match self.cache {
+            Some(c) if c.idx == idx => c.hot,
+            _ => {
+                self.flush_hot();
+                self.flows.checkout(idx)
+            }
+        }
+    }
+
+    /// Runs `f` over the assembled [`ConnCore`] view of sender `idx`,
+    /// leaving the updated hot record in the cache.
+    fn with_core<R>(&mut self, idx: usize, f: impl FnOnce(&mut ConnCore<'_>) -> R) -> R {
+        let mut hot = self.checkout_hot(idx);
+        let r = {
+            let mut core = ConnCore {
+                hot: &mut hot,
+                cold: self.flows.cold_mut(idx),
+            };
+            f(&mut core)
+        };
+        self.cache = Some(HotCache { idx, hot });
+        r
+    }
+
+    /// Tears a sender down now: cancels its timers, unmaps its flow, and
+    /// frees its slab slot.
+    fn teardown_sender(&mut self, ctx: &mut Ctx<'_, Segment>, idx: usize) {
+        // The cached row must not resurrect the slot after removal;
+        // write it back (cheap) and drop the cache either way.
+        self.flush_hot();
+        let mut hot = self.flows.checkout(idx);
+        self.flows.cold_mut(idx).cancel_timers(ctx, &mut hot);
+        self.flows.writeback(idx, &hot);
+        let cold = self.flows.remove(idx);
+        self.send_by_flow.remove(&cold.flow.0);
+    }
+
     /// Trains completed on sender `sender_idx`: record the finished
     /// responses, and if the sequence has responses left, arm the
     /// think-time timer for the next one; otherwise close the session.
@@ -281,7 +432,7 @@ impl TcpHost {
         let Some(&seq_idx) = self.seq_by_sender.get(&sender_idx) else {
             return;
         };
-        let flow = self.senders[sender_idx].flow();
+        let flow = self.flows.cold(sender_idx).flow;
         let seq = &mut self.sequences[seq_idx];
         // Only count completions for responses this sequence issued
         // (the sender may also carry plain scheduled trains).
@@ -336,9 +487,11 @@ impl Agent<Segment> for TcpHost {
                 let Some(&idx) = self.send_by_flow.get(&pkt.flow.0) else {
                     return;
                 };
-                let before = self.senders[idx].completed_trains().len();
-                self.senders[idx].on_ack(ctx, ack_seq, echo_ts, echo_probe, echo_rtx, ece, &sack);
-                let after = self.senders[idx].completed_trains().len();
+                let (before, after) = self.with_core(idx, |core| {
+                    let before = core.cold.completed.len();
+                    core.on_ack(ctx, ack_seq, echo_ts, echo_probe, echo_rtx, ece, &sack);
+                    (before, core.cold.completed.len())
+                });
                 if after > before {
                     self.advance_sequence(ctx, idx, after - before);
                 }
@@ -350,13 +503,16 @@ impl Agent<Segment> for TcpHost {
         let kind = token & ((1 << KIND_BITS) - 1);
         let idx = (token >> KIND_BITS) as usize;
         match kind {
-            KIND_RTO => self.senders[idx].on_rto_fire(ctx),
-            KIND_PROBE => self.senders[idx].on_probe_deadline_fire(ctx),
+            KIND_RTO => self.with_core(idx, |core| core.on_rto_fire(ctx)),
+            KIND_PROBE => self.with_core(idx, |core| core.on_probe_deadline_fire(ctx)),
             KIND_APP => match self.schedule[idx] {
                 AppEvent::Train {
                     sender_idx, bytes, ..
-                } => self.senders[sender_idx].enqueue_train(ctx, bytes),
-                AppEvent::Stop { sender_idx, .. } => self.senders[sender_idx].truncate_unsent(),
+                } => self.with_core(sender_idx, |core| core.enqueue_train(ctx, bytes)),
+                AppEvent::Stop { sender_idx, .. } => {
+                    self.with_core(sender_idx, |core| core.truncate_unsent())
+                }
+                AppEvent::Teardown { sender_idx, .. } => self.teardown_sender(ctx, sender_idx),
             },
             KIND_DELACK => self.receivers[idx].on_delack_timer(ctx),
             KIND_SEQ => {
@@ -366,7 +522,7 @@ impl Agent<Segment> for TcpHost {
                     let index = seq.next as u32;
                     seq.next += 1;
                     let sender = seq.sender_idx;
-                    let flow = self.senders[sender].flow();
+                    let flow = self.flows.cold(sender).flow;
                     if index == 0 {
                         let planned_requests = seq.sizes.len() as u32;
                         ctx.emit_monitor_with(|| MonitorEvent::SessionStarted {
@@ -386,7 +542,7 @@ impl Agent<Segment> for TcpHost {
                             completed,
                         });
                     }
-                    self.senders[sender].enqueue_train(ctx, bytes);
+                    self.with_core(sender, |core| core.enqueue_train(ctx, bytes));
                 }
             }
             _ => unreachable!("unknown timer kind {kind}"),

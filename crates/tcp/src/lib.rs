@@ -6,7 +6,9 @@
 //!   duplicate-ACK fast retransmit, NewReno partial-ACK recovery, and
 //!   go-back-N RTO recovery ([`conn`]);
 //! - per-packet-ACK receivers with ECN echo ([`receiver`]);
-//! - a host agent multiplexing many connections ([`host`]);
+//! - a host agent multiplexing many connections ([`host`]), their hot
+//!   state packed in a struct-of-arrays flow slab ([`slab`]) for
+//!   million-flow runs;
 //! - pluggable congestion control ([`cc`]): Reno, CUBIC, DCTCP, L2DCT, the
 //!   GIP-style restart baseline, and **TCP-TRIM** (embedding
 //!   [`trim_core::Trim`]).
@@ -28,10 +30,12 @@ pub mod host;
 pub mod receiver;
 pub mod rto;
 pub mod segment;
+pub mod slab;
 
 pub use cc::{AckInfo, CcAlgo, CcKind, PreSendAction, WindowState};
 pub use config::TcpConfig;
-pub use conn::{ConnStats, Connection, TrainRecord};
-pub use host::TcpHost;
+pub use conn::{ConnRef, ConnStats, TrainRecord};
+pub use host::{ConnMut, TcpHost};
 pub use receiver::{Receiver, ReceiverStats};
 pub use segment::{SegKind, Segment};
+pub use slab::{FlowSlab, HotFlow, SlabAudit};

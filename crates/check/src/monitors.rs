@@ -142,9 +142,14 @@ impl InvariantMonitor for PacketConservation {
 
 /// Checks that no packet-capacity queue ever holds more packets than
 /// its configured capacity (byte-capacity queues carry no packet cap
-/// and are skipped).
+/// and are skipped), and that every AQM early-drop decision carries a
+/// sane average-queue estimate: the RED EWMA averages a bounded
+/// occupancy, so a finite estimate can never exceed the physical packet
+/// cap the queue itself enforces.
 #[derive(Debug, Default)]
 pub struct QueueBound {
+    /// Packet caps learned from `Enqueued` events, per channel.
+    caps: FastHashMap<ChannelId, usize>,
     violations: Vec<Violation>,
 }
 
@@ -161,22 +166,56 @@ impl InvariantMonitor for QueueBound {
     }
 
     fn observe(&mut self, at: SimTime, ev: &MonitorEvent) {
-        if let MonitorEvent::Enqueued {
-            channel,
-            flow,
-            len_after,
-            cap_pkts: Some(cap),
-            ..
-        } = ev
-        {
-            if len_after > cap {
-                self.violations.push(Violation {
-                    at,
-                    monitor: "queue-bound",
-                    flow: Some(*flow),
-                    detail: format!("{channel} occupancy {len_after} exceeds cap {cap}"),
-                });
+        match ev {
+            MonitorEvent::Enqueued {
+                channel,
+                flow,
+                len_after,
+                cap_pkts: Some(cap),
+                ..
+            } => {
+                self.caps.insert(*channel, *cap);
+                if len_after > cap {
+                    self.violations.push(Violation {
+                        at,
+                        monitor: "queue-bound",
+                        flow: Some(*flow),
+                        detail: format!("{channel} occupancy {len_after} exceeds cap {cap}"),
+                    });
+                }
             }
+            MonitorEvent::AqmEarlyDrop {
+                channel,
+                flow,
+                avg_queue,
+                ..
+            } => {
+                if !avg_queue.is_finite() || *avg_queue < 0.0 {
+                    self.violations.push(Violation {
+                        at,
+                        monitor: "queue-bound",
+                        flow: Some(*flow),
+                        detail: format!(
+                            "{channel} AQM average-queue estimate {avg_queue} is not a \
+                             finite non-negative value — the EWMA estimator is corrupt"
+                        ),
+                    });
+                } else if let Some(cap) = self.caps.get(channel) {
+                    if *avg_queue > *cap as f64 {
+                        self.violations.push(Violation {
+                            at,
+                            monitor: "queue-bound",
+                            flow: Some(*flow),
+                            detail: format!(
+                                "{channel} AQM average-queue estimate {avg_queue} exceeds \
+                                 the physical cap {cap} — an EWMA of a bounded occupancy \
+                                 cannot pass the bound"
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
         }
     }
 
@@ -1265,6 +1304,77 @@ mod tests {
         let v = &m.violations()[0];
         assert_eq!(v.at, t(5));
         assert_eq!(v.flow, Some(FlowId(3)));
+    }
+
+    #[test]
+    fn queue_bound_flags_impossible_aqm_average() {
+        let (_, ch) = ids();
+        let mut m = QueueBound::new();
+        // Learn the cap from a legal enqueue, then report an AQM drop
+        // whose EWMA claims more packets than the queue can even hold.
+        m.observe(
+            t(1),
+            &MonitorEvent::Enqueued {
+                channel: ch,
+                flow: FlowId(0),
+                uid: 1,
+                len_after: 1,
+                cap_pkts: Some(100),
+            },
+        );
+        m.observe(
+            t(2),
+            &MonitorEvent::AqmEarlyDrop {
+                channel: ch,
+                flow: FlowId(0),
+                uid: 2,
+                size: 100,
+                avg_queue: 250.0,
+            },
+        );
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].detail.contains("exceeds"));
+        // A non-finite estimate is flagged even before any cap is known.
+        let mut m2 = QueueBound::new();
+        m2.observe(
+            t(3),
+            &MonitorEvent::AqmEarlyDrop {
+                channel: ch,
+                flow: FlowId(1),
+                uid: 3,
+                size: 100,
+                avg_queue: f64::NAN,
+            },
+        );
+        assert_eq!(m2.violations().len(), 1);
+        assert!(m2.violations()[0].detail.contains("corrupt"));
+    }
+
+    #[test]
+    fn queue_bound_accepts_sane_aqm_average() {
+        let (_, ch) = ids();
+        let mut m = QueueBound::new();
+        m.observe(
+            t(1),
+            &MonitorEvent::Enqueued {
+                channel: ch,
+                flow: FlowId(0),
+                uid: 1,
+                len_after: 40,
+                cap_pkts: Some(100),
+            },
+        );
+        m.observe(
+            t(2),
+            &MonitorEvent::AqmEarlyDrop {
+                channel: ch,
+                flow: FlowId(0),
+                uid: 2,
+                size: 100,
+                avg_queue: 42.5,
+            },
+        );
+        assert!(m.violations().is_empty());
     }
 
     #[test]

@@ -59,6 +59,7 @@ fn art_diag(
         path: path.to_string(),
         line,
         message: msg,
+        severity: crate::diag::Severity::Deny,
     }
 }
 

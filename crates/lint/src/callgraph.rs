@@ -1,0 +1,586 @@
+//! The conservative workspace call graph.
+//!
+//! For every function the parser found, this module scans its body
+//! tokens for call sites and resolves them against the symbol table —
+//! *conservatively* and *dependency-bounded*:
+//!
+//! - **Conservative**: a call that could reach several functions gets
+//!   an edge to each candidate (method calls resolve by name to every
+//!   method of that name in scope; re-exports resolve by path-suffix
+//!   matching). Over-approximation can only ever *add* taint, never
+//!   hide it.
+//! - **Dependency-bounded**: candidates are restricted to the caller's
+//!   crate plus its transitive Cargo dependencies (dev-dependencies for
+//!   test code). A name collision with a crate the caller does not link
+//!   against cannot fabricate an edge the real build could never take —
+//!   this is what keeps the over-approximation useful instead of
+//!   drowning the taint pass in phantom paths.
+//!
+//! Calls into `std`/`core`/`alloc` are recorded as *external* paths
+//! (`std::time::Instant::now`); the taint pass has its own token-level
+//! source detection, so externals in the dump are informational — they
+//! make the `--callgraph` JSON diffable before/after a refactor.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::context::SourceFile;
+use crate::lexer::TokenKind;
+use crate::parser::ParsedFile;
+use crate::symbols::{CrateGraph, FnSym, SymbolTable};
+
+/// Out-edges of one function.
+#[derive(Clone, Debug, Default)]
+pub struct FnEdges {
+    /// Resolved workspace callees (function ids).
+    pub calls: BTreeSet<usize>,
+    /// External (std/core/alloc) call paths, as written.
+    pub externals: BTreeSet<String>,
+    /// Method names that resolved to nothing in scope (dump-only; these
+    /// are std/trait methods like `push` on `Vec`).
+    pub unresolved_methods: usize,
+}
+
+/// The whole graph: `edges[i]` are the out-edges of `symbols.fns[i]`.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Per-function edges, indexed by function id.
+    pub edges: Vec<FnEdges>,
+    /// Reverse adjacency: for each function, the ids of its callers.
+    pub callers: Vec<Vec<usize>>,
+}
+
+/// Roots every path can start from: crate-relative keywords plus the
+/// external namespaces we classify rather than resolve.
+const EXTERNAL_ROOTS: &[&str] = &["std", "core", "alloc"];
+
+/// Builds the call graph over all parsed files.
+pub fn build(
+    graph: &CrateGraph,
+    table: &SymbolTable,
+    files: &[(SourceFile, ParsedFile)],
+) -> CallGraph {
+    // Per-file import maps, keyed by rel path.
+    let mut imports: BTreeMap<&str, FileImports> = BTreeMap::new();
+    for (src, parsed) in files {
+        imports.insert(src.rel_path.as_str(), FileImports::new(parsed));
+    }
+    let by_path: BTreeMap<&str, &SourceFile> = files
+        .iter()
+        .map(|(s, _)| (s.rel_path.as_str(), s))
+        .collect();
+
+    let mut edges = vec![FnEdges::default(); table.fns.len()];
+    for f in &table.fns {
+        let Some(body) = f.body else {
+            continue;
+        };
+        let Some(src) = by_path.get(f.file.as_str()) else {
+            continue;
+        };
+        let imp = imports
+            .get(f.file.as_str())
+            .expect("imports built for every file");
+        let resolver = Resolver {
+            graph,
+            table,
+            caller: f,
+            imports: imp,
+            visible: graph.visible_from(&f.krate, f.test_like || f.in_test),
+        };
+        extract_calls(src, body, &resolver, &mut edges[f.id]);
+    }
+
+    let mut callers = vec![Vec::new(); table.fns.len()];
+    for (id, e) in edges.iter().enumerate() {
+        for &callee in &e.calls {
+            callers[callee].push(id);
+        }
+    }
+    CallGraph { edges, callers }
+}
+
+/// Import bindings of one file (module-level `use`s flattened to file
+/// scope — conservative for resolution).
+struct FileImports {
+    by_local: BTreeMap<String, Vec<String>>,
+    globs: Vec<Vec<String>>,
+}
+
+impl FileImports {
+    fn new(parsed: &ParsedFile) -> FileImports {
+        let mut by_local = BTreeMap::new();
+        let mut globs = Vec::new();
+        for u in &parsed.uses {
+            if u.glob {
+                globs.push(u.path.clone());
+            } else if !u.local.is_empty() {
+                by_local.insert(u.local.clone(), u.path.clone());
+            }
+        }
+        FileImports { by_local, globs }
+    }
+}
+
+struct Resolver<'a> {
+    graph: &'a CrateGraph,
+    table: &'a SymbolTable,
+    caller: &'a FnSym,
+    imports: &'a FileImports,
+    visible: Vec<String>,
+}
+
+impl Resolver<'_> {
+    fn is_visible(&self, krate: &str) -> bool {
+        self.visible.iter().any(|v| v == krate)
+    }
+
+    /// Resolves a path call (`a::b::f(…)`). Returns resolved fn ids
+    /// and/or an external path string.
+    fn resolve_path(&self, segs: &[String]) -> (Vec<usize>, Option<String>) {
+        if segs.is_empty() {
+            return (Vec::new(), None);
+        }
+        // Normalize the head segment.
+        let mut segs = segs.to_vec();
+        match segs[0].as_str() {
+            "crate" => {
+                segs[0] = self.caller.krate.clone();
+            }
+            "self" => {
+                let mut abs = vec![self.caller.krate.clone()];
+                abs.extend(self.caller.module.iter().cloned());
+                abs.extend(segs[1..].iter().cloned());
+                segs = abs;
+            }
+            "super" => {
+                let mut module = self.caller.module.clone();
+                module.pop();
+                let mut abs = vec![self.caller.krate.clone()];
+                abs.extend(module);
+                abs.extend(segs[1..].iter().cloned());
+                segs = abs;
+            }
+            "Self" => {
+                if let Some(t) = &self.caller.self_type {
+                    segs[0] = t.clone();
+                } else {
+                    return (Vec::new(), None);
+                }
+            }
+            head => {
+                // An imported name expands to its full path.
+                if let Some(full) = self.imports.by_local.get(head) {
+                    let mut abs = full.clone();
+                    abs.extend(segs[1..].iter().cloned());
+                    segs = abs;
+                }
+            }
+        }
+        if EXTERNAL_ROOTS.contains(&segs[0].as_str()) {
+            return (Vec::new(), Some(segs.join("::")));
+        }
+        if segs.len() == 1 {
+            return (self.resolve_bare(&segs[0]), None);
+        }
+        // Absolute workspace path? First segment names a visible crate.
+        if let Some(krate) = self.graph.by_ident(&segs[0]) {
+            if !self.is_visible(&krate.ident) {
+                return (Vec::new(), None);
+            }
+            let name = segs.last().expect("non-empty");
+            let mids = &segs[1..segs.len() - 1];
+            let ids = self.candidates(name, |f| f.krate == krate.ident && suffix_ok(mids, f));
+            return (ids, None);
+        }
+        // `Type::method` (or `module::f`) relative to the current crate
+        // and its deps; also reachable via glob imports.
+        let name = segs.last().expect("non-empty").clone();
+        let mids = &segs[..segs.len() - 1];
+        let ids = self.candidates(&name, |f| self.is_visible(&f.krate) && suffix_ok(mids, f));
+        (ids, None)
+    }
+
+    /// Resolves a bare-name call `f(…)`: same module first, then
+    /// glob-imported namespaces, then nothing — a bare name cannot reach
+    /// another crate without an import, so we do not let it.
+    fn resolve_bare(&self, name: &str) -> Vec<usize> {
+        let same_module = self.candidates(name, |f| {
+            f.krate == self.caller.krate && f.module == self.caller.module && f.self_type.is_none()
+        });
+        if !same_module.is_empty() {
+            return same_module;
+        }
+        let mut out = Vec::new();
+        for glob in &self.imports.globs {
+            if glob.is_empty() || EXTERNAL_ROOTS.contains(&glob[0].as_str()) {
+                continue;
+            }
+            let mut segs = glob.clone();
+            segs.push(name.to_string());
+            let (ids, _) = self.resolve_path(&segs);
+            out.extend(ids);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Resolves a method call `.m(…)` to every visible method named `m`.
+    fn resolve_method(&self, name: &str) -> Vec<usize> {
+        self.table
+            .methods_by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| self.is_visible(&self.table.fns[id].krate))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn candidates(&self, name: &str, pred: impl Fn(&FnSym) -> bool) -> Vec<usize> {
+        self.table
+            .by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| pred(&self.table.fns[id]))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Whether the written middle segments are consistent with a symbol's
+/// namespace: they must be a suffix of it (`hash::fast_map` matches a
+/// fn in module `["hash"]`; `EventQueue::push` matches namespace
+/// `["eventq", "EventQueue"]` through the crate-root re-export).
+fn suffix_ok(mids: &[String], f: &FnSym) -> bool {
+    let ns = f.namespace();
+    mids.len() <= ns.len() && ns[ns.len() - mids.len()..] == *mids
+}
+
+/// Scans the body byte-range of one function for call sites.
+fn extract_calls(src: &SourceFile, body: (usize, usize), r: &Resolver<'_>, out: &mut FnEdges) {
+    // Significant-token indices covering the body.
+    let in_body: Vec<usize> = src
+        .sig
+        .iter()
+        .copied()
+        .filter(|&i| src.tokens[i].start >= body.0 && src.tokens[i].end <= body.1)
+        .collect();
+    let text = |j: usize| -> Option<&str> { in_body.get(j).map(|&i| src.text(&src.tokens[i])) };
+    let kind = |j: usize| -> Option<TokenKind> { in_body.get(j).map(|&i| src.tokens[i].kind) };
+
+    let mut j = 0usize;
+    while j < in_body.len() {
+        if kind(j) != Some(TokenKind::Ident) {
+            j += 1;
+            continue;
+        }
+        let prev = j.checked_sub(1).and_then(text);
+        // Method call: `.name(` or `.name::<…>(`.
+        if prev == Some(".") {
+            let name = text(j).expect("ident");
+            let after = skip_turbofish(&in_body, src, j + 1);
+            if text_at(&in_body, src, after) == Some("(") {
+                for id in r.resolve_method(name) {
+                    out.calls.insert(id);
+                }
+                if r.resolve_method(name).is_empty() {
+                    out.unresolved_methods += 1;
+                }
+            }
+            j += 1;
+            continue;
+        }
+        // Path start: an ident not preceded by `::` or `.`.
+        if prev == Some("::") {
+            j += 1;
+            continue;
+        }
+        let mut segs = vec![text(j).expect("ident").to_string()];
+        let mut k = j + 1;
+        while text_at(&in_body, src, k) == Some("::")
+            && kind_at(&in_body, src, k + 1) == Some(TokenKind::Ident)
+        {
+            segs.push(text_at(&in_body, src, k + 1).expect("ident").to_string());
+            k += 2;
+        }
+        // Macro invocation: `name!(…)` — skip the bang; the interior
+        // tokens are scanned as the walk continues.
+        if text_at(&in_body, src, k) == Some("!") {
+            j = k + 1;
+            continue;
+        }
+        let after = skip_turbofish(&in_body, src, k);
+        if text_at(&in_body, src, after) == Some("(") {
+            let (ids, external) = r.resolve_path(&segs);
+            for id in ids {
+                out.calls.insert(id);
+            }
+            if let Some(ext) = external {
+                out.externals.insert(ext);
+            }
+        }
+        j = k.max(j + 1);
+    }
+}
+
+fn text_at<'a>(in_body: &[usize], src: &'a SourceFile, j: usize) -> Option<&'a str> {
+    in_body.get(j).map(|&i| src.text(&src.tokens[i]))
+}
+
+fn kind_at(in_body: &[usize], src: &SourceFile, j: usize) -> Option<TokenKind> {
+    in_body.get(j).map(|&i| src.tokens[i].kind)
+}
+
+/// If `j` sits at a turbofish `::<…>`, returns the index one past its
+/// closing `>`; otherwise returns `j` unchanged.
+fn skip_turbofish(in_body: &[usize], src: &SourceFile, j: usize) -> usize {
+    if text_at(in_body, src, j) != Some("::") || text_at(in_body, src, j + 1) != Some("<") {
+        return j;
+    }
+    let mut depth = 0i32;
+    let mut k = j + 1;
+    while k < in_body.len() {
+        match text_at(in_body, src, k) {
+            Some("<") => depth += 1,
+            Some("<<") => depth += 2,
+            Some(">") => depth -= 1,
+            Some(">>") => depth -= 2,
+            Some("(") | Some(";") | Some("{") => return j, // not a turbofish
+            _ => {}
+        }
+        if depth <= 0 {
+            return k + 1;
+        }
+        k += 1;
+    }
+    j
+}
+
+/// Renders the `--callgraph` dump: versioned, sorted, byte-stable.
+///
+/// Schema (version 1):
+/// ```json
+/// {
+///   "version": 1,
+///   "fns": [
+///     {"path": "netsim::sim::Simulator::run", "file": "crates/netsim/src/sim.rs",
+///      "line": 120, "crate": "netsim", "test": false,
+///      "calls": ["netsim::eventq::EventQueue::pop"],
+///      "externals": ["std::time::Instant::now"],
+///      "taint": ["transitive-wall-clock"]}
+///   ],
+///   "summary": {"fns": 812, "edges": 2301}
+/// }
+/// ```
+/// Functions sort by `(path, file, line)`; `calls` lists qualified
+/// callee paths (deduplicated, sorted). `taint` lists the taint-rule
+/// names the function's call graph reaches (from [`crate::taint`]) so
+/// the sharding PR can diff reachability before/after a refactor.
+pub fn render_json(table: &SymbolTable, graph: &CallGraph, taints: &[Vec<&'static str>]) -> String {
+    let mut order: Vec<usize> = (0..table.fns.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = &table.fns[a];
+        let fb = &table.fns[b];
+        fa.qualified()
+            .cmp(&fb.qualified())
+            .then(fa.file.cmp(&fb.file))
+            .then(fa.line.cmp(&fb.line))
+    });
+    let mut edges_total = 0usize;
+    let mut out = String::from("{\n  \"version\": 1,\n  \"fns\": [");
+    for (n, &id) in order.iter().enumerate() {
+        let f = &table.fns[id];
+        let e = &graph.edges[id];
+        edges_total += e.calls.len();
+        let mut calls: Vec<String> = e.calls.iter().map(|&c| table.fns[c].qualified()).collect();
+        calls.sort();
+        calls.dedup();
+        let externals: Vec<String> = e.externals.iter().cloned().collect();
+        let taint: Vec<String> = taints
+            .get(id)
+            .map(|t| t.iter().map(|s| s.to_string()).collect())
+            .unwrap_or_default();
+        if n > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"file\": \"{}\", \"line\": {}, \"crate\": \"{}\", \
+             \"test\": {}, \"calls\": [{}], \"externals\": [{}], \"taint\": [{}]}}",
+            crate::diag::json_escape(&f.qualified()),
+            crate::diag::json_escape(&f.file),
+            f.line,
+            crate::diag::json_escape(&f.krate),
+            f.in_test || f.test_like,
+            json_str_list(&calls),
+            json_str_list(&externals),
+            json_str_list(&taint),
+        ));
+    }
+    if !order.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"summary\": {{\"fns\": {}, \"edges\": {}}}\n}}\n",
+        table.fns.len(),
+        edges_total
+    ));
+    out
+}
+
+fn json_str_list(items: &[String]) -> String {
+    items
+        .iter()
+        .map(|s| format!("\"{}\"", crate::diag::json_escape(s)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+    use crate::symbols::CrateInfo;
+
+    fn mini_workspace() -> (CrateGraph, Vec<(SourceFile, ParsedFile)>) {
+        let graph = CrateGraph {
+            crates: vec![
+                CrateInfo::test("app", "crates/app", &["util"]),
+                CrateInfo::test("util", "crates/util", &[]),
+                CrateInfo::test("other", "crates/other", &[]),
+            ],
+        };
+        let files = vec![
+            analyzed(
+                "crates/app/src/lib.rs",
+                "use util::clockio;\nuse util::timer::Timer;\n\
+                 pub fn run() { helper(); clockio::read_clock(); Timer::start(); }\n\
+                 fn helper() { let t = std::time::Instant::now(); }\n\
+                 pub fn touch(t: &mut Timer) { t.tick(); }\n",
+            ),
+            analyzed(
+                "crates/util/src/clockio.rs",
+                "pub fn read_clock() -> u64 { 0 }\n",
+            ),
+            analyzed(
+                "crates/util/src/timer.rs",
+                "pub struct Timer;\nimpl Timer {\n  pub fn start() {}\n  pub fn tick(&mut self) {}\n}\n",
+            ),
+            analyzed(
+                "crates/other/src/lib.rs",
+                "pub struct Clock;\nimpl Clock {\n  pub fn tick(&mut self) {}\n}\n",
+            ),
+        ];
+        (graph, files)
+    }
+
+    impl CrateInfo {
+        fn test(ident: &str, dir: &str, deps: &[&str]) -> CrateInfo {
+            CrateInfo {
+                ident: ident.into(),
+                dir: dir.into(),
+                deps: deps.iter().map(|s| s.to_string()).collect(),
+                dev_deps: vec![],
+            }
+        }
+    }
+
+    fn analyzed(path: &str, src: &str) -> (SourceFile, ParsedFile) {
+        let f = SourceFile::analyze(path, src.to_string());
+        let p = parser::parse(&f);
+        (f, p)
+    }
+
+    fn qualified_calls(table: &SymbolTable, g: &CallGraph, caller: &str) -> Vec<String> {
+        let id = table
+            .fns
+            .iter()
+            .find(|f| f.qualified() == caller)
+            .unwrap_or_else(|| panic!("no fn {caller}"))
+            .id;
+        g.edges[id]
+            .calls
+            .iter()
+            .map(|&c| table.fns[c].qualified())
+            .collect()
+    }
+
+    #[test]
+    fn resolves_bare_imported_assoc_and_method_calls() {
+        let (graph, files) = mini_workspace();
+        let table = SymbolTable::build(&graph, &files);
+        let g = build(&graph, &table, &files);
+        let calls = qualified_calls(&table, &g, "app::run");
+        assert!(calls.contains(&"app::helper".to_string()), "{calls:?}");
+        assert!(
+            calls.contains(&"util::clockio::read_clock".to_string()),
+            "{calls:?}"
+        );
+        assert!(
+            calls.contains(&"util::timer::Timer::start".to_string()),
+            "{calls:?}"
+        );
+    }
+
+    #[test]
+    fn method_calls_are_dependency_bounded() {
+        let (graph, files) = mini_workspace();
+        let table = SymbolTable::build(&graph, &files);
+        let g = build(&graph, &table, &files);
+        let calls = qualified_calls(&table, &g, "app::touch");
+        // `.tick()` resolves to util's Timer::tick (a dependency) but
+        // NOT to other's Clock::tick — app does not link `other`.
+        assert!(
+            calls.contains(&"util::timer::Timer::tick".to_string()),
+            "{calls:?}"
+        );
+        assert!(!calls.iter().any(|c| c.starts_with("other::")), "{calls:?}");
+    }
+
+    #[test]
+    fn external_std_calls_are_recorded() {
+        let (graph, files) = mini_workspace();
+        let table = SymbolTable::build(&graph, &files);
+        let g = build(&graph, &table, &files);
+        let id = table
+            .fns
+            .iter()
+            .find(|f| f.qualified() == "app::helper")
+            .unwrap()
+            .id;
+        assert!(g.edges[id].externals.contains("std::time::Instant::now"));
+    }
+
+    #[test]
+    fn callers_reverse_index_is_consistent() {
+        let (graph, files) = mini_workspace();
+        let table = SymbolTable::build(&graph, &files);
+        let g = build(&graph, &table, &files);
+        for (id, e) in g.edges.iter().enumerate() {
+            for &callee in &e.calls {
+                assert!(g.callers[callee].contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn json_dump_is_versioned_sorted_and_stable() {
+        let (graph, files) = mini_workspace();
+        let table = SymbolTable::build(&graph, &files);
+        let g = build(&graph, &table, &files);
+        let taints = vec![Vec::new(); table.fns.len()];
+        let a = render_json(&table, &g, &taints);
+        assert!(a.contains("\"version\": 1"));
+        assert!(a.contains("\"path\": \"app::run\""));
+        assert_eq!(a, render_json(&table, &g, &taints));
+        // Sorted: app::helper precedes app::run precedes util::…
+        let helper = a.find("app::helper").unwrap();
+        let run = a.find("\"app::run\"").unwrap();
+        assert!(helper < run);
+    }
+}

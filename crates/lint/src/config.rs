@@ -15,6 +15,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::diag::Severity;
+
 /// Per-rule configuration.
 #[derive(Clone, Debug, Default)]
 pub struct RuleConfig {
@@ -24,6 +26,14 @@ pub struct RuleConfig {
     pub apply_paths: Option<Vec<String>>,
     /// Files under these prefixes are exempt.
     pub allow_paths: Vec<String>,
+    /// `deny` (default) fails the run; `warn` reports but exits 0.
+    pub severity: Severity,
+    /// Semantic rules only: files under these prefixes do not *seed*
+    /// taint (their wall-clock / unordered-map uses are trusted), but
+    /// functions in them still propagate taint from elsewhere. This is
+    /// how `netsim::hash` vouches for its deterministically-seeded
+    /// `HashMap` without exempting its callers.
+    pub source_allow_paths: Vec<String>,
 }
 
 /// The whole configuration.
@@ -76,6 +86,21 @@ impl Config {
                         "enabled" => rc.disabled = value.trim() == "false",
                         "apply-paths" => rc.apply_paths = Some(parse_string_array(&value, n)?),
                         "allow-paths" => rc.allow_paths = parse_string_array(&value, n)?,
+                        "source-allow-paths" => {
+                            rc.source_allow_paths = parse_string_array(&value, n)?
+                        }
+                        "severity" => {
+                            rc.severity = match value.trim() {
+                                "\"deny\"" => Severity::Deny,
+                                "\"warn\"" => Severity::Warn,
+                                v => {
+                                    return Err(format!(
+                                    "Lint.toml:{}: severity must be \"deny\" or \"warn\", got {v}",
+                                    n + 1
+                                ))
+                                }
+                            }
+                        }
                         k => {
                             return Err(format!(
                                 "Lint.toml:{}: unknown key `{k}` in [{rule}]",
@@ -92,6 +117,21 @@ impl Config {
     /// The configuration for one rule (defaults when absent).
     pub fn rule(&self, name: &str) -> RuleConfig {
         self.rules.get(name).cloned().unwrap_or_default()
+    }
+
+    /// The effective severity of one rule (`Deny` unless configured).
+    pub fn severity(&self, name: &str) -> Severity {
+        self.rule(name).severity
+    }
+
+    /// Semantic rules: whether a file's own tokens may seed taint for
+    /// `rule` (see [`RuleConfig::source_allow_paths`]).
+    pub fn seeds_taint(&self, rule: &str, rel_path: &str) -> bool {
+        !self
+            .rule(rule)
+            .source_allow_paths
+            .iter()
+            .any(|p| path_under(rel_path, p))
     }
 
     /// Whether `rel_path` is excluded from scanning entirely.
@@ -217,6 +257,24 @@ enabled = false
     fn unknown_keys_are_hard_errors() {
         assert!(Config::parse("mystery = 3\n").is_err());
         assert!(Config::parse("[no-wall-clock]\ncolor = \"red\"\n").is_err());
+    }
+
+    #[test]
+    fn severity_and_source_allow_paths() {
+        let c = Config::parse(
+            "[transitive-wall-clock]\nseverity = \"warn\"\n\
+             [transitive-unordered-iteration]\n\
+             source-allow-paths = [\"crates/netsim/src/hash.rs\"]\n",
+        )
+        .unwrap();
+        assert_eq!(c.severity("transitive-wall-clock"), Severity::Warn);
+        assert_eq!(c.severity("transitive-unordered-iteration"), Severity::Deny);
+        assert!(!c.seeds_taint(
+            "transitive-unordered-iteration",
+            "crates/netsim/src/hash.rs"
+        ));
+        assert!(c.seeds_taint("transitive-unordered-iteration", "crates/tcp/src/conn.rs"));
+        assert!(Config::parse("[transitive-wall-clock]\nseverity = \"loud\"\n").is_err());
     }
 
     #[test]

@@ -12,10 +12,16 @@
 //! The analyzer is std-only and from scratch: a lossless lexer
 //! ([`lexer`]), per-file context extraction ([`context`]: file roles,
 //! `#[cfg(test)]` regions, inline suppressions), a rule catalog
-//! ([`rules`]: codes `TL001`–`TL008`), and an experiment-artifact
-//! cross-checker ([`artifacts`]: codes `TL101`–`TL104`). Configuration
-//! lives in the workspace-root `Lint.toml` ([`config`]); findings render
-//! as text or versioned JSON ([`diag`]).
+//! ([`rules`]: lexical codes `TL001`–`TL008`), and an
+//! experiment-artifact cross-checker ([`artifacts`]: codes
+//! `TL101`–`TL104`). On top of the same token stream sits the semantic
+//! layer (`--semantic`): a recursive-descent item parser ([`parser`]),
+//! a workspace symbol table and crate graph ([`symbols`]), a
+//! dependency-bounded conservative call graph ([`callgraph`]), and an
+//! interprocedural taint engine ([`taint`]) behind rules
+//! `TL201`–`TL205`. Configuration lives in the workspace-root
+//! `Lint.toml` ([`config`]); findings render as text or versioned JSON
+//! ([`diag`]).
 //!
 //! Suppressions are inline comments with a mandatory reason:
 //!
@@ -23,8 +29,9 @@
 //! let t0 = Instant::now(); // trim-lint: allow(no-wall-clock, reason = "progress display only")
 //! ```
 //!
-//! Exit-code contract of the `trim-lint` binary: `0` clean, `1` at
-//! least one diagnostic, `2` usage or I/O error.
+//! Exit-code contract of the `trim-lint` binary: `0` clean (or only
+//! `severity = "warn"` findings), `1` at least one deny-severity
+//! diagnostic, `2` usage or I/O error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,11 +45,15 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 pub mod artifacts;
+pub mod callgraph;
 pub mod config;
 pub mod context;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 
 pub use config::Config;
 pub use diag::Diagnostic;
@@ -122,11 +133,20 @@ pub fn run_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
         let mut file = context::SourceFile::analyze(rel, src);
         diagnostics.extend(rules::check_file(&mut file, cfg));
     }
+    for d in &mut diagnostics {
+        d.severity = cfg.severity(d.rule);
+    }
     diag::sort(&mut diagnostics);
     Ok(Report {
         diagnostics,
         files_scanned,
     })
+}
+
+/// Runs the semantic (interprocedural) rules (`--semantic`) at `root`,
+/// returning the report plus the analysis (for `--callgraph`).
+pub fn run_semantic(root: &Path, cfg: &Config) -> Result<(Report, taint::Analysis), String> {
+    taint::run_semantic(root, cfg)
 }
 
 /// Runs the artifact cross-checker (`--artifacts`) at `root`.

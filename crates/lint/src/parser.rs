@@ -1,0 +1,759 @@
+//! A recursive-descent *item* parser over the lossless token stream.
+//!
+//! The lexical rules (TL001–TL008) judge tokens in place; the semantic
+//! rules (TL2xx) need to know *which function* a token lives in and
+//! *what that function calls*. This parser extracts exactly that — and
+//! nothing more: `fn`/`impl`/`trait`/`mod`/`use` items with byte-span
+//! fidelity, function bodies kept as opaque token ranges for the call
+//! extractor ([`crate::callgraph`]) to scan. No expression grammar, no
+//! type checker — the analysis stays std-only and fast, and every span
+//! it reports is checkable against the file bytes (the round-trip test
+//! in `tests/roundtrip.rs` holds the parser to that).
+//!
+//! Parsing is total: like the lexer, it never fails. Token soup that
+//! matches no item form is skipped, so a macro-heavy or even invalid
+//! file degrades to "no items found", never to a crash or a misparse of
+//! the surrounding items.
+
+use crate::context::SourceFile;
+use crate::lexer::TokenKind;
+
+/// One parsed `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Inline `mod` path within the file (file-level module path comes
+    /// from the file's location and is added by the symbol table).
+    pub module: Vec<String>,
+    /// Enclosing `impl Type`/`trait Type` name, when inside one.
+    pub self_type: Option<String>,
+    /// Whether the item carries any `pub` visibility.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Byte span of the whole item, from the `fn` keyword (qualifiers
+    /// like `const`/`async` included when present) to the closing brace
+    /// or semicolon.
+    pub span: (usize, usize),
+    /// Byte span of the `{ … }` body; `None` for bodiless declarations
+    /// (trait method signatures, extern decls).
+    pub body: Option<(usize, usize)>,
+    /// Whether the `fn` keyword falls inside a `#[cfg(test)]`/`#[test]`
+    /// region of the file.
+    pub in_test: bool,
+}
+
+/// One name binding produced by a `use` declaration.
+#[derive(Clone, Debug)]
+pub struct UseItem {
+    /// The name bound in scope (the alias, for `as` renames; the final
+    /// path segment otherwise; the *prefix's* final segment for
+    /// `use a::b::{self}`).
+    pub local: String,
+    /// Full path segments, e.g. `["std", "time", "Instant"]`. For glob
+    /// imports this is the prefix.
+    pub path: Vec<String>,
+    /// `use prefix::*;`
+    pub glob: bool,
+}
+
+/// Everything the item parser extracts from one file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// Every `fn` in the file, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `use` binding in the file (module-scoped `use` is treated
+    /// as file-scoped: an over-approximation in the conservative
+    /// direction for call resolution).
+    pub uses: Vec<UseItem>,
+    /// Byte spans of the file's *top-level* items, in source order —
+    /// non-overlapping and strictly increasing, which the round-trip
+    /// test verifies against the raw bytes.
+    pub top_spans: Vec<(usize, usize)>,
+}
+
+/// Keywords that can precede `fn` without changing what we record.
+const FN_QUALIFIERS: &[&str] = &["const", "async", "unsafe", "extern", "default"];
+
+struct Parser<'a> {
+    file: &'a SourceFile,
+    /// `sig[k]` index of the matching close brace for each open brace.
+    brace_match: Vec<Option<usize>>,
+    out: ParsedFile,
+}
+
+/// Parses the items of one analyzed file.
+pub fn parse(file: &SourceFile) -> ParsedFile {
+    let mut p = Parser {
+        file,
+        brace_match: match_braces(file),
+        out: ParsedFile::default(),
+    };
+    let end = file.sig.len();
+    let mut module = Vec::new();
+    p.parse_items(0, end, &mut module, None, true);
+    p.out
+}
+
+/// Precomputes `{`/`}` matching over significant tokens (token trees are
+/// always balanced in valid Rust; unbalanced input degrades to `None`).
+fn match_braces(file: &SourceFile) -> Vec<Option<usize>> {
+    let mut out = vec![None; file.sig.len()];
+    let mut stack = Vec::new();
+    for k in 0..file.sig.len() {
+        match sig_text(file, k) {
+            Some("{") => stack.push(k),
+            Some("}") => {
+                if let Some(open) = stack.pop() {
+                    out[open] = Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn sig_text(file: &SourceFile, k: usize) -> Option<&str> {
+    file.sig.get(k).map(|&i| file.text(&file.tokens[i]))
+}
+
+fn sig_kind(file: &SourceFile, k: usize) -> Option<TokenKind> {
+    file.sig.get(k).map(|&i| file.tokens[i].kind)
+}
+
+fn sig_start(file: &SourceFile, k: usize) -> usize {
+    file.tokens[file.sig[k]].start
+}
+
+fn sig_end(file: &SourceFile, k: usize) -> usize {
+    file.tokens[file.sig[k]].end
+}
+
+fn sig_line(file: &SourceFile, k: usize) -> u32 {
+    file.tokens[file.sig[k]].line
+}
+
+impl Parser<'_> {
+    fn text(&self, k: usize) -> Option<&str> {
+        sig_text(self.file, k)
+    }
+
+    /// Parses the items in `sig[start..end)`, appending to `self.out`.
+    /// `top` marks file top level (those item spans are recorded).
+    fn parse_items(
+        &mut self,
+        start: usize,
+        end: usize,
+        module: &mut Vec<String>,
+        self_type: Option<&str>,
+        top: bool,
+    ) {
+        let mut k = start;
+        while k < end {
+            let item_start = k;
+            let next = self.parse_one(k, end, module, self_type);
+            debug_assert!(next > k, "item parser must make progress");
+            if top && next > item_start + 1 {
+                // Only multi-token advances are "items" worth recording;
+                // single skipped tokens (stray semicolons, macro debris)
+                // stay in the gaps.
+                let s = sig_start(self.file, item_start);
+                let e = sig_end(self.file, next - 1);
+                self.out.top_spans.push((s, e));
+            }
+            k = next;
+        }
+    }
+
+    /// Parses one item (or skips one token) at `k`; returns the index
+    /// one past it.
+    fn parse_one(
+        &mut self,
+        mut k: usize,
+        end: usize,
+        module: &mut Vec<String>,
+        self_type: Option<&str>,
+    ) -> usize {
+        // Outer/inner attributes: skip the whole `#[…]` / `#![…]` group.
+        if self.text(k) == Some("#") {
+            let mut j = k + 1;
+            if self.text(j) == Some("!") {
+                j += 1;
+            }
+            if self.text(j) == Some("[") {
+                return self.skip_brackets(j, end);
+            }
+            return k + 1;
+        }
+        let mut is_pub = false;
+        if self.text(k) == Some("pub") {
+            is_pub = true;
+            k += 1;
+            // `pub(crate)`, `pub(in path)`, `pub(super)`.
+            if self.text(k) == Some("(") {
+                k = self.skip_parens(k, end);
+            }
+        }
+        // Qualifier keywords before `fn` (const fn, async fn, unsafe fn,
+        // extern "C" fn…). `const` alone may also start a const item —
+        // only treat it as a qualifier when a `fn` actually follows.
+        let mut q = k;
+        while q < end && self.text(q).is_some_and(|t| FN_QUALIFIERS.contains(&t)) {
+            q += 1;
+            if sig_kind(self.file, q) == Some(TokenKind::Str) {
+                q += 1; // the ABI string of `extern "C"`
+            }
+        }
+        if q < end && self.text(q) == Some("fn") {
+            return self.parse_fn(k, q, end, module, self_type, is_pub);
+        }
+        match self.text(k) {
+            Some("fn") => self.parse_fn(k, k, end, module, self_type, is_pub),
+            Some("mod") => self.parse_mod(k, end, module, self_type),
+            Some("impl") => self.parse_impl_or_trait(k, end, module, false),
+            Some("trait") => self.parse_impl_or_trait(k, end, module, true),
+            Some("use") => self.parse_use(k, end),
+            Some("macro_rules") => {
+                // macro_rules! name { … } — token trees are balanced.
+                let mut j = k;
+                while j < end && self.text(j) != Some("{") {
+                    j += 1;
+                }
+                self.skip_braces(j, end)
+            }
+            Some(_) => self.skip_item(k, end),
+            None => k + 1,
+        }
+    }
+
+    /// Skips a generic item (struct/enum/const/static/type/extern crate/
+    /// stray expression) to its `;`, or through its first brace block at
+    /// nesting level zero, whichever comes first.
+    fn skip_item(&mut self, k: usize, end: usize) -> usize {
+        let mut j = k;
+        while j < end {
+            match self.text(j) {
+                Some(";") => return j + 1,
+                Some("{") => return self.skip_braces(j, end),
+                Some("(") => j = self.skip_parens(j, end),
+                Some("[") => j = self.skip_brackets(j, end),
+                _ => j += 1,
+            }
+        }
+        end
+    }
+
+    /// `k` at `{`: returns the index one past the matching `}`.
+    fn skip_braces(&mut self, k: usize, end: usize) -> usize {
+        match self.brace_match.get(k).copied().flatten() {
+            Some(close) => close + 1,
+            None => end,
+        }
+    }
+
+    /// `k` at `(`: index one past the matching `)`.
+    fn skip_parens(&mut self, k: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = k;
+        while j < end {
+            match self.text(j) {
+                Some("(") => depth += 1,
+                Some(")") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// `k` at `[`: index one past the matching `]`.
+    fn skip_brackets(&mut self, k: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = k;
+        while j < end {
+            match self.text(j) {
+                Some("[") => depth += 1,
+                Some("]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// `k` at `<`: index one past the matching close. `>>` closes two
+    /// levels (nested generics lex it as one token); `->`/`=>` contain
+    /// `>` but never appear inside a generic argument list at our level
+    /// of fidelity, so they are counted as closers only by their `>`
+    /// content — excluded explicitly instead.
+    fn skip_angles(&mut self, k: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = k;
+        while j < end {
+            match self.text(j) {
+                Some("<") | Some("<<") => {
+                    depth += if self.text(j) == Some("<<") { 2 } else { 1 };
+                }
+                Some(">") => depth -= 1,
+                Some(">>") => depth -= 2,
+                Some(">=") => depth -= 1,
+                Some(">>=") => depth -= 2,
+                Some(";") | Some("{") => return j, // malformed; bail
+                _ => {}
+            }
+            if depth <= 0 {
+                return j + 1;
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Parses `fn name<…>(…) -> … where … { body }` with `start` at the
+    /// first qualifier token and `fn_k` at the `fn` keyword.
+    fn parse_fn(
+        &mut self,
+        start: usize,
+        fn_k: usize,
+        end: usize,
+        module: &[String],
+        self_type: Option<&str>,
+        is_pub: bool,
+    ) -> usize {
+        let mut k = fn_k + 1;
+        let Some(name) = self
+            .text(k)
+            .filter(|_| sig_kind(self.file, k) == Some(TokenKind::Ident))
+            .map(str::to_string)
+        else {
+            return fn_k + 1;
+        };
+        k += 1;
+        if self.text(k) == Some("<") {
+            k = self.skip_angles(k, end);
+        }
+        if self.text(k) == Some("(") {
+            k = self.skip_parens(k, end);
+        }
+        // Return type / where clause: scan to the body `{` or a `;` at
+        // paren/bracket nesting zero.
+        let mut body = None;
+        let mut item_end_k = k;
+        let mut j = k;
+        while j < end {
+            match self.text(j) {
+                Some("(") => {
+                    j = self.skip_parens(j, end);
+                    continue;
+                }
+                Some("[") => {
+                    j = self.skip_brackets(j, end);
+                    continue;
+                }
+                Some(";") => {
+                    item_end_k = j;
+                    j += 1;
+                    break;
+                }
+                Some("{") => {
+                    let past = self.skip_braces(j, end);
+                    body = Some((sig_start(self.file, j), sig_end(self.file, past - 1)));
+                    item_end_k = past - 1;
+                    j = past;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let span_start = sig_start(self.file, start);
+        let span_end = sig_end(self.file, item_end_k.min(end.saturating_sub(1)));
+        self.out.fns.push(FnItem {
+            name,
+            module: module.to_vec(),
+            self_type: self_type.map(str::to_string),
+            is_pub,
+            line: sig_line(self.file, fn_k),
+            span: (span_start, span_end),
+            body,
+            in_test: self.file.in_test_region(sig_start(self.file, fn_k)),
+        });
+        j.max(fn_k + 1)
+    }
+
+    /// `mod name;` (file module — nothing to descend into here) or
+    /// `mod name { items }` (descend with the module pushed).
+    fn parse_mod(
+        &mut self,
+        k: usize,
+        end: usize,
+        module: &mut Vec<String>,
+        self_type: Option<&str>,
+    ) -> usize {
+        let name = self
+            .text(k + 1)
+            .filter(|_| sig_kind(self.file, k + 1) == Some(TokenKind::Ident))
+            .map(str::to_string);
+        let mut j = k + 1;
+        while j < end {
+            match self.text(j) {
+                Some(";") => return j + 1,
+                Some("{") => {
+                    let past = self.skip_braces(j, end);
+                    if let Some(name) = name {
+                        module.push(name);
+                        self.parse_items(j + 1, past.saturating_sub(1), module, self_type, false);
+                        module.pop();
+                    }
+                    return past;
+                }
+                _ => j += 1,
+            }
+        }
+        end
+    }
+
+    /// `impl<…> Type { … }`, `impl<…> Trait for Type { … }`, or
+    /// `trait Name { … }` — descends with the target type (or trait)
+    /// name as the contained fns' `self_type`.
+    fn parse_impl_or_trait(
+        &mut self,
+        k: usize,
+        end: usize,
+        module: &mut Vec<String>,
+        is_trait: bool,
+    ) -> usize {
+        let mut j = k + 1;
+        if self.text(j) == Some("<") {
+            j = self.skip_angles(j, end);
+        }
+        // Collect the last plain identifier seen before the body (or
+        // before `for`, after which we start over: the impl target is
+        // the type *after* `for`). Generic arguments are skipped whole
+        // so `impl Display for Foo<T>` names `Foo`, not `T`.
+        let mut last_ident: Option<String> = None;
+        while j < end {
+            match self.text(j) {
+                Some("{") => break,
+                Some(";") => return j + 1, // e.g. `impl Foo;` (invalid) or trait alias
+                Some("for") => {
+                    last_ident = None;
+                    j += 1;
+                }
+                Some("<") => j = self.skip_angles(j, end),
+                Some("(") => j = self.skip_parens(j, end),
+                Some("where") => {
+                    // Bounds may mention other types; stop collecting.
+                    while j < end && self.text(j) != Some("{") {
+                        j += 1;
+                    }
+                    break;
+                }
+                Some(t) if sig_kind(self.file, j) == Some(TokenKind::Ident) => {
+                    if !matches!(t, "dyn" | "mut" | "ref") {
+                        last_ident = Some(t.to_string());
+                    }
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        if j >= end || self.text(j) != Some("{") {
+            return j.max(k + 1);
+        }
+        let past = self.skip_braces(j, end);
+        let _ = is_trait;
+        let st = last_ident;
+        self.parse_items(j + 1, past.saturating_sub(1), module, st.as_deref(), false);
+        past
+    }
+
+    /// `use tree;` — flattens the tree into [`UseItem`]s.
+    fn parse_use(&mut self, k: usize, end: usize) -> usize {
+        // Find the terminating `;` at brace nesting zero.
+        let mut depth = 0i32;
+        let mut stop = k + 1;
+        while stop < end {
+            match self.text(stop) {
+                Some("{") => depth += 1,
+                Some("}") => depth -= 1,
+                Some(";") if depth == 0 => break,
+                _ => {}
+            }
+            stop += 1;
+        }
+        let prefix = Vec::new();
+        self.parse_use_tree(k + 1, stop, &prefix);
+        if stop < end {
+            stop + 1
+        } else {
+            end
+        }
+    }
+
+    /// Parses one use-tree in `sig[start..stop)` with `prefix` segments
+    /// accumulated so far.
+    fn parse_use_tree(&mut self, start: usize, stop: usize, prefix: &[String]) {
+        let mut segs: Vec<String> = Vec::new();
+        let mut j = start;
+        while j < stop {
+            match self.text(j) {
+                Some("::") | Some(",") => j += 1,
+                Some("*") => {
+                    let mut path = prefix.to_vec();
+                    path.extend(segs.iter().cloned());
+                    self.out.uses.push(UseItem {
+                        local: String::new(),
+                        path,
+                        glob: true,
+                    });
+                    return;
+                }
+                Some("{") => {
+                    // Nested group: split on top-level commas.
+                    let close = self.find_close_brace(j, stop);
+                    let mut new_prefix: Vec<String> = prefix.to_vec();
+                    new_prefix.extend(segs.iter().cloned());
+                    let mut part_start = j + 1;
+                    let mut depth = 0i32;
+                    let mut i = j + 1;
+                    while i < close {
+                        match self.text(i) {
+                            Some("{") => depth += 1,
+                            Some("}") => depth -= 1,
+                            Some(",") if depth == 0 => {
+                                self.parse_use_tree(part_start, i, &new_prefix);
+                                part_start = i + 1;
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    if part_start < close {
+                        self.parse_use_tree(part_start, close, &new_prefix);
+                    }
+                    return;
+                }
+                Some("as") => {
+                    // `path as alias`
+                    if let Some(alias) = self.text(j + 1) {
+                        let mut path = prefix.to_vec();
+                        path.extend(segs.iter().cloned());
+                        self.out.uses.push(UseItem {
+                            local: alias.to_string(),
+                            path,
+                            glob: false,
+                        });
+                    }
+                    return;
+                }
+                Some("self") => {
+                    // `use a::b::{self}` binds `b`.
+                    let mut path = prefix.to_vec();
+                    path.extend(segs.iter().cloned());
+                    if let Some(last) = path.last().cloned() {
+                        self.out.uses.push(UseItem {
+                            local: last,
+                            path,
+                            glob: false,
+                        });
+                    }
+                    return;
+                }
+                Some(t) if sig_kind(self.file, j) == Some(TokenKind::Ident) => {
+                    segs.push(t.to_string());
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        if let Some(last) = segs.last().cloned() {
+            let mut path = prefix.to_vec();
+            path.extend(segs);
+            self.out.uses.push(UseItem {
+                local: last,
+                path,
+                glob: false,
+            });
+        }
+    }
+
+    /// Finds the matching `}` for the `{` at `j`, bounded by `stop`.
+    fn find_close_brace(&self, j: usize, stop: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = j;
+        while i < stop {
+            match sig_text(self.file, i) {
+                Some("{") => depth += 1,
+                Some("}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        stop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        let file = SourceFile::analyze("crates/x/src/lib.rs", src.to_string());
+        parse(&file)
+    }
+
+    #[test]
+    fn extracts_free_and_impl_fns_with_modules() {
+        let p = parse_src(
+            "pub fn top() { inner(); }\n\
+             mod alpha {\n  pub fn in_alpha() {}\n  mod beta { fn in_beta() {} }\n}\n\
+             struct Engine;\n\
+             impl Engine {\n  pub fn run(&self) -> u32 { 0 }\n}\n\
+             impl std::fmt::Display for Engine {\n  fn fmt(&self) {}\n}\n\
+             trait Tick {\n  fn tick(&mut self) { self.run(); }\n  fn must(&self);\n}\n",
+        );
+        let names: Vec<(String, Vec<String>, Option<String>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.module.clone(), f.self_type.clone()))
+            .collect();
+        assert_eq!(names.len(), 7, "{names:?}");
+        assert_eq!(names[0], ("top".into(), vec![], None));
+        assert_eq!(names[1], ("in_alpha".into(), vec!["alpha".into()], None));
+        assert_eq!(
+            names[2],
+            ("in_beta".into(), vec!["alpha".into(), "beta".into()], None)
+        );
+        assert_eq!(names[3], ("run".into(), vec![], Some("Engine".into())));
+        assert_eq!(names[4], ("fmt".into(), vec![], Some("Engine".into())));
+        assert_eq!(names[5], ("tick".into(), vec![], Some("Tick".into())));
+        assert_eq!(names[6], ("must".into(), vec![], Some("Tick".into())));
+        assert!(p.fns[0].is_pub && !p.fns[2].is_pub);
+        // Bodiless trait method has no body span.
+        assert!(p.fns[6].body.is_none() && p.fns[5].body.is_some());
+    }
+
+    #[test]
+    fn fn_spans_and_bodies_match_source_bytes() {
+        let src = "fn a() { let x = 1; }\n\npub fn b<T: Clone>(t: T) -> T where T: Copy { t }\n";
+        let p = parse_src(src);
+        assert_eq!(
+            &src[p.fns[0].span.0..p.fns[0].span.1],
+            "fn a() { let x = 1; }"
+        );
+        let body = p.fns[0].body.unwrap();
+        assert_eq!(&src[body.0..body.1], "{ let x = 1; }");
+        assert_eq!(
+            &src[p.fns[1].body.unwrap().0..p.fns[1].body.unwrap().1],
+            "{ t }"
+        );
+    }
+
+    #[test]
+    fn qualifier_fns_and_generics_parse() {
+        let p = parse_src(
+            "pub const fn k() -> u64 { 1 }\n\
+             pub async fn go() {}\n\
+             pub unsafe fn danger() {}\n\
+             pub extern \"C\" fn ffi() {}\n\
+             fn generic<K: Ord, V>(m: BTreeMap<K, Vec<V>>) -> Option<V> { None }\n",
+        );
+        let names: Vec<_> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["k", "go", "danger", "ffi", "generic"]);
+    }
+
+    #[test]
+    fn use_trees_flatten_with_aliases_globs_and_self() {
+        let p = parse_src(
+            "use std::time::Instant;\n\
+             use std::collections::{HashMap, HashSet as Unordered};\n\
+             use netsim::hash::*;\n\
+             use trim_core::{trim::{self, TrimCc}, kmodel};\n",
+        );
+        let find = |local: &str| p.uses.iter().find(|u| u.local == local).unwrap();
+        assert_eq!(find("Instant").path, ["std", "time", "Instant"]);
+        assert_eq!(find("HashMap").path, ["std", "collections", "HashMap"]);
+        assert_eq!(find("Unordered").path, ["std", "collections", "HashSet"]);
+        assert_eq!(find("trim").path, ["trim_core", "trim"]);
+        assert_eq!(find("TrimCc").path, ["trim_core", "trim", "TrimCc"]);
+        assert_eq!(find("kmodel").path, ["trim_core", "kmodel"]);
+        let glob = p.uses.iter().find(|u| u.glob).unwrap();
+        assert_eq!(glob.path, ["netsim", "hash"]);
+    }
+
+    #[test]
+    fn test_region_flag_carries_through() {
+        let p = parse_src("fn live() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() {}\n}\n");
+        assert!(!p.fns[0].in_test);
+        assert!(p.fns[1].in_test);
+    }
+
+    #[test]
+    fn top_spans_are_sorted_and_disjoint() {
+        let src = "use a::b;\n\nfn f() { g(); }\n\n#[derive(Debug)]\nstruct S { x: u32 }\n\nimpl S { fn m(&self) {} }\n";
+        let p = parse_src(src);
+        assert!(p.top_spans.len() >= 4, "{:?}", p.top_spans);
+        for w in p.top_spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+        }
+        assert!(p.top_spans.iter().all(|&(s, e)| s < e && e <= src.len()));
+    }
+
+    #[test]
+    fn const_item_with_struct_literal_does_not_derail() {
+        let p = parse_src(
+            "const DEFAULT: Config = Config { probe: 2, scale: 1 };\n\
+             fn after() {}\n",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "after");
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_opaque() {
+        let p =
+            parse_src("macro_rules! make {\n  ($n:ident) => { fn $n() {} };\n}\nfn real() {}\n");
+        // The `fn $n` template inside the macro body must not be
+        // recorded as an item; only `real` is.
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn nested_generics_with_shift_tokens() {
+        let p = parse_src("fn f(x: Vec<Vec<u8>>) -> BTreeMap<u32, Vec<Vec<u64>>> { todo() }\n");
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn parser_is_total_on_token_soup() {
+        for src in [
+            "} } { ) fn ( impl ::",
+            "fn",
+            "impl for {}",
+            "use ;",
+            "mod {}",
+            "#[cfg(",
+        ] {
+            let _ = parse_src(src); // must not panic
+        }
+    }
+}

@@ -74,6 +74,46 @@ pub const SOURCE_RULES: &[RuleInfo] = &[
     },
 ];
 
+/// The semantic (interprocedural) rules (`--semantic`), in code order.
+/// Implemented in [`crate::taint`] over the call graph from
+/// [`crate::callgraph`].
+pub const SEMANTIC_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "TL201",
+        name: "transitive-wall-clock",
+        summary: "simulation-path fn whose call graph reaches Instant/SystemTime through \
+                  helpers (direct uses are TL001's job); the report names the frontier \
+                  fn where wall time enters the sim path",
+    },
+    RuleInfo {
+        code: "TL202",
+        name: "transitive-unordered-iteration",
+        summary: "simulation-path fn whose call graph reaches std HashMap/HashSet \
+                  through helpers; source-allow-paths vouches for deterministically \
+                  keyed wrappers (netsim::hash) without exempting their callers",
+    },
+    RuleInfo {
+        code: "TL203",
+        name: "shard-safety",
+        summary: "shared-mutable-state site in a sim crate (static mut, thread_local!, \
+                  Rc/RefCell/Cell, interior-mutable static): the exact inventory the \
+                  topology-sharding refactor must drain before threads touch these crates",
+    },
+    RuleInfo {
+        code: "TL204",
+        name: "unseeded-randomness",
+        summary: "PRNG construction from ambient entropy (thread_rng/from_entropy/OsRng/\
+                  RandomState) instead of the splitmix64 seed chain; reached directly or \
+                  through helpers",
+    },
+    RuleInfo {
+        code: "TL205",
+        name: "monitor-coverage",
+        summary: "MonitorEvent variant not emitted by any sim site or consumed by no \
+                  monitor/test: dead telemetry or an invariant nobody checks",
+    },
+];
+
 /// The artifact cross-checker rules (`--artifacts`), in code order.
 pub const ARTIFACT_RULES: &[RuleInfo] = &[
     RuleInfo {
@@ -100,16 +140,27 @@ pub const ARTIFACT_RULES: &[RuleInfo] = &[
     },
 ];
 
-/// Rules an inline suppression may name (the hygiene rules themselves
-/// are not suppressible; artifact findings have no source line to
-/// attach a comment to).
-fn suppressible(name: &str) -> bool {
-    SOURCE_RULES[..6].iter().any(|r| r.name == name)
+/// Rules an inline suppression may name: the first six source rules
+/// plus every semantic rule (the hygiene rules themselves are not
+/// suppressible; artifact findings have no source line to attach a
+/// comment to).
+pub fn suppressible(name: &str) -> bool {
+    SOURCE_RULES[..6]
+        .iter()
+        .chain(SEMANTIC_RULES)
+        .any(|r| r.name == name)
 }
 
-fn info(name: &str) -> &'static RuleInfo {
+/// Whether a rule name belongs to the semantic (`TL2xx`) family, whose
+/// suppressions only the `--semantic` pass can mark used.
+pub fn is_semantic(name: &str) -> bool {
+    SEMANTIC_RULES.iter().any(|r| r.name == name)
+}
+
+pub(crate) fn info(name: &str) -> &'static RuleInfo {
     SOURCE_RULES
         .iter()
+        .chain(SEMANTIC_RULES)
         .chain(ARTIFACT_RULES)
         .find(|r| r.name == name)
         .unwrap_or(&SOURCE_RULES[0])
@@ -123,6 +174,7 @@ fn diag(name: &'static str, file: &SourceFile, line: u32, message: String) -> Di
         path: file.rel_path.clone(),
         line,
         message,
+        severity: crate::diag::Severity::Deny,
     }
 }
 
@@ -165,7 +217,10 @@ pub fn check_file(file: &mut SourceFile, cfg: &Config) -> Vec<Diagnostic> {
         }
     }
 
-    // Judge the suppressions themselves.
+    // Judge the suppressions themselves. Suppressions of semantic
+    // (TL2xx) rules are exempt from the unused check here: only the
+    // `--semantic` pass can tell whether they suppressed anything, and
+    // it reports its own TL008s.
     for s in &file.suppressions {
         if !suppressible(&s.rule) {
             out.push(diag(
@@ -178,6 +233,7 @@ pub fn check_file(file: &mut SourceFile, cfg: &Config) -> Vec<Diagnostic> {
                     s.rule,
                     SOURCE_RULES[..6]
                         .iter()
+                        .chain(SEMANTIC_RULES)
                         .map(|r| r.name)
                         .collect::<Vec<_>>()
                         .join(", ")
@@ -195,7 +251,7 @@ pub fn check_file(file: &mut SourceFile, cfg: &Config) -> Vec<Diagnostic> {
                     s.rule, s.rule
                 ),
             ));
-        } else if !s.used {
+        } else if !s.used && !is_semantic(&s.rule) {
             out.push(diag(
                 "unused-suppression",
                 file,
@@ -577,6 +633,7 @@ apply-paths = ["crates/netsim"]
     fn rule_codes_are_unique_and_stable() {
         let mut codes: Vec<_> = SOURCE_RULES
             .iter()
+            .chain(SEMANTIC_RULES)
             .chain(ARTIFACT_RULES)
             .map(|r| r.code)
             .collect();
@@ -585,6 +642,26 @@ apply-paths = ["crates/netsim"]
         codes.dedup();
         assert_eq!(codes.len(), n);
         assert_eq!(SOURCE_RULES[0].code, "TL001");
+        assert_eq!(SEMANTIC_RULES[0].code, "TL201");
         assert_eq!(ARTIFACT_RULES[0].code, "TL101");
+    }
+
+    #[test]
+    fn semantic_suppressions_pass_source_mode_hygiene() {
+        // A TL2xx suppression is known (no TL007) and exempt from the
+        // source-mode unused check (no TL008) — only `--semantic` can
+        // judge whether it suppressed anything.
+        let d = run(
+            "crates/core/src/a.rs",
+            "// trim-lint: allow(transitive-wall-clock, reason = \"progress only\")\nfn f() {}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // …but a missing reason is still rejected here.
+        let d = run(
+            "crates/core/src/a.rs",
+            "// trim-lint: allow(shard-safety)\nfn f() {}",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "TL007");
     }
 }

@@ -1,0 +1,411 @@
+//! The workspace symbol table: which crates exist, what they may call
+//! (the Cargo dependency graph), and every function the parser found —
+//! indexed so the call-graph builder can resolve call sites without a
+//! type checker.
+//!
+//! Crate metadata comes from a minimal scan of each `Cargo.toml`
+//! (`[package] name`, `[dependencies]`, `[dev-dependencies]`) — the
+//! same hand-rolled-subset philosophy as `Lint.toml`: the workspace
+//! builds offline, so no `toml` crate. Dependency information is what
+//! keeps the conservative call graph *honest* rather than hopeless: a
+//! method call in `netsim` can only resolve into crates `netsim`
+//! actually links against, so name collisions with, say, harness
+//! methods cannot fabricate taint paths the build could never take.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::context::SourceFile;
+use crate::parser::ParsedFile;
+
+/// One workspace crate.
+#[derive(Clone, Debug)]
+pub struct CrateInfo {
+    /// The crate's Rust identifier (`package.name` with `-` → `_`).
+    pub ident: String,
+    /// Workspace-relative directory (`crates/netsim`; empty string for
+    /// the root package).
+    pub dir: String,
+    /// Direct dependencies, as crate identifiers (workspace members
+    /// only; external path shims like `rand` resolve too since they are
+    /// members).
+    pub deps: Vec<String>,
+    /// Direct dev-dependencies (visible to the crate's tests/benches).
+    pub dev_deps: Vec<String>,
+}
+
+/// The crate set and dependency closure.
+#[derive(Clone, Debug, Default)]
+pub struct CrateGraph {
+    /// Crates sorted by directory, longest first (so prefix matching a
+    /// file path finds the most specific crate).
+    pub crates: Vec<CrateInfo>,
+}
+
+impl CrateGraph {
+    /// Loads every `Cargo.toml` under `root` (root package plus
+    /// `crates/*/` and `crates/compat/*/`).
+    pub fn load(root: &Path) -> Result<CrateGraph, String> {
+        let mut crates = Vec::new();
+        if let Some(info) = parse_cargo_toml(root, root.join("Cargo.toml"), "") {
+            crates.push(info);
+        }
+        for dir in ["crates", "crates/compat"] {
+            let Ok(rd) = fs::read_dir(root.join(dir)) else {
+                continue;
+            };
+            let mut entries: Vec<_> = rd.flatten().map(|e| e.path()).collect();
+            entries.sort();
+            for p in entries {
+                if !p.is_dir() {
+                    continue;
+                }
+                let manifest = p.join("Cargo.toml");
+                if !manifest.is_file() {
+                    continue;
+                }
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+                if name == "compat" {
+                    continue; // recursed into explicitly above
+                }
+                let rel = format!("{dir}/{name}");
+                if let Some(info) = parse_cargo_toml(root, manifest, &rel) {
+                    crates.push(info);
+                }
+            }
+        }
+        // Longest directory first so `crate_of` prefix matching is most
+        // specific (the root package's empty dir matches everything).
+        crates.sort_by(|a, b| b.dir.len().cmp(&a.dir.len()).then(a.dir.cmp(&b.dir)));
+        Ok(CrateGraph { crates })
+    }
+
+    /// The crate a workspace-relative file belongs to.
+    pub fn crate_of(&self, rel_path: &str) -> Option<&CrateInfo> {
+        self.crates.iter().find(|c| {
+            c.dir.is_empty() || rel_path == c.dir || rel_path.starts_with(&format!("{}/", c.dir))
+        })
+    }
+
+    /// Looks a crate up by identifier.
+    pub fn by_ident(&self, ident: &str) -> Option<&CrateInfo> {
+        self.crates.iter().find(|c| c.ident == ident)
+    }
+
+    /// The set of crate idents visible to code in `krate`: itself plus
+    /// its transitive dependencies (dev-dependencies of `krate` itself
+    /// included when `dev` is set — they are visible to its tests).
+    pub fn visible_from(&self, krate: &str, dev: bool) -> Vec<String> {
+        let mut seen: Vec<String> = vec![krate.to_string()];
+        let mut queue: Vec<String> = vec![krate.to_string()];
+        if dev {
+            if let Some(c) = self.by_ident(krate) {
+                for d in &c.dev_deps {
+                    if !seen.contains(d) {
+                        seen.push(d.clone());
+                        queue.push(d.clone());
+                    }
+                }
+            }
+        }
+        while let Some(k) = queue.pop() {
+            if let Some(c) = self.by_ident(&k) {
+                for d in &c.deps {
+                    if !seen.contains(d) {
+                        seen.push(d.clone());
+                        queue.push(d.clone());
+                    }
+                }
+            }
+        }
+        seen.sort();
+        seen
+    }
+}
+
+/// Parses the subset of `Cargo.toml` the symbol table needs. Returns
+/// `None` for manifests with no `[package]` section (pure workspace
+/// manifests are represented by whatever `[package]` follows, if any).
+fn parse_cargo_toml(_root: &Path, path: impl AsRef<Path>, dir: &str) -> Option<CrateInfo> {
+    let text = fs::read_to_string(path.as_ref()).ok()?;
+    let mut section = String::new();
+    let mut name: Option<String> = None;
+    let mut deps = Vec::new();
+    let mut dev_deps = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(s) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = s.trim().to_string();
+            continue;
+        }
+        match section.as_str() {
+            "package" => {
+                if let Some(v) = line.strip_prefix("name") {
+                    if let Some(v) = v.trim().strip_prefix('=') {
+                        name = Some(v.trim().trim_matches('"').replace('-', "_"));
+                    }
+                }
+            }
+            "dependencies" | "dev-dependencies" => {
+                // `foo.workspace = true`, `foo = { path = ... }`,
+                // `foo = "1"` all declare dependency `foo`.
+                let key = line
+                    .split(['=', '.'])
+                    .next()
+                    .unwrap_or_default()
+                    .trim()
+                    .trim_matches('"');
+                if key.is_empty() {
+                    continue;
+                }
+                let ident = key.replace('-', "_");
+                if section == "dependencies" {
+                    deps.push(ident);
+                } else {
+                    dev_deps.push(ident);
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(CrateInfo {
+        ident: name?,
+        dir: dir.to_string(),
+        deps,
+        dev_deps,
+    })
+}
+
+/// One function, fully located.
+#[derive(Clone, Debug)]
+pub struct FnSym {
+    /// Index into [`SymbolTable::fns`].
+    pub id: usize,
+    /// Owning crate identifier.
+    pub krate: String,
+    /// Module path: file-derived segments plus inline `mod`s.
+    pub module: Vec<String>,
+    /// Enclosing `impl`/`trait` type name, when any.
+    pub self_type: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Byte span of the whole item in its file.
+    pub span: (usize, usize),
+    /// Byte span of the body, when present.
+    pub body: Option<(usize, usize)>,
+    /// `pub` in any form.
+    pub is_pub: bool,
+    /// Inside a `#[cfg(test)]`/`#[test]` region.
+    pub in_test: bool,
+    /// Lives in a test-like file (`tests/`, `benches/`, `examples/`).
+    pub test_like: bool,
+}
+
+impl FnSym {
+    /// The human/JSON-facing qualified path:
+    /// `crate::module::…::[Type::]name`.
+    pub fn qualified(&self) -> String {
+        let mut parts: Vec<&str> = vec![self.krate.as_str()];
+        parts.extend(self.module.iter().map(String::as_str));
+        if let Some(t) = &self.self_type {
+            parts.push(t);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+
+    /// Module path with the self type appended — the namespace the
+    /// function's name lives in, used for path-suffix matching.
+    pub fn namespace(&self) -> Vec<String> {
+        let mut ns = self.module.clone();
+        if let Some(t) = &self.self_type {
+            ns.push(t.clone());
+        }
+        ns
+    }
+}
+
+/// All functions in the workspace, with the indexes call resolution
+/// needs. Every index is a `BTreeMap` — iteration order, and therefore
+/// everything derived from it, is deterministic.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every function, in deterministic (file, offset) order.
+    pub fns: Vec<FnSym>,
+    /// Function ids by simple name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Function ids of inherent/trait methods by name (`self_type`
+    /// present).
+    pub methods_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Builds the table from parsed files. `files` must be sorted by
+    /// path (the workspace walker guarantees this).
+    pub fn build(graph: &CrateGraph, files: &[(SourceFile, ParsedFile)]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for (src, parsed) in files {
+            let Some(krate) = graph.crate_of(&src.rel_path) else {
+                continue;
+            };
+            let file_mods = module_path_of(&src.rel_path, &krate.dir);
+            let test_like =
+                crate::context::classify_role(&src.rel_path) == crate::context::FileRole::TestLike;
+            for f in &parsed.fns {
+                let mut module = file_mods.clone();
+                module.extend(f.module.iter().cloned());
+                let id = table.fns.len();
+                table.fns.push(FnSym {
+                    id,
+                    krate: krate.ident.clone(),
+                    module,
+                    self_type: f.self_type.clone(),
+                    name: f.name.clone(),
+                    file: src.rel_path.clone(),
+                    line: f.line,
+                    span: f.span,
+                    body: f.body,
+                    is_pub: f.is_pub,
+                    in_test: f.in_test,
+                    test_like,
+                });
+                table.by_name.entry(f.name.clone()).or_default().push(id);
+                if f.self_type.is_some() {
+                    table
+                        .methods_by_name
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+        table
+    }
+}
+
+/// Derives the file-level module path of a source file within its
+/// crate: `crates/tcp/src/cc/reno.rs` → `["cc", "reno"]`;
+/// `src/lib.rs`, `src/main.rs`, `src/bin/*.rs` and test-like files map
+/// to the crate root.
+pub fn module_path_of(rel_path: &str, crate_dir: &str) -> Vec<String> {
+    let local = if crate_dir.is_empty() {
+        rel_path
+    } else {
+        rel_path
+            .strip_prefix(crate_dir)
+            .and_then(|p| p.strip_prefix('/'))
+            .unwrap_or(rel_path)
+    };
+    let Some(under_src) = local.strip_prefix("src/") else {
+        return Vec::new(); // tests/, benches/, examples/
+    };
+    if under_src == "lib.rs" || under_src == "main.rs" || under_src.starts_with("bin/") {
+        return Vec::new();
+    }
+    let stem = under_src.strip_suffix(".rs").unwrap_or(under_src);
+    let mut segs: Vec<String> = stem.split('/').map(str::to_string).collect();
+    if segs.last().is_some_and(|s| s == "mod") {
+        segs.pop();
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_paths_from_file_locations() {
+        assert_eq!(
+            module_path_of("crates/tcp/src/cc/reno.rs", "crates/tcp"),
+            ["cc", "reno"]
+        );
+        assert_eq!(
+            module_path_of("crates/tcp/src/cc/mod.rs", "crates/tcp"),
+            ["cc"]
+        );
+        assert!(module_path_of("crates/tcp/src/lib.rs", "crates/tcp").is_empty());
+        assert!(module_path_of("crates/tcp/src/bin/tool.rs", "crates/tcp").is_empty());
+        assert!(module_path_of("crates/tcp/tests/it.rs", "crates/tcp").is_empty());
+        assert_eq!(module_path_of("src/lib.rs", ""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn real_workspace_crate_graph_loads() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .to_path_buf();
+        let g = CrateGraph::load(&root).unwrap();
+        let idents: Vec<&str> = g.crates.iter().map(|c| c.ident.as_str()).collect();
+        for expect in [
+            "netsim",
+            "trim_tcp",
+            "trim_core",
+            "trim_check",
+            "trim_workload",
+            "trim_lint",
+            "tcp_trim",
+            "rand",
+        ] {
+            assert!(idents.contains(&expect), "missing {expect} in {idents:?}");
+        }
+        // File → crate mapping picks the most specific directory.
+        assert_eq!(
+            g.crate_of("crates/tcp/src/conn.rs").unwrap().ident,
+            "trim_tcp"
+        );
+        assert_eq!(g.crate_of("src/lib.rs").unwrap().ident, "tcp_trim");
+        assert_eq!(
+            g.crate_of("tests/metamorphic.rs").unwrap().ident,
+            "tcp_trim"
+        );
+        assert_eq!(
+            g.crate_of("crates/compat/rand/src/lib.rs").unwrap().ident,
+            "rand"
+        );
+        // Dependency closure: trim_tcp sees netsim and trim_core but
+        // never the harness.
+        let vis = g.visible_from("trim_tcp", false);
+        assert!(vis.contains(&"netsim".to_string()));
+        assert!(vis.contains(&"trim_core".to_string()));
+        assert!(!vis.contains(&"trim_harness".to_string()));
+    }
+
+    #[test]
+    fn visible_from_includes_dev_deps_only_when_asked() {
+        let g = CrateGraph {
+            crates: vec![
+                CrateInfo {
+                    ident: "a".into(),
+                    dir: "crates/a".into(),
+                    deps: vec!["b".into()],
+                    dev_deps: vec!["c".into()],
+                },
+                CrateInfo {
+                    ident: "b".into(),
+                    dir: "crates/b".into(),
+                    deps: vec![],
+                    dev_deps: vec![],
+                },
+                CrateInfo {
+                    ident: "c".into(),
+                    dir: "crates/c".into(),
+                    deps: vec!["b".into()],
+                    dev_deps: vec![],
+                },
+            ],
+        };
+        assert_eq!(g.visible_from("a", false), ["a", "b"]);
+        assert_eq!(g.visible_from("a", true), ["a", "b", "c"]);
+    }
+}

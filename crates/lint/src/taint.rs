@@ -1,0 +1,773 @@
+//! The interprocedural taint engine and the semantic (`TL2xx`) rules.
+//!
+//! The lexical rules (TL001/TL002) catch a wall-clock read or a std
+//! `HashMap` *where it is written*. They cannot catch a simulation-path
+//! function that reaches one **through a helper** — possibly in another
+//! crate — which is exactly the gap the topology-sharding refactor
+//! cannot tolerate. This module closes it:
+//!
+//! 1. Every function body is scanned for **direct taint sources**
+//!    (wall-clock reads, std hash collections, ambient-entropy PRNG
+//!    constructors).
+//! 2. Taint propagates callee→caller over the conservative call graph
+//!    ([`crate::callgraph`]) to a fixed point, recording for each
+//!    tainted function the *shortest, lexicographically-least* path to
+//!    a source so reports are deterministic and readable.
+//! 3. Reports fire at the **frontier**: the simulation-path function
+//!    where taint first enters the audited region, not every function
+//!    above it — one diagnostic per entry point, with the full chain in
+//!    the message.
+//!
+//! Alongside the taint rules, this module hosts the two cross-check
+//! rules of the family: TL203 (shard-safety inventory: every
+//! shared-mutable-state site a sharded scheduler would race on) and
+//! TL205 (monitor coverage: every `MonitorEvent` variant both emitted
+//! by a sim site and consumed by a monitor or test).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::callgraph::{self, CallGraph};
+use crate::config::Config;
+use crate::context::SourceFile;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::parser::{self, ParsedFile};
+use crate::rules;
+use crate::symbols::{CrateGraph, SymbolTable};
+use crate::Report;
+
+/// The three things that can flow along calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaintKind {
+    /// Reaches `Instant::now` / `SystemTime`.
+    WallClock,
+    /// Reaches std `HashMap`/`HashSet` (per-process-random iteration).
+    UnorderedIter,
+    /// Reaches an ambient-entropy PRNG constructor.
+    UnseededRandom,
+}
+
+/// All kinds, in index order.
+pub const KINDS: [TaintKind; 3] = [
+    TaintKind::WallClock,
+    TaintKind::UnorderedIter,
+    TaintKind::UnseededRandom,
+];
+
+impl TaintKind {
+    /// Rule name (Lint.toml section / suppression name) for this kind.
+    pub fn rule(self) -> &'static str {
+        match self {
+            TaintKind::WallClock => "transitive-wall-clock",
+            TaintKind::UnorderedIter => "transitive-unordered-iteration",
+            TaintKind::UnseededRandom => "unseeded-randomness",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TaintKind::WallClock => 0,
+            TaintKind::UnorderedIter => 1,
+            TaintKind::UnseededRandom => 2,
+        }
+    }
+}
+
+/// Identifiers whose appearance constructs a PRNG from ambient entropy
+/// rather than the splitmix64 seed chain.
+const ENTROPY_IDENTS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "SystemRandom",
+    "RandomState",
+];
+
+/// A direct taint source inside one function.
+#[derive(Clone, Debug)]
+pub struct DirectHit {
+    /// The offending token, for the report.
+    pub token: String,
+    /// Its line.
+    pub line: u32,
+}
+
+/// Per-function, per-kind taint state after propagation.
+#[derive(Debug, Default)]
+pub struct TaintState {
+    /// `direct[fn][kind]`: the function's own source, if any.
+    pub direct: Vec<[Option<DirectHit>; 3]>,
+    /// `tainted[fn][kind]`: reaches a source (directly or transitively).
+    pub tainted: Vec<[bool; 3]>,
+    /// Shortest distance to a source (`0` = direct).
+    pub depth: Vec<[u32; 3]>,
+    /// The callee taint arrives through, on the minimal chain.
+    pub next_hop: Vec<[Option<usize>; 3]>,
+}
+
+/// Everything the semantic pass computed — kept so `--callgraph` can
+/// render the dump from the same analysis that produced the report.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Analyzed + parsed files, sorted by path.
+    pub files: Vec<(SourceFile, ParsedFile)>,
+    /// Workspace crate/dependency graph.
+    pub crates: CrateGraph,
+    /// All functions.
+    pub table: SymbolTable,
+    /// Resolved call edges.
+    pub graph: CallGraph,
+    /// Propagated taint.
+    pub taint: TaintState,
+}
+
+impl Analysis {
+    /// Runs the full semantic front-end (lex → parse → symbols → call
+    /// graph → taint fixed point) over the workspace at `root`.
+    pub fn build(root: &Path, cfg: &Config) -> Result<Analysis, String> {
+        let rels = crate::collect_files(root, cfg)?;
+        let mut files = Vec::with_capacity(rels.len());
+        for rel in &rels {
+            let src = fs::read_to_string(root.join(rel))
+                .map_err(|e| format!("cannot read {rel}: {e}"))?;
+            let f = SourceFile::analyze(rel, src);
+            let p = parser::parse(&f);
+            files.push((f, p));
+        }
+        let crates = CrateGraph::load(root)?;
+        let table = SymbolTable::build(&crates, &files);
+        let graph = callgraph::build(&crates, &table, &files);
+        let taint = propagate(cfg, &table, &graph, &files);
+        Ok(Analysis {
+            files,
+            crates,
+            table,
+            graph,
+            taint,
+        })
+    }
+
+    /// Per-function taint-rule labels for the `--callgraph` dump.
+    pub fn taint_labels(&self) -> Vec<Vec<&'static str>> {
+        (0..self.table.fns.len())
+            .map(|id| {
+                KINDS
+                    .iter()
+                    .filter(|k| self.taint.tainted[id][k.index()])
+                    .map(|k| k.rule())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Renders the versioned `--callgraph` JSON dump.
+    pub fn render_callgraph(&self) -> String {
+        callgraph::render_json(&self.table, &self.graph, &self.taint_labels())
+    }
+}
+
+/// Scans one function's item span for direct sources. Seeding respects
+/// each rule's `source-allow-paths` (a vouched-for file neither seeds
+/// nor hides taint flowing *through* it).
+fn direct_hits(cfg: &Config, src: &SourceFile, span: (usize, usize)) -> [Option<DirectHit>; 3] {
+    let mut out: [Option<DirectHit>; 3] = [None, None, None];
+    let seeds: Vec<bool> = KINDS
+        .iter()
+        .map(|k| cfg.seeds_taint(k.rule(), &src.rel_path))
+        .collect();
+    let in_span: Vec<usize> = src
+        .sig
+        .iter()
+        .copied()
+        .filter(|&i| src.tokens[i].start >= span.0 && src.tokens[i].end <= span.1)
+        .collect();
+    for (j, &i) in in_span.iter().enumerate() {
+        let t = &src.tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = src.text(t);
+        let kind = match text {
+            "Instant" => {
+                let next = |o: usize| in_span.get(j + o).map(|&i| src.text(&src.tokens[i]));
+                if next(1) == Some("::") && next(2) == Some("now") {
+                    Some(TaintKind::WallClock)
+                } else {
+                    None
+                }
+            }
+            "SystemTime" => Some(TaintKind::WallClock),
+            "HashMap" | "HashSet" => Some(TaintKind::UnorderedIter),
+            t if ENTROPY_IDENTS.contains(&t) => Some(TaintKind::UnseededRandom),
+            _ => None,
+        };
+        if let Some(k) = kind {
+            let ki = k.index();
+            if seeds[ki] && out[ki].is_none() {
+                out[ki] = Some(DirectHit {
+                    token: text.to_string(),
+                    line: t.line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Propagates taint callee→caller to a fixed point. Deterministic: the
+/// iteration visits functions in id order and ties between equally-deep
+/// chains break on the callee's qualified path, so `next_hop` — and
+/// every chain printed from it — is unique for a given workspace.
+fn propagate(
+    cfg: &Config,
+    table: &SymbolTable,
+    graph: &CallGraph,
+    files: &[(SourceFile, ParsedFile)],
+) -> TaintState {
+    let by_path: BTreeMap<&str, &SourceFile> = files
+        .iter()
+        .map(|(s, _)| (s.rel_path.as_str(), s))
+        .collect();
+    let n = table.fns.len();
+    let mut st = TaintState {
+        direct: Vec::with_capacity(n),
+        tainted: vec![[false; 3]; n],
+        depth: vec![[u32::MAX; 3]; n],
+        next_hop: vec![[None; 3]; n],
+    };
+    for f in &table.fns {
+        let hits = match by_path.get(f.file.as_str()) {
+            Some(src) => direct_hits(cfg, src, f.span),
+            None => [None, None, None],
+        };
+        for (ki, h) in hits.iter().enumerate() {
+            if h.is_some() {
+                st.tainted[f.id][ki] = true;
+                st.depth[f.id][ki] = 0;
+            }
+        }
+        st.direct.push(hits);
+    }
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            for ki in 0..3 {
+                if st.direct[id][ki].is_some() {
+                    continue; // direct sources are depth-0 anchors
+                }
+                // Best chain through any tainted callee.
+                let mut best: Option<(u32, String, usize)> = None;
+                for &c in &graph.edges[id].calls {
+                    if !st.tainted[c][ki] || st.depth[c][ki] == u32::MAX {
+                        continue;
+                    }
+                    let cand = (
+                        st.depth[c][ki].saturating_add(1),
+                        table.fns[c].qualified(),
+                        c,
+                    );
+                    let better = match &best {
+                        None => true,
+                        Some(b) => (cand.0, &cand.1) < (b.0, &b.1),
+                    };
+                    if better {
+                        best = Some(cand);
+                    }
+                }
+                if let Some((d, _, c)) = best {
+                    // `best` is a deterministic function of callee
+                    // depths, which only ever decrease — so adopting it
+                    // whenever it differs converges.
+                    let improves = !st.tainted[id][ki]
+                        || d < st.depth[id][ki]
+                        || (d == st.depth[id][ki] && st.next_hop[id][ki] != Some(c));
+                    if improves {
+                        st.tainted[id][ki] = true;
+                        st.depth[id][ki] = d;
+                        st.next_hop[id][ki] = Some(c);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    st
+}
+
+/// Renders the chain from a frontier function down to the source.
+fn chain_string(a: &Analysis, id: usize, ki: usize) -> String {
+    let mut parts = Vec::new();
+    let mut cur = id;
+    for _ in 0..16 {
+        parts.push(a.table.fns[cur].qualified());
+        if let Some(hit) = &a.taint.direct[cur][ki] {
+            parts.push(format!(
+                "`{}` at {}:{}",
+                hit.token, a.table.fns[cur].file, hit.line
+            ));
+            return parts.join(" -> ");
+        }
+        match a.taint.next_hop[cur][ki] {
+            Some(nx) => cur = nx,
+            None => break,
+        }
+    }
+    parts.push("…".to_string());
+    parts.join(" -> ")
+}
+
+fn sdiag(cfg: &Config, name: &'static str, path: &str, line: u32, message: String) -> Diagnostic {
+    let ri = rules::info(name);
+    Diagnostic {
+        code: ri.code,
+        rule: ri.name,
+        path: path.to_string(),
+        line,
+        message,
+        severity: cfg.severity(name),
+    }
+}
+
+/// The full semantic pass: builds the analysis, runs TL201–TL205,
+/// applies inline suppressions, and reports unused TL2xx suppressions.
+pub fn run_semantic(root: &Path, cfg: &Config) -> Result<(Report, Analysis), String> {
+    let mut analysis = Analysis::build(root, cfg)?;
+    let mut raw = Vec::new();
+    taint_rules(cfg, &analysis, &mut raw);
+    shard_safety(cfg, &analysis, &mut raw);
+    monitor_coverage(cfg, &analysis, &mut raw);
+
+    // Apply inline suppressions, mirroring source-mode semantics: a
+    // valid (reasoned) suppression of the rule on the diagnostic's line
+    // — or file-scoped — absorbs it.
+    let mut by_path: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, (f, _)) in analysis.files.iter().enumerate() {
+        by_path.insert(f.rel_path.clone(), vec![i]);
+    }
+    let mut out = Vec::new();
+    for d in raw {
+        let mut hit = false;
+        if let Some(idxs) = by_path.get(&d.path) {
+            for &fi in idxs {
+                for s in analysis.files[fi].0.suppressions.iter_mut() {
+                    if s.reason.is_some()
+                        && s.rule == d.rule
+                        && (s.file_scope || s.target_line == d.line)
+                    {
+                        s.used = true;
+                        hit = true;
+                    }
+                }
+            }
+        }
+        if !hit {
+            out.push(d);
+        }
+    }
+    // Unused TL2xx suppressions: only this pass can judge them (source
+    // mode skips them symmetrically).
+    for (f, _) in &analysis.files {
+        for s in &f.suppressions {
+            if rules::is_semantic(&s.rule) && s.reason.is_some() && !s.used {
+                out.push(sdiag(
+                    cfg,
+                    "unused-suppression",
+                    &f.rel_path,
+                    s.comment_line,
+                    format!(
+                        "suppression of `{}` matched no semantic diagnostic on line {}; \
+                         remove it",
+                        s.rule, s.target_line
+                    ),
+                ));
+            }
+        }
+    }
+    crate::diag::sort(&mut out);
+    let files_scanned = analysis.files.len();
+    Ok((
+        Report {
+            diagnostics: out,
+            files_scanned,
+        },
+        analysis,
+    ))
+}
+
+/// TL201/TL202/TL204: frontier reports over the propagated taint.
+fn taint_rules(cfg: &Config, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for f in &a.table.fns {
+        if f.in_test || f.test_like {
+            continue;
+        }
+        for kind in KINDS {
+            let rule = kind.rule();
+            let ki = kind.index();
+            if !cfg.rule_applies(rule, &f.file) || !a.taint.tainted[f.id][ki] {
+                continue;
+            }
+            if let Some(hit) = &a.taint.direct[f.id][ki] {
+                // Direct wall-clock / hash-collection uses are TL001 and
+                // TL002's job; only unseeded randomness reports its
+                // direct form here (no lexical twin exists for it).
+                if kind == TaintKind::UnseededRandom {
+                    out.push(sdiag(
+                        cfg,
+                        rule,
+                        &f.file,
+                        hit.line,
+                        format!(
+                            "`{}` constructs a PRNG from ambient entropy in `{}`: every \
+                             stream in this workspace must derive from the splitmix64 \
+                             seed chain so runs replay bit-exactly",
+                            hit.token,
+                            f.qualified()
+                        ),
+                    ));
+                }
+                continue;
+            }
+            // Frontier test: some taint-contributing callee is not
+            // itself reportable (it is a direct source, or lives outside
+            // the audited region) — taint enters the sim path *here*.
+            let entry = a.graph.edges[f.id].calls.iter().any(|&c| {
+                let cs = &a.table.fns[c];
+                a.taint.tainted[c][ki]
+                    && (a.taint.direct[c][ki].is_some()
+                        || cs.in_test
+                        || cs.test_like
+                        || !cfg.rule_applies(rule, &cs.file))
+            });
+            if !entry {
+                continue;
+            }
+            let what = match kind {
+                TaintKind::WallClock => "a wall-clock read",
+                TaintKind::UnorderedIter => "std HashMap/HashSet (unordered iteration)",
+                TaintKind::UnseededRandom => "an ambient-entropy PRNG",
+            };
+            out.push(sdiag(
+                cfg,
+                rule,
+                &f.file,
+                f.line,
+                format!(
+                    "simulation-path fn `{}` transitively reaches {}: {}",
+                    f.qualified(),
+                    what,
+                    chain_string(a, f.id, ki)
+                ),
+            ));
+        }
+    }
+}
+
+/// Type names whose appearance in a `static` makes it interior-mutable
+/// shared state.
+const INTERIOR_MUT: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "OnceLock",
+    "OnceCell",
+    "LazyLock",
+    "UnsafeCell",
+    "RefCell",
+    "Cell",
+];
+
+/// TL203: the shard-safety inventory. Lexical by design — the point is
+/// an *exhaustive enumeration* of every construct a sharded scheduler
+/// could race on, so the sharding PR can drain the list to zero and CI
+/// keeps it there.
+fn shard_safety(cfg: &Config, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "shard-safety";
+    for (src, _) in &a.files {
+        if !cfg.rule_applies(RULE, &src.rel_path) {
+            continue;
+        }
+        let text = |k: usize| -> Option<&str> { src.sig.get(k).map(|&i| src.text(&src.tokens[i])) };
+        for (k, &i) in src.sig.iter().enumerate() {
+            let t = &src.tokens[i];
+            if t.kind != TokenKind::Ident || src.in_test_region(t.start) {
+                continue;
+            }
+            let found: Option<String> = match src.text(t) {
+                "static" if text(k + 1) == Some("mut") => {
+                    Some("`static mut`: writable global state".to_string())
+                }
+                "static" => {
+                    // `static X: Atomic…/Mutex<…> = …` — interior-mutable
+                    // global. Scan the declared type up to the `=`/`;`.
+                    let mut j = k + 1;
+                    let mut found = None;
+                    while let Some(tt) = text(j) {
+                        if tt == "=" || tt == ";" || j > k + 24 {
+                            break;
+                        }
+                        if tt.starts_with("Atomic") || INTERIOR_MUT.contains(&tt) {
+                            found = Some(format!("interior-mutable `static` (`{tt}`)"));
+                            break;
+                        }
+                        j += 1;
+                    }
+                    found
+                }
+                "thread_local" if text(k + 1) == Some("!") => {
+                    Some("`thread_local!`: per-thread state diverges across shards".to_string())
+                }
+                "Rc" => Some("`Rc`: non-atomic shared ownership".to_string()),
+                "RefCell" | "Cell" => Some(format!(
+                    "`{}`: single-thread interior mutability",
+                    src.text(t)
+                )),
+                _ => None,
+            };
+            if let Some(what) = found {
+                out.push(sdiag(
+                    cfg,
+                    RULE,
+                    &src.rel_path,
+                    t.line,
+                    format!(
+                        "{what}; the topology-sharding refactor requires all \
+                         sim-crate state to be Ctx-threaded (owned by the shard) — \
+                         migrate it or suppress with the audit reason"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// TL205: cross-checks the `MonitorEvent` catalog. Every variant must
+/// be **emitted** by at least one non-test sim site (expression
+/// position) and **consumed** by at least one monitor or test (pattern
+/// position: `match` arm, `if let`/`let … else`, or an or-pattern).
+/// A variant failing either leg is dead telemetry or an invariant
+/// nobody checks.
+fn monitor_coverage(cfg: &Config, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "monitor-coverage";
+    // The defining file: wherever `enum MonitorEvent` lives (exactly one
+    // in this workspace; fixtures define their own).
+    let mut def: Option<(&SourceFile, Vec<(String, u32)>)> = None;
+    for (src, _) in &a.files {
+        if let Some(variants) = enum_variants(src, "MonitorEvent") {
+            if cfg.rule_applies(RULE, &src.rel_path) {
+                def = Some((src, variants));
+            }
+            break;
+        }
+    }
+    let Some((def_src, variants)) = def else {
+        return;
+    };
+    let mut emitted: BTreeMap<&str, bool> = BTreeMap::new();
+    let mut consumed: BTreeMap<&str, bool> = BTreeMap::new();
+    for (v, _) in &variants {
+        emitted.insert(v, false);
+        consumed.insert(v, false);
+    }
+    for (src, _) in &a.files {
+        scan_event_uses(src, &variants, &mut emitted, &mut consumed, def_src);
+    }
+    for (v, line) in &variants {
+        if !emitted[v.as_str()] {
+            out.push(sdiag(
+                cfg,
+                RULE,
+                &def_src.rel_path,
+                *line,
+                format!(
+                    "MonitorEvent::{v} is never emitted by any non-test sim site: \
+                     dead telemetry — emit it or retire the variant"
+                ),
+            ));
+        }
+        if !consumed[v.as_str()] {
+            out.push(sdiag(
+                cfg,
+                RULE,
+                &def_src.rel_path,
+                *line,
+                format!(
+                    "MonitorEvent::{v} is consumed by no monitor or test: the \
+                     invariant it reports is checked nowhere — add a trim-check \
+                     monitor (or a test) that observes it"
+                ),
+            ));
+        }
+    }
+}
+
+/// Extracts `(variant, line)` pairs of `enum NAME { … }` from a file,
+/// or `None` if the file does not define it.
+fn enum_variants(src: &SourceFile, name: &str) -> Option<Vec<(String, u32)>> {
+    let text = |k: usize| -> Option<&str> { src.sig.get(k).map(|&i| src.text(&src.tokens[i])) };
+    let mut k = 0usize;
+    loop {
+        if text(k)? == "enum" && text(k + 1) == Some(name) {
+            break;
+        }
+        k += 1;
+    }
+    // Advance to the opening brace (skipping generics, none expected).
+    let mut j = k + 2;
+    while text(j).is_some_and(|t| t != "{") {
+        j += 1;
+    }
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = false;
+    while let Some(t) = text(j) {
+        match t {
+            "{" | "(" | "[" => {
+                depth += 1;
+                if depth == 1 {
+                    expect_variant = true;
+                }
+            }
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "," if depth == 1 => expect_variant = true,
+            "#" if depth == 1 => {
+                // Skip the attribute's bracket group.
+                let mut ad = 0i32;
+                j += 1;
+                while let Some(at) = text(j) {
+                    match at {
+                        "[" => ad += 1,
+                        "]" => {
+                            ad -= 1;
+                            if ad == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            _ => {
+                if depth == 1 && expect_variant {
+                    let tok = &src.tokens[src.sig[j]];
+                    if tok.kind == TokenKind::Ident {
+                        variants.push((t.to_string(), tok.line));
+                    }
+                    expect_variant = false;
+                }
+            }
+        }
+        j += 1;
+    }
+    Some(variants)
+}
+
+/// Classifies every `MonitorEvent::Variant` occurrence in one file.
+fn scan_event_uses<'v>(
+    src: &SourceFile,
+    variants: &'v [(String, u32)],
+    emitted: &mut BTreeMap<&'v str, bool>,
+    consumed: &mut BTreeMap<&'v str, bool>,
+    def_src: &SourceFile,
+) {
+    let text = |k: usize| -> Option<&str> { src.sig.get(k).map(|&i| src.text(&src.tokens[i])) };
+    for k in 0..src.sig.len() {
+        if text(k) != Some("MonitorEvent") || text(k + 1) != Some("::") {
+            continue;
+        }
+        let Some(v) = text(k + 2) else { continue };
+        let Some(entry) = variants.iter().find(|(name, _)| name == v) else {
+            continue;
+        };
+        let vname = entry.0.as_str();
+        let pos = src.tokens[src.sig[k]].start;
+        let in_test = src.in_test_region(pos);
+        // Pattern position? `let`/`|` before, or `=>`/`|` after the
+        // payload group.
+        let prev = k.checked_sub(1).and_then(text);
+        let mut j = k + 3;
+        if text(j) == Some("{") || text(j) == Some("(") {
+            let open = text(j).unwrap().to_string();
+            let close = if open == "{" { "}" } else { ")" };
+            let mut depth = 0i32;
+            while let Some(t) = text(j) {
+                if t == open {
+                    depth += 1;
+                } else if t == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        let next = text(j);
+        let is_pattern =
+            prev == Some("let") || prev == Some("|") || next == Some("=>") || next == Some("|");
+        if is_pattern || in_test {
+            consumed.insert(vname, true);
+        } else if src.rel_path != def_src.rel_path {
+            // Expression position outside tests and outside the defining
+            // file's own plumbing: an emission site.
+            emitted.insert(vname, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_variant_extraction_handles_payloads_and_attrs() {
+        let src = SourceFile::analyze(
+            "crates/netsim/src/monitor.rs",
+            "pub enum MonitorEvent {\n\
+             Clock { to: u64 },\n\
+             #[allow(dead_code)]\n\
+             Dropped(u32),\n\
+             Plain,\n\
+             }\n\
+             pub struct Other { field: u32 }\n"
+                .to_string(),
+        );
+        let v = enum_variants(&src, "MonitorEvent").unwrap();
+        let names: Vec<&str> = v.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["Clock", "Dropped", "Plain"]);
+    }
+
+    #[test]
+    fn event_use_classification() {
+        let defsrc = SourceFile::analyze(
+            "crates/netsim/src/monitor.rs",
+            "pub enum MonitorEvent { A { x: u64 }, B, C { y: u64 } }".to_string(),
+        );
+        let variants = enum_variants(&defsrc, "MonitorEvent").unwrap();
+        let user = SourceFile::analyze(
+            "crates/netsim/src/sim.rs",
+            "fn emit_site(s: &mut S) { s.emit(MonitorEvent::A { x: 1 }); }\n\
+             fn consume(ev: &MonitorEvent) { match ev { MonitorEvent::C { y } => {}, _ => {} } }\n"
+                .to_string(),
+        );
+        let mut emitted: BTreeMap<&str, bool> =
+            variants.iter().map(|(v, _)| (v.as_str(), false)).collect();
+        let mut consumed: BTreeMap<&str, bool> =
+            variants.iter().map(|(v, _)| (v.as_str(), false)).collect();
+        scan_event_uses(&user, &variants, &mut emitted, &mut consumed, &defsrc);
+        assert!(emitted["A"] && !consumed["A"]);
+        assert!(!emitted["B"] && !consumed["B"]);
+        assert!(consumed["C"] && !emitted["C"]);
+    }
+}

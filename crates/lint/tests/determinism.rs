@@ -1,0 +1,46 @@
+//! Output determinism: the whole point of the tool is policing
+//! reproducibility, so its own reports must be byte-reproducible.
+//! Two independent semantic runs over the real workspace — fresh file
+//! walk, fresh symbol table, fresh fixed-point — must render identical
+//! JSON, and the call-graph dump identical bytes.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has two ancestors")
+        .to_path_buf()
+}
+
+#[test]
+fn semantic_json_and_callgraph_are_byte_identical_across_runs() {
+    let root = workspace_root();
+    let cfg = trim_lint::load_config(&root).expect("Lint.toml parses");
+    let (r1, a1) = trim_lint::run_semantic(&root, &cfg).expect("first run");
+    let (r2, a2) = trim_lint::run_semantic(&root, &cfg).expect("second run");
+    assert_eq!(
+        trim_lint::diag::render_json(&r1.diagnostics, r1.files_scanned),
+        trim_lint::diag::render_json(&r2.diagnostics, r2.files_scanned),
+        "semantic JSON report is not reproducible"
+    );
+    let cg1 = a1.render_callgraph();
+    let cg2 = a2.render_callgraph();
+    assert_eq!(cg1, cg2, "call-graph dump is not reproducible");
+    // The dump is non-trivial: it actually contains the workspace.
+    assert!(cg1.contains("\"version\": 1"));
+    assert!(cg1.contains("netsim::"), "call graph misses the sim crates");
+}
+
+#[test]
+fn source_mode_json_is_byte_identical_across_runs() {
+    let root = workspace_root();
+    let cfg = trim_lint::load_config(&root).expect("Lint.toml parses");
+    let r1 = trim_lint::run_workspace(&root, &cfg).expect("first run");
+    let r2 = trim_lint::run_workspace(&root, &cfg).expect("second run");
+    assert_eq!(
+        trim_lint::diag::render_json(&r1.diagnostics, r1.files_scanned),
+        trim_lint::diag::render_json(&r2.diagnostics, r2.files_scanned)
+    );
+}

@@ -1,0 +1,44 @@
+//! Audited simulation crate: every function here reaches a source only
+//! through `util`, so the lexical rules stay silent and the transitive
+//! rules must fire.
+
+pub mod engine;
+pub mod monitor;
+pub mod obs;
+pub mod state;
+
+/// TL201: transitively reaches `Instant::now` via `util::wall_now`.
+pub fn step() -> u64 {
+    util::wall_now()
+}
+
+/// TL202: transitively reaches std `HashMap` via `util::count_keys`.
+pub fn tally() -> usize {
+    util::count_keys()
+}
+
+/// TL204 (transitive): reaches `thread_rng` via `util::entropy_seed`.
+pub fn reseed() -> u64 {
+    util::entropy_seed()
+}
+
+/// TL204 (direct): names an ambient-entropy source itself.
+pub fn direct_entropy() -> u64 {
+    let r = OsRng;
+    r.next()
+}
+
+/// Clean function carrying a stale TL2xx suppression (TL008 in the
+/// semantic pass, and only there).
+pub fn settled() -> u64 {
+    // trim-lint: allow(transitive-unordered-iteration, reason = "left over")
+    util::pure_add(1, 2)
+}
+
+struct OsRng;
+
+impl OsRng {
+    fn next(&self) -> u64 {
+        7
+    }
+}

@@ -1,0 +1,30 @@
+//! Helper crate where nondeterminism hides: none of these functions is
+//! on an audited path itself, so only the transitive rules can see
+//! through them.
+
+/// Reads the wall clock (direct TL201 source, invisible to TL001 here).
+pub fn wall_now() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+/// Iterates a std HashMap (direct TL202 source).
+pub fn count_keys() -> usize {
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.len()
+}
+
+/// Constructs a PRNG from ambient entropy (direct TL204 source).
+pub fn entropy_seed() -> u64 {
+    let r = thread_rng();
+    r
+}
+
+fn thread_rng() -> u64 {
+    4
+}
+
+/// Deterministic helper: callers of this stay clean.
+pub fn pure_add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}

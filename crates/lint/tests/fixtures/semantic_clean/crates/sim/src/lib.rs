@@ -1,0 +1,23 @@
+//! Audited crate with nothing to report: deterministic call paths, a
+//! justified suppression on the one wall-clock caller, and a fully
+//! covered event catalog.
+
+pub mod engine;
+pub mod monitor;
+pub mod obs;
+
+/// Deterministic all the way down.
+pub fn step() -> u64 {
+    util::pure_add(1, 2)
+}
+
+// trim-lint: allow(transitive-wall-clock, reason = "operator-facing progress banner, never feeds sim state")
+/// Wall-clock caller with an audited justification.
+pub fn banner_elapsed() -> u64 {
+    util::wall_now()
+}
+
+/// Calls a map helper that the config marks order-safe.
+pub fn dedup(xs: &[u32]) -> usize {
+    util::dedup_count(xs)
+}

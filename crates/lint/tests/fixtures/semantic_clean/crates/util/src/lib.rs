@@ -1,0 +1,22 @@
+//! Helper crate: one deterministic helper and one wall-clock reader
+//! whose single audited caller carries an explicit suppression.
+
+/// Deterministic helper: callers of this stay clean.
+pub fn pure_add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}
+
+/// Reads the wall clock; audited callers must justify themselves.
+pub fn wall_now() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+/// Uses a HashMap but sorts before exposing anything — the config
+/// lists this file under `source-allow-paths`, so it seeds no taint.
+pub fn dedup_count(xs: &[u32]) -> usize {
+    let m: std::collections::HashMap<u32, ()> = xs.iter().map(|&x| (x, ())).collect();
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys.len()
+}

@@ -33,6 +33,26 @@ fn source_rules_pass_on_the_workspace() {
 }
 
 #[test]
+fn semantic_rules_pass_on_the_workspace() {
+    let root = workspace_root();
+    let cfg = trim_lint::load_config(&root).expect("Lint.toml parses");
+    let (report, analysis) = trim_lint::run_semantic(&root, &cfg).expect("semantic run succeeds");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must pass the semantic audit:\n{}",
+        trim_lint::diag::render_text(&report.diagnostics, report.files_scanned)
+    );
+    // The clean result is not vacuous: the call graph actually spans
+    // the workspace and taint actually exists outside the sim crates.
+    let labels = analysis.taint_labels();
+    let tainted = labels.iter().filter(|l| !l.is_empty()).count();
+    assert!(
+        tainted > 20,
+        "only {tainted} tainted fns — taint seeding looks broken"
+    );
+}
+
+#[test]
 fn artifact_cross_checks_pass_on_the_workspace() {
     let root = workspace_root();
     let report = trim_lint::run_artifacts(&root).expect("artifact check runs");
